@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: environment-variable
+ * knobs (dataset scale, DSE sample counts), Pareto-point selection,
+ * and table formatting.
+ *
+ * Knobs:
+ *   DHDL_BENCH_SCALE   dataset scale factor (default 1.0 = Table II)
+ *   DHDL_BENCH_POINTS  DSE sample count (default 5000; paper: 75000)
+ */
+
+#ifndef DHDL_BENCH_BENCH_COMMON_HH
+#define DHDL_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+
+namespace dhdl::bench {
+
+/** Read a double knob from the environment. */
+double envDouble(const char* name, double def);
+
+/** Read an integer knob from the environment. */
+int64_t envInt(const char* name, int64_t def);
+
+/** Dataset scale for this bench run. */
+double benchScale();
+
+/** DSE sample budget for this bench run. */
+int benchPoints();
+
+/** The process-wide explorer over calibrated estimators. */
+const dse::Explorer& explorer();
+
+/** The process-wide runtime estimator. */
+const est::RuntimeEstimator& runtimeEstimator();
+
+/**
+ * Explore a design and return up to `take` Pareto points spread
+ * evenly along the frontier (the paper selects five per benchmark).
+ */
+std::vector<dse::DesignPoint>
+selectParetoPoints(const Graph& g, int max_points, int take,
+                   uint64_t seed = 0xD5Eull);
+
+/** Render a value with fixed precision (for table rows). */
+std::string fmt(double v, int precision = 1);
+
+/** Percent with one decimal, e.g. "4.8%". */
+std::string pct(double fraction);
+
+/** Print a horizontal rule of the given width. */
+void rule(int width);
+
+} // namespace dhdl::bench
+
+#endif // DHDL_BENCH_BENCH_COMMON_HH

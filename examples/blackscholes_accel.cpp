@@ -1,0 +1,85 @@
+/**
+ * Black-Scholes accelerator — the paper's biggest FPGA win (16.7x).
+ * Finds the best design, simulates it at Table II scale, verifies a
+ * reduced-size run against the multithreaded CPU kernel, and reports
+ * the modeled speedup over the paper's Xeon.
+ *
+ * Build & run:  ./build/examples/blackscholes_accel
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "apps/apps.hh"
+#include "cpu/kernels.hh"
+#include "cpu/roofline.hh"
+#include "dse/explorer.hh"
+#include "sim/functional.hh"
+#include "sim/timing.hh"
+
+using namespace dhdl;
+
+int
+main()
+{
+    // Full-size design for DSE + timing.
+    Design design = apps::buildBlackscholes({});
+    est::RuntimeEstimator rt;
+    dse::Explorer explorer(est::calibratedEstimator(), rt);
+    dse::ExploreConfig cfg;
+    cfg.maxPoints = 1500;
+    auto res = explorer.explore(design.graph(), cfg);
+    size_t best = res.bestIndex();
+    std::cout << "Best design of " << res.points.size()
+              << " explored:";
+    for (size_t i = 0; i < design.params().size(); ++i)
+        std::cout << " " << design.params()[ParamId(i)].name << "="
+                  << res.points[best].binding.values[i];
+    std::cout << "\n";
+
+    Inst inst(design.graph(), res.points[best].binding);
+    auto timed = sim::TimingSim(inst).run();
+    std::cout << "FPGA time for " << apps::PaperSizes::bsN
+              << " options: " << timed.seconds * 1e3 << " ms\n";
+
+    cpu::CpuPlatform xeon;
+    cpu::CpuWorkload w;
+    w.flops = 250.0 * double(apps::PaperSizes::bsN);
+    w.bytes = 28.0 * double(apps::PaperSizes::bsN);
+    w.computeEff = 0.075;
+    double cpu_s = cpu::cpuTimeSeconds(xeon, w);
+    std::cout << "Modeled 6-core Xeon time: " << cpu_s * 1e3
+              << " ms  => speedup " << cpu_s / timed.seconds
+              << "x (paper: 16.73x)\n\n";
+
+    // Reduced-size functional verification against the CPU kernel.
+    const int64_t n = 9216;
+    Design small = apps::buildBlackscholes({n});
+    Inst small_inst(small.graph(), small.params().defaults());
+    sim::FunctionalSim fsim(small_inst);
+    auto ot = apps::randomLabels(n, 1);
+    auto sp = apps::randomVector(n, 2, 50, 150);
+    auto st = apps::randomVector(n, 3, 50, 150);
+    auto ra = apps::randomVector(n, 4, 0.01f, 0.1f);
+    auto vo = apps::randomVector(n, 5, 0.1f, 0.6f);
+    auto ti = apps::randomVector(n, 6, 0.2f, 2.0f);
+    fsim.setOffchip("otype", apps::toDouble(ot));
+    fsim.setOffchip("sptprice", apps::toDouble(sp));
+    fsim.setOffchip("strike", apps::toDouble(st));
+    fsim.setOffchip("rate", apps::toDouble(ra));
+    fsim.setOffchip("volatility", apps::toDouble(vo));
+    fsim.setOffchip("otime", apps::toDouble(ti));
+    fsim.run();
+
+    cpu::ThreadPool pool(4);
+    std::vector<float> expect(static_cast<size_t>(n));
+    cpu::blackscholes(pool, ot, sp, st, ra, vo, ti, expect);
+    double worst = 0;
+    const auto& got = fsim.offchip("prices");
+    for (size_t i = 0; i < expect.size(); ++i)
+        worst = std::max(worst,
+                         std::fabs(got[i] - double(expect[i])));
+    std::cout << "Functional check vs CPU kernel on " << n
+              << " options: max |diff| = " << worst << "\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "analysis/banking.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dhdl {
+
+int
+inferBanks(const Inst& inst, NodeId bram)
+{
+    const Graph& g = inst.graph();
+    const auto& mem = g.nodeAs<BramNode>(bram);
+    if (mem.forcedBanks > 0)
+        return mem.forcedBanks;
+
+    // The memory itself is replicated lanes(bram) times; accesses from
+    // nodes deeper in the hierarchy demand lanes(access)/lanes(bram)
+    // parallel ports on each copy. Accessors inside the same Pipe are
+    // concurrent (one issue per cycle each), so their demands add —
+    // e.g. GDA's P2 reads subT(i) and subT(j) every cycle, doubling
+    // the required banking.
+    int64_t mem_lanes = inst.lanes(bram);
+    std::unordered_map<NodeId, int64_t> per_pipe;
+    int64_t banks = 1;
+    for (NodeId a : inst.accessors(bram)) {
+        const Node& n = g.node(a);
+        int64_t demand = 1;
+        if (n.kind() == NodeKind::Load || n.kind() == NodeKind::Store) {
+            demand = std::max<int64_t>(1, inst.lanes(a) / mem_lanes);
+            int64_t& total = per_pipe[n.parent];
+            total += demand;
+            banks = std::max(banks, total);
+            continue;
+        }
+        if (n.kind() == NodeKind::TileLd) {
+            demand = inst.val(g.nodeAs<TileLdNode>(a).par);
+        } else if (n.kind() == NodeKind::TileSt) {
+            demand = inst.val(g.nodeAs<TileStNode>(a).par);
+        }
+        banks = std::max(banks, demand);
+    }
+    return int(std::min<int64_t>(banks, 1 << 20));
+}
+
+int64_t
+bankDepth(const Inst& inst, NodeId bram)
+{
+    int64_t elems = inst.memElems(bram);
+    int64_t banks = inferBanks(inst, bram);
+    return (elems + banks - 1) / banks;
+}
+
+} // namespace dhdl

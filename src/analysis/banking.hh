@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Automatic BRAM banking (Section III-B2): "The banking factor for a
+ * BRAM node is automatically calculated using the vector widths and
+ * access patterns of all the Ld and St nodes accessing it such that
+ * the required memory bandwidth can be met." Banking is therefore not
+ * an independent design-space variable (Section IV-C pruning).
+ */
+
+#ifndef DHDL_ANALYSIS_BANKING_HH
+#define DHDL_ANALYSIS_BANKING_HH
+
+#include "analysis/instance.hh"
+
+namespace dhdl {
+
+/**
+ * Required number of banks for a BRAM: the maximum per-cycle element
+ * bandwidth demanded by any accessor. For a Ld/St inside a Pipe the
+ * demand is the vector width of the access, i.e. the lane count of
+ * the accessing node relative to the memory's scope; for TileLd /
+ * TileSt it is the transfer parallelization factor. A forcedBanks
+ * override on the node wins.
+ */
+int inferBanks(const Inst& inst, NodeId bram);
+
+/**
+ * Elements per bank after interleaving (ceil division); the per-bank
+ * depth used to compute physical block RAM counts.
+ */
+int64_t bankDepth(const Inst& inst, NodeId bram);
+
+} // namespace dhdl
+
+#endif // DHDL_ANALYSIS_BANKING_HH

@@ -1,0 +1,192 @@
+#include "analysis/critical_path.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+#include "analysis/resources.hh"
+
+namespace dhdl {
+
+namespace {
+
+/** Gather data inputs of a primitive-level node. */
+std::vector<NodeId>
+dataInputs(const Graph& g, NodeId id)
+{
+    std::vector<NodeId> ins;
+    const Node& n = g.node(id);
+    switch (n.kind()) {
+      case NodeKind::Prim:
+        ins = g.nodeAs<PrimNode>(id).inputs;
+        break;
+      case NodeKind::Load:
+        ins = g.nodeAs<LoadNode>(id).addr;
+        break;
+      case NodeKind::Store: {
+        const auto& s = g.nodeAs<StoreNode>(id);
+        ins = s.addr;
+        ins.push_back(s.value);
+        break;
+      }
+      default:
+        break;
+    }
+    return ins;
+}
+
+int
+nodeLatency(const Graph& g, NodeId id)
+{
+    const Node& n = g.node(id);
+    switch (n.kind()) {
+      case NodeKind::Prim: {
+        const auto& p = g.nodeAs<PrimNode>(id);
+        return opLatency(p.op, p.type);
+      }
+      case NodeKind::Load:
+        return 2; // registered BRAM read
+      case NodeKind::Store:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+PipeTiming
+analyzePipe(const Inst& inst, NodeId pipe)
+{
+    const Graph& g = inst.graph();
+    const auto& c = g.nodeAs<ControllerNode>(pipe);
+    invariant(c.kind() == NodeKind::Pipe,
+              "analyzePipe on a non-Pipe controller");
+
+    PipeTiming t;
+    // arrival[n]: cycle at which n's result is available. Children are
+    // stored in creation order, which is a topological order because
+    // the DSL only references already-created values.
+    std::unordered_map<NodeId, int64_t> arrival;
+
+    auto arrivalOf = [&](NodeId id) -> int64_t {
+        auto it = arrival.find(id);
+        // Values defined outside this pipe (iterators of outer loops,
+        // constants hoisted to outer scopes) are ready at cycle 0.
+        return it == arrival.end() ? 0 : it->second;
+    };
+
+    for (NodeId ch : c.children) {
+        const Node& n = g.node(ch);
+        if (!n.isPrimitive())
+            continue;
+        auto ins = dataInputs(g, ch);
+        int64_t ready = 0;
+        for (NodeId in : ins) {
+            if (in != kNoNode)
+                ready = std::max(ready, arrivalOf(in));
+        }
+        int64_t lat = nodeLatency(g, ch);
+        int64_t out = ready + lat;
+        arrival[ch] = out;
+        t.depth = std::max(t.depth, out);
+
+        // Slack matching: every input that arrives before `ready`
+        // needs a delay line of (ready - arrival[in]) cycles carrying
+        // its full width.
+        for (NodeId in : ins) {
+            if (in == kNoNode)
+                continue;
+            int64_t slack = ready - arrivalOf(in);
+            if (slack <= 0)
+                continue;
+            double bits = double(valueBits(g, in)) * double(slack);
+            if (slack > kBramDelayThreshold)
+                t.delayBramBits += bits;
+            else
+                t.delayRegBits += bits;
+        }
+    }
+
+    // Loop-carried read-modify-write recurrences: for every load
+    // whose memory is also stored in this body along a dependent
+    // path, the accumulation cannot issue faster than the recurrence
+    // allows. Dependence distance: if the store address varies with
+    // the innermost counter dimension, the same address only recurs
+    // after that dimension's full trip; otherwise it recurs on the
+    // next iteration.
+    {
+        // Transitive data dependence test within the body.
+        std::function<bool(NodeId, NodeId)> depends =
+            [&](NodeId node, NodeId on) -> bool {
+            if (node == on)
+                return true;
+            if (node == kNoNode || !g.node(node).isPrimitive())
+                return false;
+            for (NodeId in : dataInputs(g, node)) {
+                if (in != kNoNode && depends(in, on))
+                    return true;
+            }
+            return false;
+        };
+
+        // Does a value depend on the innermost iterator of this pipe?
+        int64_t inner_trip = 1;
+        NodeId inner_iter = kNoNode;
+        if (c.counter != kNoNode) {
+            const auto& ctr = g.nodeAs<CounterNode>(c.counter);
+            int last = int(ctr.dims.size()) - 1;
+            inner_trip = ctr.dims[size_t(last)].trip(inst.binding());
+            for (NodeId ch : c.children) {
+                const auto* p = g.tryAs<PrimNode>(ch);
+                if (p && p->op == Op::Iter && p->ctrDim == last)
+                    inner_iter = ch;
+            }
+        }
+
+        for (NodeId st_id : c.children) {
+            const auto* st = g.tryAs<StoreNode>(st_id);
+            if (!st)
+                continue;
+            for (NodeId ld_id : c.children) {
+                const auto* ld = g.tryAs<LoadNode>(ld_id);
+                if (!ld || ld->mem != st->mem)
+                    continue;
+                if (!depends(st->value, ld_id))
+                    continue;
+                int64_t cyc_lat = arrivalOf(st_id) -
+                                  (arrivalOf(ld_id) -
+                                   nodeLatency(g, ld_id));
+                int64_t distance = 1;
+                if (inner_iter != kNoNode) {
+                    for (NodeId a : st->addr) {
+                        if (a != kNoNode && depends(a, inner_iter))
+                            distance = std::max<int64_t>(1,
+                                                         inner_trip);
+                    }
+                }
+                int64_t ii =
+                    (cyc_lat + distance - 1) / std::max<int64_t>(
+                                                   1, distance);
+                t.ii = std::max(t.ii, std::max<int64_t>(1, ii));
+            }
+        }
+    }
+
+    // Reduce pipes append a balanced combining tree over the vector
+    // lanes plus the accumulator feedback stage.
+    if (c.pattern == Pattern::Reduce) {
+        int64_t p = inst.par(pipe);
+        const auto* acc = g.tryAs<MemNode>(c.accum);
+        DType at = acc ? acc->type : DType::f32();
+        int64_t tree_depth =
+            int64_t(std::ceil(std::log2(std::max<int64_t>(2, p)))) *
+            opLatency(c.combine, at);
+        t.depth += tree_depth + opLatency(c.combine, at);
+    }
+
+    return t;
+}
+
+} // namespace dhdl

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASAP scheduling of Pipe bodies. Computes the critical-path depth of
+ * a dataflow pipeline (cycles through the body) and the pipeline
+ * balancing delays required on slack paths: "Paths with slack
+ * relative to the critical path to that node require their width (in
+ * bits) multiplied by the slack delay resources. Delays over a
+ * synthesis tool-specific threshold are modeled as block RAMs.
+ * Otherwise, they are modeled as registers." (Section IV-B2.)
+ */
+
+#ifndef DHDL_ANALYSIS_CRITICAL_PATH_HH
+#define DHDL_ANALYSIS_CRITICAL_PATH_HH
+
+#include "analysis/instance.hh"
+
+namespace dhdl {
+
+/** Delay threshold (cycles) above which a delay becomes a BRAM FIFO. */
+inline constexpr int64_t kBramDelayThreshold = 16;
+
+/** Result of scheduling one Pipe body. */
+struct PipeTiming {
+    /** Critical-path depth in cycles (pipeline fill latency). */
+    int64_t depth = 0;
+    /** Slack-bits absorbed by register delay lines (per replica). */
+    double delayRegBits = 0.0;
+    /** Slack-bits absorbed by BRAM delay lines (per replica). */
+    double delayBramBits = 0.0;
+    /**
+     * Initiation interval. 1 for pure dataflow bodies; raised by
+     * loop-carried read-modify-write recurrences (a load whose memory
+     * is stored in the same body along a dependent path): the
+     * recurrence forces II = ceil(cycle latency / dependence
+     * distance), where the distance is the iteration gap until the
+     * same address recurs.
+     */
+    int64_t ii = 1;
+};
+
+/**
+ * Schedule the body of a Pipe controller with ASAP semantics and
+ * return its depth and delay-matching requirements. For Reduce pipes
+ * the combining tree depth is included.
+ */
+PipeTiming analyzePipe(const Inst& inst, NodeId pipe);
+
+} // namespace dhdl
+
+#endif // DHDL_ANALYSIS_CRITICAL_PATH_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Design instances. A DHDL graph plus a parameter binding describes a
+ * single concrete hardware design point. Inst caches the derived
+ * per-node quantities every downstream pass needs: evaluated symbols,
+ * replication (lane) counts from parallelization factors, counter trip
+ * counts, active-MetaPipe decisions, double-buffering, and the
+ * memory-accessor index used by banking inference.
+ */
+
+#ifndef DHDL_ANALYSIS_INSTANCE_HH
+#define DHDL_ANALYSIS_INSTANCE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.hh"
+
+namespace dhdl {
+
+/** A concrete design point: graph + binding + cached derived values. */
+class Inst
+{
+  public:
+    Inst(const Graph& g, const ParamBinding& b);
+
+    const Graph& graph() const { return g_; }
+    const ParamBinding& binding() const { return b_; }
+
+    /** Evaluate a symbolic size under this binding. */
+    int64_t val(const Sym& s) const { return s.eval(b_); }
+
+    /** Parallelization factor of a controller (>= 1). */
+    int64_t par(NodeId ctrl) const;
+
+    /**
+     * Whether a MetaPipe executes as a coarse-grained pipeline (toggle
+     * bound to nonzero) or falls back to Sequential semantics.
+     */
+    bool metaActive(NodeId ctrl) const;
+
+    /** Trip count of a controller's counter (1 when counter-less). */
+    int64_t trip(NodeId ctrl) const;
+
+    /**
+     * Replication factor of a node: the product of the parallelization
+     * factors of all enclosing controllers, including the immediate
+     * parent. This is the number of hardware copies instantiated.
+     */
+    int64_t lanes(NodeId n) const;
+
+    /** Number of elements of a memory under this binding. */
+    int64_t memElems(NodeId mem) const;
+
+    /**
+     * Whether an on-chip buffer is double-buffered: true when its
+     * enclosing controller is an active MetaPipe, whose stages
+     * communicate through it (Section III-B3).
+     */
+    bool doubleBuffered(NodeId mem) const;
+
+    /** Ld/St/TileLd/TileSt nodes that access the given memory. */
+    const std::vector<NodeId>& accessors(NodeId mem) const;
+
+    /** All controller node ids, in hierarchical (preorder) order. */
+    const std::vector<NodeId>& controllers() const { return ctrls_; }
+
+    /** Child controllers-or-transfers of a controller (its stages). */
+    std::vector<NodeId> stagesOf(NodeId ctrl) const;
+
+    /** All TileLd/TileSt node ids. */
+    const std::vector<NodeId>& transfers() const { return transfers_; }
+
+    /** All on-chip memory node ids (BRAM/Reg/Queue). */
+    const std::vector<NodeId>& onchipMems() const { return mems_; }
+
+  private:
+    void index();
+
+    const Graph& g_;
+    ParamBinding b_;
+    mutable std::unordered_map<NodeId, int64_t> laneCache_;
+    std::unordered_map<NodeId, std::vector<NodeId>> accessorIdx_;
+    std::vector<NodeId> ctrls_;
+    std::vector<NodeId> transfers_;
+    std::vector<NodeId> mems_;
+    std::vector<NodeId> empty_;
+};
+
+} // namespace dhdl
+
+#endif // DHDL_ANALYSIS_INSTANCE_HH

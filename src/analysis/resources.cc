@@ -1,0 +1,285 @@
+#include "analysis/resources.hh"
+
+#include <algorithm>
+
+#include "analysis/banking.hh"
+#include "analysis/critical_path.hh"
+
+namespace dhdl {
+
+const char*
+templateKindName(TemplateKind k)
+{
+    switch (k) {
+      case TemplateKind::PrimOp: return "PrimOp";
+      case TemplateKind::LoadStore: return "LoadStore";
+      case TemplateKind::BramInst: return "BramInst";
+      case TemplateKind::RegInst: return "RegInst";
+      case TemplateKind::QueueInst: return "QueueInst";
+      case TemplateKind::CounterInst: return "CounterInst";
+      case TemplateKind::PipeCtrl: return "PipeCtrl";
+      case TemplateKind::SeqCtrl: return "SeqCtrl";
+      case TemplateKind::ParCtrl: return "ParCtrl";
+      case TemplateKind::MetaPipeCtrl: return "MetaPipeCtrl";
+      case TemplateKind::TileTransfer: return "TileTransfer";
+      case TemplateKind::ReduceTree: return "ReduceTree";
+      case TemplateKind::DelayLine: return "DelayLine";
+    }
+    return "?";
+}
+
+int
+opLatency(Op op, const DType& type)
+{
+    if (type.isFloat()) {
+        switch (op) {
+          case Op::Add:
+          case Op::Sub:
+            return 10;
+          case Op::Mul:
+            return 6;
+          case Op::Div:
+            return 28;
+          case Op::Sqrt:
+            return 28;
+          case Op::Exp:
+            return 17;
+          case Op::Log:
+            return 21;
+          case Op::Min:
+          case Op::Max:
+            return 2;
+          case Op::Lt:
+          case Op::Le:
+          case Op::Gt:
+          case Op::Ge:
+          case Op::Eq:
+          case Op::Neq:
+            return 2;
+          case Op::ToFloat:
+          case Op::ToFixed:
+            return 6;
+          case Op::Abs:
+          case Op::Neg:
+          case Op::Mux:
+            return 1;
+          case Op::Const:
+          case Op::Iter:
+            return 0;
+          default:
+            return 1;
+        }
+    }
+    // Fixed point and bit types.
+    switch (op) {
+      case Op::Mul:
+        return 2;
+      case Op::Div:
+      case Op::Mod:
+        return 24;
+      case Op::Sqrt:
+        return 16;
+      case Op::Exp:
+      case Op::Log:
+        return 20;
+      case Op::Const:
+      case Op::Iter:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+int
+valueBits(const Graph& g, NodeId n)
+{
+    const Node& nd = g.node(n);
+    switch (nd.kind()) {
+      case NodeKind::Prim:
+        return g.nodeAs<PrimNode>(n).type.bits();
+      case NodeKind::Load:
+        return g.nodeAs<LoadNode>(n).type.bits();
+      default:
+        return 32;
+    }
+}
+
+namespace {
+
+int64_t
+tileElemsOf(const Inst& inst, const std::vector<Sym>& extent)
+{
+    int64_t e = 1;
+    for (const auto& s : extent)
+        e *= inst.val(s);
+    return e;
+}
+
+} // namespace
+
+std::vector<TemplateInst>
+expandTemplates(const Inst& inst)
+{
+    const Graph& g = inst.graph();
+    std::vector<TemplateInst> out;
+    out.reserve(g.numNodes());
+
+    for (NodeId id = 0; id < NodeId(g.numNodes()); ++id) {
+        const Node& n = g.node(id);
+        TemplateInst t;
+        t.node = id;
+
+        switch (n.kind()) {
+          case NodeKind::Prim: {
+            const auto& p = g.nodeAs<PrimNode>(id);
+            if (p.op == Op::Const || p.op == Op::Iter)
+                break; // wiring / counter outputs: no datapath cost
+            t.tkind = TemplateKind::PrimOp;
+            t.op = p.op;
+            t.isFloat = p.type.isFloat();
+            t.bits = p.type.bits();
+            t.lanes = inst.lanes(id);
+            out.push_back(t);
+            break;
+          }
+          case NodeKind::Load:
+          case NodeKind::Store: {
+            NodeId mem = n.kind() == NodeKind::Load
+                             ? g.nodeAs<LoadNode>(id).mem
+                             : g.nodeAs<StoreNode>(id).mem;
+            t.tkind = TemplateKind::LoadStore;
+            t.bits = valueBits(g, n.kind() == NodeKind::Load
+                                      ? id
+                                      : g.nodeAs<StoreNode>(id).value);
+            t.lanes = inst.lanes(id);
+            if (g.node(mem).kind() == NodeKind::Bram)
+                t.banks = inferBanks(inst, mem);
+            out.push_back(t);
+            break;
+          }
+          case NodeKind::Bram: {
+            const auto& m = g.nodeAs<BramNode>(id);
+            t.tkind = TemplateKind::BramInst;
+            t.bits = m.type.bits();
+            t.lanes = inst.lanes(id);
+            t.elems = inst.memElems(id);
+            t.banks = inferBanks(inst, id);
+            t.doubleBuf = inst.doubleBuffered(id);
+            out.push_back(t);
+            break;
+          }
+          case NodeKind::Reg: {
+            const auto& m = g.nodeAs<RegNode>(id);
+            t.tkind = TemplateKind::RegInst;
+            t.bits = m.type.bits();
+            t.lanes = inst.lanes(id);
+            t.doubleBuf = inst.doubleBuffered(id);
+            out.push_back(t);
+            break;
+          }
+          case NodeKind::Queue: {
+            const auto& m = g.nodeAs<QueueNode>(id);
+            t.tkind = TemplateKind::QueueInst;
+            t.bits = m.type.bits();
+            t.lanes = inst.lanes(id);
+            t.depth = inst.val(m.depth);
+            t.elems = t.depth;
+            t.doubleBuf = inst.doubleBuffered(id);
+            out.push_back(t);
+            break;
+          }
+          case NodeKind::Counter: {
+            const auto& c = g.nodeAs<CounterNode>(id);
+            t.tkind = TemplateKind::CounterInst;
+            t.ctrDims = int(c.dims.size());
+            // The counter's vector width equals the parallelization of
+            // its controller; it is replicated once per controller copy.
+            NodeId ctrl = n.parent;
+            t.lanes = ctrl != kNoNode ? inst.lanes(ctrl) : 1;
+            t.vec = ctrl != kNoNode ? inst.par(ctrl) : 1;
+            out.push_back(t);
+            break;
+          }
+          case NodeKind::Pipe:
+          case NodeKind::Sequential:
+          case NodeKind::ParallelCtrl:
+          case NodeKind::MetaPipe: {
+            const auto& c = g.nodeAs<ControllerNode>(id);
+            bool meta = n.kind() == NodeKind::MetaPipe &&
+                        inst.metaActive(id);
+            if (n.kind() == NodeKind::Pipe)
+                t.tkind = TemplateKind::PipeCtrl;
+            else if (n.kind() == NodeKind::ParallelCtrl)
+                t.tkind = TemplateKind::ParCtrl;
+            else if (meta)
+                t.tkind = TemplateKind::MetaPipeCtrl;
+            else
+                t.tkind = TemplateKind::SeqCtrl;
+            t.lanes = inst.lanes(id);
+            t.vec = inst.par(id);
+            t.stages = int(inst.stagesOf(id).size());
+            out.push_back(t);
+
+            // Reduce pattern: a balanced combining tree (plus the tile
+            // accumulation datapath for MetaPipe reduces).
+            if (c.pattern == Pattern::Reduce && c.accum != kNoNode) {
+                TemplateInst r;
+                r.node = id;
+                r.tkind = TemplateKind::ReduceTree;
+                r.op = c.combine;
+                const auto& acc = g.nodeAs<MemNode>(c.accum);
+                r.isFloat = acc.type.isFloat();
+                r.bits = acc.type.bits();
+                r.lanes = inst.lanes(id);
+                r.vec = inst.par(id);
+                r.elems = inst.memElems(c.accum);
+                out.push_back(r);
+            }
+
+            // Delay-matching resources inside Pipe bodies.
+            if (n.kind() == NodeKind::Pipe) {
+                PipeTiming pt = analyzePipe(inst, id);
+                if (pt.delayRegBits > 0 || pt.delayBramBits > 0) {
+                    TemplateInst d;
+                    d.node = id;
+                    d.tkind = TemplateKind::DelayLine;
+                    d.lanes = inst.lanes(id) * inst.par(id);
+                    d.delayBits = pt.delayRegBits;
+                    d.depth = 0;
+                    out.push_back(d);
+                    if (pt.delayBramBits > 0) {
+                        TemplateInst db = d;
+                        db.delayBits = pt.delayBramBits;
+                        db.depth = kBramDelayThreshold + 1;
+                        out.push_back(db);
+                    }
+                }
+            }
+            break;
+          }
+          case NodeKind::TileLd:
+          case NodeKind::TileSt: {
+            t.tkind = TemplateKind::TileTransfer;
+            t.lanes = inst.lanes(id);
+            if (n.kind() == NodeKind::TileLd) {
+                const auto& x = g.nodeAs<TileLdNode>(id);
+                t.bits = g.nodeAs<MemNode>(x.offchip).type.bits();
+                t.vec = inst.val(x.par);
+                t.tileElems = tileElemsOf(inst, x.extent);
+            } else {
+                const auto& x = g.nodeAs<TileStNode>(id);
+                t.bits = g.nodeAs<MemNode>(x.offchip).type.bits();
+                t.vec = inst.val(x.par);
+                t.tileElems = tileElemsOf(inst, x.extent);
+            }
+            out.push_back(t);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace dhdl

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Raw resource accounting. A design instance is expanded into a list
+ * of TemplateInst records — one per instantiated architectural
+ * template, with the concrete parameters that determine its cost
+ * (bit width, vector width, replication, memory geometry, stage
+ * count). Both the area estimator (fitted models, Section IV-B) and
+ * the synthetic vendor toolchain (hidden silicon tables) consume this
+ * expansion, so the two never share cost coefficients — only the
+ * structural walk.
+ */
+
+#ifndef DHDL_ANALYSIS_RESOURCES_HH
+#define DHDL_ANALYSIS_RESOURCES_HH
+
+#include <vector>
+
+#include "analysis/instance.hh"
+
+namespace dhdl {
+
+/**
+ * FPGA resource bundle. LUTs are split into packable and unpackable
+ * populations to support the LUT-packing model (Section IV-B: "we
+ * split template LUT resource requirements into the number of
+ * 'packable' and 'unpackable' LUTs required").
+ */
+struct Resources {
+    double lutsPack = 0.0;
+    double lutsNoPack = 0.0;
+    double regs = 0.0;
+    double dsps = 0.0;
+    double brams = 0.0;
+
+    double totalLuts() const { return lutsPack + lutsNoPack; }
+
+    Resources&
+    operator+=(const Resources& o)
+    {
+        lutsPack += o.lutsPack;
+        lutsNoPack += o.lutsNoPack;
+        regs += o.regs;
+        dsps += o.dsps;
+        brams += o.brams;
+        return *this;
+    }
+
+    Resources
+    operator*(double k) const
+    {
+        return {lutsPack * k, lutsNoPack * k, regs * k, dsps * k,
+                brams * k};
+    }
+
+    Resources
+    operator+(const Resources& o) const
+    {
+        Resources r = *this;
+        r += o;
+        return r;
+    }
+};
+
+/** Characterizable template categories. */
+enum class TemplateKind : uint8_t {
+    PrimOp,       //!< One primitive operator (per Op and type).
+    LoadStore,    //!< On-chip access port: bank address mux network.
+    BramInst,     //!< Banked scratchpad.
+    RegInst,      //!< Register (optionally double-buffered).
+    QueueInst,    //!< Priority queue.
+    CounterInst,  //!< Counter chain.
+    PipeCtrl,     //!< Fine-grained pipeline control FSM.
+    SeqCtrl,      //!< Sequential controller FSM.
+    ParCtrl,      //!< Fork-join container with barrier.
+    MetaPipeCtrl, //!< Coarse-grained pipeline handshake network.
+    TileTransfer, //!< TileLd/TileSt command generator + queues.
+    ReduceTree,   //!< Balanced combining tree for Reduce patterns.
+    DelayLine,    //!< Pipeline balancing delays (regs or BRAM FIFOs).
+};
+
+/** Name of a template kind, e.g. "PrimOp". */
+const char* templateKindName(TemplateKind k);
+
+/** One instantiated template with its concrete cost parameters. */
+struct TemplateInst {
+    TemplateKind tkind = TemplateKind::PrimOp;
+    NodeId node = kNoNode;
+    Op op = Op::Add;        //!< PrimOp operator / ReduceTree combiner.
+    bool isFloat = false;   //!< Floating-point datapath.
+    int bits = 32;          //!< Operand / element width.
+    int64_t lanes = 1;      //!< Hardware replication count.
+    int64_t vec = 1;        //!< Vector width within one replica.
+    int64_t elems = 0;      //!< Memory elements per replica.
+    int banks = 1;          //!< BRAM banks.
+    bool doubleBuf = false; //!< Double-buffered (MetaPipe comms).
+    int64_t depth = 0;      //!< Queue depth / delay cycles.
+    int stages = 0;         //!< Controller stage count.
+    int ctrDims = 0;        //!< Counter chain length.
+    int64_t tileElems = 0;  //!< Elements per tile command (TileLd/St).
+    double delayBits = 0;   //!< DelayLine: total slack-bits to absorb.
+};
+
+/**
+ * Expand a design instance into its template instantiation list.
+ * Includes the DelayLine instances implied by ASAP-schedule slack
+ * matching inside every Pipe (Section IV-B2).
+ */
+std::vector<TemplateInst> expandTemplates(const Inst& inst);
+
+/**
+ * Pipeline latency, in cycles, of one primitive operation at the
+ * 150 MHz fabric clock used throughout the paper's evaluation.
+ */
+int opLatency(Op op, const DType& type);
+
+/** Value width in bits of the node producing a value. */
+int valueBits(const Graph& g, NodeId n);
+
+} // namespace dhdl
+
+#endif // DHDL_ANALYSIS_RESOURCES_HH

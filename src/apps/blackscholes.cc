@@ -1,0 +1,122 @@
+#include "apps/apps.hh"
+
+namespace dhdl::apps {
+
+namespace {
+
+/** Cumulative normal distribution as a DHDL dataflow subgraph;
+ *  mirrors the CPU kernel's polynomial approximation exactly. */
+Val
+cndfVal(Scope& s, Val x)
+{
+    Val zero = s.constant(0.0, DType::f32());
+    Val neg = s.binop(Op::Lt, x, zero);
+    Val ax = vabs(x);
+    Val k = 1.0 / (1.0 + 0.2316419 * ax);
+    Val k2 = k * k;
+    Val k3 = k2 * k;
+    Val k4 = k3 * k;
+    Val k5 = k4 * k;
+    Val poly = 0.319381530 * k - 0.356563782 * k2 +
+               1.781477937 * k3 - 1.821255978 * k4 +
+               1.330274429 * k5;
+    Val pdf = 0.39894228040143270286 * vexp(-0.5 * ax * ax);
+    Val cnd = 1.0 - pdf * poly;
+    return s.mux(neg, 1.0 - cnd, cnd);
+}
+
+} // namespace
+
+/**
+ * Black-Scholes option pricing (compute bound): deeply pipelined
+ * floating-point dataflow over six streamed input arrays, the
+ * benchmark where the FPGA's instruction-level parallelism advantage
+ * is largest (16.7x in the paper).
+ */
+Design
+buildBlackscholes(const BlackscholesConfig& cfg)
+{
+    Design d("blackscholes");
+    int64_t n = cfg.n;
+
+    ParamId ts = d.tileParam("tileSize", n, 0, 16384);
+    ParamId inner_par = d.parParam("innerPar", 96, 2, 96);
+    ParamId m1 = d.toggleParam("M1toggle");
+
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        return b[ts] % b[inner_par] == 0;
+    });
+
+    Mem otype = d.offchip("otype", DType::f32(), {Sym::c(n)});
+    Mem sptprice = d.offchip("sptprice", DType::f32(), {Sym::c(n)});
+    Mem strike = d.offchip("strike", DType::f32(), {Sym::c(n)});
+    Mem rate = d.offchip("rate", DType::f32(), {Sym::c(n)});
+    Mem vol = d.offchip("volatility", DType::f32(), {Sym::c(n)});
+    Mem otime = d.offchip("otime", DType::f32(), {Sym::c(n)});
+    Mem prices = d.offchip("prices", DType::f32(), {Sym::c(n)});
+
+    d.accel([&](Scope& s) {
+        s.metaPipe(
+            "M1", {ctr(n, Sym::p(ts))}, Sym::c(1), Sym::p(m1),
+            [&](Scope& m, std::vector<Val> iv) {
+                Val r = iv[0];
+                auto mk = [&](const char* nm) {
+                    return m.bram(nm, DType::f32(), {Sym::p(ts)});
+                };
+                Mem o_t = mk("otypeT");
+                Mem s_t = mk("sptT");
+                Mem k_t = mk("strikeT");
+                Mem r_t = mk("rateT");
+                Mem v_t = mk("volT");
+                Mem t_t = mk("otimeT");
+                Mem p_t = mk("priceT");
+                m.parallel("loads", [&](Scope& p) {
+                    p.tileLoad(otype, o_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                    p.tileLoad(sptprice, s_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                    p.tileLoad(strike, k_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                    p.tileLoad(rate, r_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                    p.tileLoad(vol, v_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                    p.tileLoad(otime, t_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                });
+                m.pipe(
+                    "P1", {ctr(Sym::p(ts))}, Sym::p(inner_par),
+                    [&](Scope& p, std::vector<Val> ii) {
+                        Val i = ii[0];
+                        Val ot = p.load(o_t, {i});
+                        Val sp = p.load(s_t, {i});
+                        Val kk = p.load(k_t, {i});
+                        Val rr = p.load(r_t, {i});
+                        Val vv = p.load(v_t, {i});
+                        Val tt = p.load(t_t, {i});
+
+                        Val sqrt_t = vsqrt(tt);
+                        Val log_term = vlog(sp / kk);
+                        Val pow_term = 0.5 * vv * vv;
+                        Val den = vv * sqrt_t;
+                        Val d1 = (log_term + (rr + pow_term) * tt) /
+                                 den;
+                        Val d2 = d1 - den;
+                        Val n_d1 = cndfVal(p, d1);
+                        Val n_d2 = cndfVal(p, d2);
+                        Val fut = kk * vexp(-rr * tt);
+                        Val call = sp * n_d1 - fut * n_d2;
+                        Val put = fut * (1.0 - n_d2) -
+                                  sp * (1.0 - n_d1);
+                        Val zero = p.constant(0.0, DType::f32());
+                        Val is_call = p.binop(Op::Neq, ot, zero);
+                        p.store(p_t, {i}, p.mux(is_call, call, put));
+                    });
+                m.tileStore(prices, p_t, {r}, {Sym::p(ts)},
+                            Sym::p(inner_par));
+            });
+    });
+    return d;
+}
+
+} // namespace dhdl::apps

@@ -1,0 +1,85 @@
+#include "apps/apps.hh"
+
+namespace dhdl::apps {
+
+/**
+ * 2-D valid convolution (extension app, not part of Table II). Each
+ * MetaPipe iteration loads a halo'd row tile (tileRows + k - 1 input
+ * rows) and computes tileRows output rows. The inner pipe iterates
+ * kernel-major (ki, kj, i, j) so the output accumulation address
+ * varies on the innermost axes and the RMW recurrence keeps II = 1.
+ */
+Design
+buildConv2d(const Conv2dConfig& cfg)
+{
+    Design d("conv2d");
+    int64_t h = cfg.h, w = cfg.w, k = cfg.k;
+    require(k >= 1 && h >= k && w >= k, "conv2d: kernel too large");
+    int64_t h_out = h - k + 1;
+    int64_t w_out = w - k + 1;
+
+    ParamId th = d.tileParam("tileRows", h_out, 0, 256);
+    ParamId par = d.parParam("innerPar", 96, 2, 96);
+    ParamId m1 = d.toggleParam("M1toggle");
+
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        // The halo'd input tile must fit on chip.
+        return (b[th] + k - 1) * w * 32 <= int64_t(4) << 20;
+    });
+
+    Mem img = d.offchip("image", DType::f32(), {Sym::c(h), Sym::c(w)});
+    Mem ker =
+        d.offchip("kernel", DType::f32(), {Sym::c(k), Sym::c(k)});
+    Mem out = d.offchip("out", DType::f32(),
+                        {Sym::c(h_out), Sym::c(w_out)});
+
+    d.accel([&](Scope& s) {
+        Mem ker_t =
+            s.bram("kerT", DType::f32(), {Sym::c(k), Sym::c(k)});
+        s.tileLoad(ker, ker_t, {}, {Sym::c(k), Sym::c(k)});
+
+        s.metaPipe(
+            "M1", {ctr(h_out, Sym::p(th))}, Sym::c(1), Sym::p(m1),
+            [&](Scope& m, std::vector<Val> rv) {
+                Val r = rv[0];
+                // Input rows r .. r+th+k-2 (body + halo).
+                Mem in_t = m.bram("inT", DType::f32(),
+                                  {Sym::p(th, k - 1), Sym::c(w)});
+                Mem out_t = m.bram("outT", DType::f32(),
+                                   {Sym::p(th), Sym::c(w_out)});
+                m.tileLoad(img, in_t, {r},
+                           {Sym::p(th, k - 1), Sym::c(w)},
+                           Sym::p(par));
+
+                m.pipe(
+                    "PConv",
+                    {ctr(k), ctr(k), ctr(Sym::p(th)), ctr(w_out)},
+                    Sym::p(par),
+                    [&](Scope& p, std::vector<Val> v) {
+                        Val ki = v[0];
+                        Val kj = v[1];
+                        Val i = v[2];
+                        Val j = v[3];
+                        Val zero = p.constant(0.0, DType::i32());
+                        Val first =
+                            p.binop(Op::And,
+                                    p.binop(Op::Eq, ki, zero),
+                                    p.binop(Op::Eq, kj, zero));
+                        Val prev = p.load(out_t, {i, j});
+                        Val fzero = p.constant(0.0, DType::f32());
+                        Val base = p.mux(first, fzero, prev);
+                        Val row = p.binop(Op::Add, i, ki);
+                        Val col = p.binop(Op::Add, j, kj);
+                        Val pix = p.load(in_t, {row, col});
+                        Val kv = p.load(ker_t, {ki, kj});
+                        p.store(out_t, {i, j}, base + pix * kv);
+                    });
+                m.tileStore(out, out_t, {r},
+                            {Sym::p(th), Sym::c(w_out)},
+                            Sym::p(par));
+            });
+    });
+    return d;
+}
+
+} // namespace dhdl::apps

@@ -1,0 +1,44 @@
+#include "apps/datasets.hh"
+
+#include <cstddef>
+
+#include "ml/rng.hh"
+
+namespace dhdl::apps {
+
+std::vector<float>
+randomVector(int64_t n, uint64_t seed, float lo, float hi)
+{
+    ml::Rng rng(ml::hashMix(seed));
+    std::vector<float> v(static_cast<size_t>(n));
+    for (auto& x : v)
+        x = float(rng.uniform(lo, hi));
+    return v;
+}
+
+std::vector<float>
+randomLabels(int64_t n, uint64_t seed, double p_one)
+{
+    ml::Rng rng(ml::hashMix(seed ^ 0xBADF00Dull));
+    std::vector<float> v(static_cast<size_t>(n));
+    for (auto& x : v)
+        x = rng.uniform() < p_one ? 1.0f : 0.0f;
+    return v;
+}
+
+std::vector<double>
+toDouble(const std::vector<float>& v)
+{
+    return {v.begin(), v.end()};
+}
+
+std::vector<float>
+toFloat(const std::vector<double>& v)
+{
+    std::vector<float> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = float(v[i]);
+    return out;
+}
+
+} // namespace dhdl::apps

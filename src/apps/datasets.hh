@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Evaluation dataset sizes (Table II) and deterministic synthetic
+ * input generation shared by the DHDL benchmark apps, the CPU
+ * reference kernels, and the benches.
+ *
+ *   dotproduct    187,200,000 element vectors
+ *   outerprod     38,400 x 38,400
+ *   gemm          1536 x 1536 matrices
+ *   tpchq6        N = 18,720,000 records
+ *   blackscholes  N = 9,995,328 options
+ *   gda           R = 360,000, D = 96
+ *   kmeans        960,000 points, k = 8, dim = 384
+ */
+
+#ifndef DHDL_APPS_DATASETS_HH
+#define DHDL_APPS_DATASETS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dhdl::apps {
+
+/** Table II dataset sizes (paper scale). */
+struct PaperSizes {
+    static constexpr int64_t dotN = 187'200'000;
+    static constexpr int64_t outerN = 38'400;
+    static constexpr int64_t outerM = 38'400;
+    static constexpr int64_t gemmM = 1536;
+    static constexpr int64_t gemmN = 1536;
+    static constexpr int64_t gemmK = 1536;
+    static constexpr int64_t tpchN = 18'720'000;
+    static constexpr int64_t bsN = 9'995'328;
+    static constexpr int64_t gdaR = 360'000;
+    static constexpr int64_t gdaC = 96;
+    static constexpr int64_t kmN = 960'000;
+    static constexpr int64_t kmK = 8;
+    static constexpr int64_t kmD = 384;
+};
+
+/** TPC-H Q6 filter constants shared by app, kernel and tests. */
+struct Tpchq6Filter {
+    static constexpr float dateLo = 19940101.0f;
+    static constexpr float dateHi = 19950101.0f;
+    static constexpr float discLo = 0.05f;
+    static constexpr float discHi = 0.07f;
+    static constexpr float qtyMax = 24.0f;
+};
+
+/** Deterministic pseudo-random float vector in [lo, hi). */
+std::vector<float> randomVector(int64_t n, uint64_t seed,
+                                float lo = 0.0f, float hi = 1.0f);
+
+/** Deterministic 0/1 label vector with the given 1-probability. */
+std::vector<float> randomLabels(int64_t n, uint64_t seed,
+                                double p_one = 0.5);
+
+/** Promote a float vector to the double type the simulator uses. */
+std::vector<double> toDouble(const std::vector<float>& v);
+
+/** Demote a double vector to float (for CPU-kernel comparison). */
+std::vector<float> toFloat(const std::vector<double>& v);
+
+} // namespace dhdl::apps
+
+#endif // DHDL_APPS_DATASETS_HH

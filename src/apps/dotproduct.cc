@@ -1,0 +1,62 @@
+#include "apps/apps.hh"
+
+namespace dhdl::apps {
+
+/**
+ * Vector dot product (memory bound). Outer MetaPipe streams tiles of
+ * both vectors, an inner Pipe multiplies element pairs, and reduce
+ * trees fold the products; the tile results are folded into a single
+ * output register.
+ */
+Design
+buildDotproduct(const DotproductConfig& cfg)
+{
+    Design d("dotproduct");
+    int64_t n = cfg.n;
+
+    ParamId ts = d.tileParam("tileSize", n, 0, 131072);
+    ParamId outer_par = d.parParam("outerPar", 96, 1, 8);
+    ParamId inner_par = d.parParam("innerPar", 96, 4, 96);
+    ParamId m1 = d.toggleParam("M1toggle");
+
+    // Pruning: inner parallelization must divide the tile size, and
+    // outer parallelization the number of tiles.
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        return b[ts] % b[inner_par] == 0 &&
+               (n / b[ts]) % b[outer_par] == 0;
+    });
+
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(n)});
+    Mem b = d.offchip("b", DType::f32(), {Sym::c(n)});
+    Mem out = d.reg("out", DType::f32());
+
+    d.accel([&](Scope& s) {
+        s.metaPipeReduce(
+            "M1", {ctr(n, Sym::p(ts))}, Sym::p(outer_par), Sym::p(m1),
+            out, Op::Add,
+            [&](Scope& m, std::vector<Val> iv) -> Mem {
+                Val r = iv[0];
+                Mem a_t = m.bram("aT", DType::f32(), {Sym::p(ts)});
+                Mem b_t = m.bram("bT", DType::f32(), {Sym::p(ts)});
+                m.parallel("loads", [&](Scope& p) {
+                    p.tileLoad(a, a_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                    p.tileLoad(b, b_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                });
+                Mem acc = m.reg("acc", DType::f32());
+                m.pipeReduce(
+                    "P1", {ctr(Sym::p(ts))}, Sym::p(inner_par), acc,
+                    Op::Add,
+                    [&](Scope& p, std::vector<Val> ii) -> Val {
+                        Val av = p.load(a_t, {ii[0]});
+                        Val bv = p.load(b_t, {ii[0]});
+                        return av * bv;
+                    });
+                return acc;
+            });
+    });
+    return d;
+}
+
+} // namespace dhdl::apps

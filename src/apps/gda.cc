@@ -1,0 +1,117 @@
+#include "apps/apps.hh"
+
+namespace dhdl::apps {
+
+/**
+ * Gaussian discriminant analysis (compute bound, nested parallelism):
+ * the running example of the paper, mirroring the DHDL source of
+ * Figure 4 — two nested reduce MetaPipes with double-buffered tiles,
+ * a subtraction pipe (P1) selecting the class mean with a mux, and an
+ * outer-product accumulation pipe (P2).
+ */
+Design
+buildGda(const GdaConfig& cfg)
+{
+    Design d("gda");
+    int64_t rows = cfg.rows;
+    int64_t cols = cfg.cols;
+
+    // muSize is Figure 3's mu-vector tile; the full covariance needs
+    // muSize = D, so it is a named constant rather than an explored
+    // axis (exploring it would shrink the computed output block).
+    ParamId mu_size = d.fixedParam("muSize", cols);
+    ParamId in_tile = d.tileParam("inTileSize", rows, 0, 4096);
+    ParamId p1_par = d.parParam("P1Par", 96, 2, 96);
+    ParamId p2_par = d.parParam("P2Par", 96, 2, 96);
+    ParamId m1_par = d.parParam("M1Par", 96, 1, 4);
+    ParamId m2_par = d.parParam("M2Par", 96, 1, 8);
+    ParamId m1t = d.toggleParam("M1toggle");
+    ParamId m2t = d.toggleParam("M2toggle");
+
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        return b[mu_size] % b[p1_par] == 0 &&
+               b[mu_size] % b[p2_par] == 0 &&
+               b[in_tile] % b[m2_par] == 0 &&
+               (rows / b[in_tile]) % b[m1_par] == 0;
+    });
+
+    Mem x = d.offchip("x", DType::f32(), {Sym::c(rows), Sym::c(cols)});
+    Mem y = d.offchip("y", DType::bit(), {Sym::c(rows)});
+    Mem mu0 = d.offchip("mu0", DType::f32(), {Sym::c(cols)});
+    Mem mu1 = d.offchip("mu1", DType::f32(), {Sym::c(cols)});
+    Mem sigma =
+        d.offchip("sigma", DType::f32(), {Sym::c(cols), Sym::c(cols)});
+
+    d.accel([&](Scope& s) {
+        Mem mu0_t = s.bram("mu0T", DType::f32(), {Sym::p(mu_size)});
+        Mem mu1_t = s.bram("mu1T", DType::f32(), {Sym::p(mu_size)});
+        s.parallel("muLoads", [&](Scope& p) {
+            p.tileLoad(mu0, mu0_t, {}, {Sym::p(mu_size)});
+            p.tileLoad(mu1, mu1_t, {}, {Sym::p(mu_size)});
+        });
+
+        Mem sig_t = s.bram("sigT", DType::f32(),
+                           {Sym::p(mu_size), Sym::p(mu_size)});
+        s.metaPipeReduce(
+            "M1", {ctr(rows, Sym::p(in_tile))}, Sym::p(m1_par),
+            Sym::p(m1t), sig_t, Op::Add,
+            [&](Scope& m1, std::vector<Val> rv) -> Mem {
+                Val r = rv[0];
+                Mem y_t = m1.bram("yT", DType::bit(),
+                                  {Sym::p(in_tile)});
+                Mem x_t = m1.bram("xT", DType::f32(),
+                                  {Sym::p(in_tile), Sym::p(mu_size)});
+                m1.parallel("tileLoads", [&](Scope& p) {
+                    p.tileLoad(x, x_t, {r},
+                               {Sym::p(in_tile), Sym::p(mu_size)},
+                               Sym::p(p1_par));
+                    p.tileLoad(y, y_t, {r}, {Sym::p(in_tile)});
+                });
+
+                Mem sigma_blk = m1.bram(
+                    "sigmaBlk", DType::f32(),
+                    {Sym::p(mu_size), Sym::p(mu_size)});
+                m1.metaPipeReduce(
+                    "M2", {ctr(Sym::p(in_tile))}, Sym::p(m2_par),
+                    Sym::p(m2t), sigma_blk, Op::Add,
+                    [&](Scope& m2, std::vector<Val> rrv) -> Mem {
+                        Val rr = rrv[0];
+                        Mem sub_t = m2.bram("subT", DType::f32(),
+                                            {Sym::p(mu_size)});
+                        Mem sigma_tile = m2.bram(
+                            "sigmaTile", DType::f32(),
+                            {Sym::p(mu_size), Sym::p(mu_size)});
+                        m2.pipe(
+                            "P1", {ctr(Sym::p(mu_size))},
+                            Sym::p(p1_par),
+                            [&](Scope& p, std::vector<Val> cc) {
+                                Val c = cc[0];
+                                Val label = p.load(y_t, {rr});
+                                Val mu_sel =
+                                    p.mux(label, p.load(mu1_t, {c}),
+                                          p.load(mu0_t, {c}));
+                                Val xv = p.load(x_t, {rr, c});
+                                p.store(sub_t, {c}, xv - mu_sel);
+                            });
+                        m2.pipe(
+                            "P2",
+                            {ctr(Sym::p(mu_size)),
+                             ctr(Sym::p(mu_size))},
+                            Sym::p(p2_par),
+                            [&](Scope& p, std::vector<Val> ij) {
+                                Val prod = p.load(sub_t, {ij[0]}) *
+                                           p.load(sub_t, {ij[1]});
+                                p.store(sigma_tile, {ij[0], ij[1]},
+                                        prod);
+                            });
+                        return sigma_tile;
+                    });
+                return sigma_blk;
+            });
+        s.tileStore(sigma, sig_t, {},
+                    {Sym::p(mu_size), Sym::p(mu_size)}, Sym::p(p2_par));
+    });
+    return d;
+}
+
+} // namespace dhdl::apps

@@ -1,0 +1,120 @@
+#include "apps/apps.hh"
+
+namespace dhdl::apps {
+
+/**
+ * Tiled matrix multiplication (compute + locality bound). Three tile
+ * sizes (M, N, K blocking), a MetaPipe reduce over the K dimension
+ * accumulating output blocks, and a read-modify-write inner pipe with
+ * a first-iteration mux resetting the partial sums.
+ */
+Design
+buildGemm(const GemmConfig& cfg)
+{
+    Design d("gemm");
+    int64_t m = cfg.m, n = cfg.n, k = cfg.k;
+
+    ParamId tm = d.tileParam("tileM", m, 0, 768);
+    ParamId tn = d.tileParam("tileN", n, 0, 768);
+    ParamId tk = d.tileParam("tileK", k, 0, 768);
+    ParamId row_par = d.parParam("rowPar", 96, 1, 16);
+    ParamId inner_par = d.parParam("innerPar", 96, 2, 96);
+    ParamId m1 = d.toggleParam("M1toggle");
+    ParamId m2 = d.toggleParam("M2toggle");
+    ParamId m3 = d.toggleParam("M3toggle");
+
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        return b[tk] % b[inner_par] == 0 && b[tm] % b[row_par] == 0;
+    });
+
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(m), Sym::c(k)});
+    Mem b = d.offchip("b", DType::f32(), {Sym::c(k), Sym::c(n)});
+    Mem c = d.offchip("c", DType::f32(), {Sym::c(m), Sym::c(n)});
+
+    d.accel([&](Scope& s) {
+        s.metaPipe(
+            "M1", {ctr(m, Sym::p(tm))}, Sym::c(1), Sym::p(m1),
+            [&](Scope& s1, std::vector<Val> iv) {
+                Val i0 = iv[0];
+                s1.metaPipe(
+                    "M2", {ctr(n, Sym::p(tn))}, Sym::c(1), Sym::p(m2),
+                    [&](Scope& s2, std::vector<Val> jv) {
+                        Val j0 = jv[0];
+                        Mem c_t = s2.bram("cT", DType::f32(),
+                                          {Sym::p(tm), Sym::p(tn)});
+                        s2.metaPipeReduce(
+                            "M3", {ctr(k, Sym::p(tk))}, Sym::c(1),
+                            Sym::p(m3), c_t, Op::Add,
+                            [&](Scope& s3, std::vector<Val> kv) -> Mem {
+                                Val k0 = kv[0];
+                                Mem a_t = s3.bram(
+                                    "aT", DType::f32(),
+                                    {Sym::p(tm), Sym::p(tk)});
+                                Mem b_t = s3.bram(
+                                    "bT", DType::f32(),
+                                    {Sym::p(tk), Sym::p(tn)});
+                                s3.parallel("loads", [&](Scope& p) {
+                                    p.tileLoad(a, a_t, {i0, k0},
+                                               {Sym::p(tm), Sym::p(tk)},
+                                               Sym::p(inner_par));
+                                    p.tileLoad(b, b_t, {k0, j0},
+                                               {Sym::p(tk), Sym::p(tn)},
+                                               Sym::p(inner_par));
+                                });
+                                Mem c_blk = s3.bram(
+                                    "cBlk", DType::f32(),
+                                    {Sym::p(tm), Sym::p(tn)});
+                                s3.metaPipe(
+                                    "M4", {ctr(Sym::p(tm))},
+                                    Sym::p(row_par), Sym::c(1),
+                                    [&](Scope& s4,
+                                        std::vector<Val> ii) {
+                                        s4.pipe(
+                                            "P1",
+                                            {ctr(Sym::p(tn)),
+                                             ctr(Sym::p(tk))},
+                                            Sym::p(inner_par),
+                                            [&](Scope& p,
+                                                std::vector<Val> jk) {
+                                                Val jj = jk[0];
+                                                Val kk = jk[1];
+                                                Val first =
+                                                    p.binop(
+                                                        Op::Eq, kk,
+                                                        p.constant(
+                                                            0.0,
+                                                            DType::
+                                                                i32()));
+                                                Val prev = p.load(
+                                                    c_blk,
+                                                    {ii[0], jj});
+                                                Val prod =
+                                                    p.load(a_t,
+                                                           {ii[0],
+                                                            kk}) *
+                                                    p.load(b_t,
+                                                           {kk, jj});
+                                                Val zero = p.constant(
+                                                    0.0,
+                                                    DType::f32());
+                                                Val base = p.mux(
+                                                    first, zero,
+                                                    prev);
+                                                p.store(
+                                                    c_blk,
+                                                    {ii[0], jj},
+                                                    base + prod);
+                                            });
+                                    });
+                                return c_blk;
+                            });
+                        s2.tileStore(c, c_t, {i0, j0},
+                                     {Sym::p(tm), Sym::p(tn)},
+                                     Sym::p(inner_par));
+                    });
+            });
+    });
+    return d;
+}
+
+} // namespace dhdl::apps

@@ -1,0 +1,175 @@
+#include "apps/apps.hh"
+
+#include <algorithm>
+
+namespace dhdl::apps {
+
+/**
+ * One k-means clustering iteration (ALM bound): for each input point
+ * the design computes K x D distance terms, reduces to the nearest
+ * centroid with a min tree, and accumulates the per-cluster sums and
+ * counts with predicated (mux) updates — matching the paper's
+ * observation that compute scales with K x D per point.
+ */
+Design
+buildKmeans(const KmeansConfig& cfg)
+{
+    Design d("kmeans");
+    int64_t n = cfg.n, k = cfg.k, dim = cfg.dim;
+
+    // The point tile is ts x dim elements; cap ts so it always fits
+    // the local-memory limit.
+    int64_t max_tile = (int64_t(4) << 20) / (32 * dim);
+    ParamId ts = d.tileParam("tileSize", n, 0,
+                             std::min<int64_t>(2048, max_tile));
+    // The distance/accumulate pipes iterate the k x dim cross product,
+    // so their parallelization may divide k*dim (the paper notes the
+    // design wants all K x D operations in parallel but is ALM bound).
+    ParamId dist_par = d.parParam("distPar", k * dim, 2, 192);
+    ParamId acc_par = d.parParam("accPar", k * dim, 2, 192);
+    // Points processed concurrently by the per-point MetaPipe.
+    ParamId point_par = d.parParam("pointPar", 4, 1, 4);
+    ParamId m1t = d.toggleParam("M1toggle");
+    ParamId m2t = d.toggleParam("M2toggle");
+
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        // On-chip point tile must fit the local memory cap, and the
+        // point-level parallelization must divide the tile.
+        return b[ts] * dim * 32 <= int64_t(4) << 20 &&
+               b[ts] % b[point_par] == 0;
+    });
+
+    Mem points =
+        d.offchip("points", DType::f32(), {Sym::c(n), Sym::c(dim)});
+    Mem cents =
+        d.offchip("centroids", DType::f32(), {Sym::c(k), Sym::c(dim)});
+    Mem out = d.offchip("newCentroids", DType::f32(),
+                        {Sym::c(k), Sym::c(dim)});
+
+    d.accel([&](Scope& s) {
+        Mem c_t =
+            s.bram("cT", DType::f32(), {Sym::c(k), Sym::c(dim)});
+        s.tileLoad(cents, c_t, {}, {Sym::c(k), Sym::c(dim)},
+                   Sym::p(dist_par));
+
+        Mem acc_t =
+            s.bram("accT", DType::f32(), {Sym::c(k), Sym::c(dim)});
+        Mem cnt_t = s.bram("cntT", DType::f32(), {Sym::c(k)});
+        s.pipe("PInitAcc", {ctr(k), ctr(dim)}, Sym::p(acc_par),
+               [&](Scope& p, std::vector<Val> cj) {
+                   p.store(acc_t, {cj[0], cj[1]},
+                           p.constant(0.0, DType::f32()));
+               });
+        s.pipe("PInitCnt", {ctr(k)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> cc) {
+                   p.store(cnt_t, {cc[0]},
+                           p.constant(0.0, DType::f32()));
+               });
+
+        s.metaPipe(
+            "M1", {ctr(n, Sym::p(ts))}, Sym::c(1), Sym::p(m1t),
+            [&](Scope& m1, std::vector<Val> rv) {
+                Val r = rv[0];
+                Mem pt_t = m1.bram("ptT", DType::f32(),
+                                   {Sym::p(ts), Sym::c(dim)});
+                m1.tileLoad(points, pt_t, {r},
+                            {Sym::p(ts), Sym::c(dim)},
+                            Sym::p(dist_par));
+
+                m1.metaPipe(
+                    "M2", {ctr(Sym::p(ts))}, Sym::p(point_par),
+                    Sym::p(m2t),
+                    [&](Scope& m2, std::vector<Val> iv) {
+                        Val i = iv[0];
+                        Mem dist_t = m2.bram("distT", DType::f32(),
+                                             {Sym::c(k)});
+                        // Dimension-major order: the innermost (c)
+                        // axis varies the accumulator address, so the
+                        // RMW recurrence distance is k and II stays 1
+                        // (dimension-major interleaved accumulation).
+                        m2.pipe(
+                            "PDist", {ctr(dim), ctr(k)},
+                            Sym::p(dist_par),
+                            [&](Scope& p, std::vector<Val> jc) {
+                                Val j = jc[0];
+                                Val c = jc[1];
+                                Val diff = p.load(pt_t, {i, j}) -
+                                           p.load(c_t, {c, j});
+                                Val sq = diff * diff;
+                                Val first = p.binop(
+                                    Op::Eq, j,
+                                    p.constant(0.0, DType::i32()));
+                                Val prev = p.load(dist_t, {c});
+                                Val zero =
+                                    p.constant(0.0, DType::f32());
+                                Val base = p.mux(first, zero, prev);
+                                p.store(dist_t, {c}, base + sq);
+                            });
+
+                        Mem best = m2.reg("best", DType::f32());
+                        m2.pipeReduce(
+                            "PMin", {ctr(k)}, Sym::c(1), best,
+                            Op::Min,
+                            [&](Scope& p, std::vector<Val> cc) {
+                                return p.load(dist_t, {cc[0]});
+                            });
+
+                        m2.pipe(
+                            "PAcc", {ctr(k), ctr(dim)},
+                            Sym::p(acc_par),
+                            [&](Scope& p, std::vector<Val> cj) {
+                                Val c = cj[0];
+                                Val j = cj[1];
+                                Val b = p.load(
+                                    best,
+                                    {p.constant(0.0, DType::i32())});
+                                Val match = p.binop(
+                                    Op::Eq, p.load(dist_t, {c}), b);
+                                Val zero =
+                                    p.constant(0.0, DType::f32());
+                                Val add = p.mux(
+                                    match, p.load(pt_t, {i, j}),
+                                    zero);
+                                p.store(acc_t, {c, j},
+                                        p.load(acc_t, {c, j}) + add);
+                            });
+                        m2.pipe(
+                            "PCnt", {ctr(k)}, Sym::c(1),
+                            [&](Scope& p, std::vector<Val> cc) {
+                                Val c = cc[0];
+                                Val b = p.load(
+                                    best,
+                                    {p.constant(0.0, DType::i32())});
+                                Val match = p.binop(
+                                    Op::Eq, p.load(dist_t, {c}), b);
+                                Val one =
+                                    p.constant(1.0, DType::f32());
+                                Val zero =
+                                    p.constant(0.0, DType::f32());
+                                p.store(cnt_t, {c},
+                                        p.load(cnt_t, {c}) +
+                                            p.mux(match, one, zero));
+                            });
+                    });
+            });
+
+        Mem out_t =
+            s.bram("outT", DType::f32(), {Sym::c(k), Sym::c(dim)});
+        s.pipe("PFinal", {ctr(k), ctr(dim)}, Sym::p(acc_par),
+               [&](Scope& p, std::vector<Val> cj) {
+                   Val c = cj[0];
+                   Val j = cj[1];
+                   Val cnt = p.load(cnt_t, {c});
+                   Val zero = p.constant(0.0, DType::f32());
+                   Val empty = p.binop(Op::Eq, cnt, zero);
+                   Val mean = p.load(acc_t, {c, j}) / cnt;
+                   Val keep = p.load(c_t, {c, j});
+                   p.store(out_t, {c, j}, p.mux(empty, keep, mean));
+               });
+        s.tileStore(out, out_t, {}, {Sym::c(k), Sym::c(dim)},
+                    Sym::p(acc_par));
+    });
+    return d;
+}
+
+} // namespace dhdl::apps

@@ -1,0 +1,72 @@
+#include "apps/apps.hh"
+
+namespace dhdl::apps {
+
+/**
+ * Vector outer product (BRAM + memory bound): the output tile grows
+ * quadratically with the input tile sizes, so on-chip capacity
+ * dominates the design space (Section V-C1).
+ */
+Design
+buildOuterprod(const OuterprodConfig& cfg)
+{
+    Design d("outerprod");
+    int64_t n = cfg.n;
+    int64_t m = cfg.m;
+
+    // Default tiles kept small: the output tile is ts1 x ts2 and must
+    // fit the local-memory cap (the quadratic-BRAM effect the paper
+    // highlights for this benchmark).
+    ParamId ts1 = d.tileParam("tileSizeA", n,
+                              largestDivisorLE(n, 256, 8), 16384);
+    ParamId ts2 = d.tileParam("tileSizeB", m,
+                              largestDivisorLE(m, 256, 8), 16384);
+    ParamId par = d.parParam("innerPar", 96, 2, 96);
+    ParamId m1 = d.toggleParam("M1toggle");
+    ParamId m2 = d.toggleParam("M2toggle");
+
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        return b[ts2] % b[par] == 0;
+    });
+
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(n)});
+    Mem bv = d.offchip("b", DType::f32(), {Sym::c(m)});
+    Mem out = d.offchip("out", DType::f32(), {Sym::c(n), Sym::c(m)});
+
+    d.accel([&](Scope& s) {
+        s.metaPipe(
+            "M1", {ctr(n, Sym::p(ts1))}, Sym::c(1), Sym::p(m1),
+            [&](Scope& mo, std::vector<Val> ri) {
+                Val r = ri[0];
+                Mem a_t = mo.bram("aT", DType::f32(), {Sym::p(ts1)});
+                mo.tileLoad(a, a_t, {r}, {Sym::p(ts1)}, Sym::p(par));
+                mo.metaPipe(
+                    "M2", {ctr(m, Sym::p(ts2))}, Sym::c(1), Sym::p(m2),
+                    [&](Scope& mi, std::vector<Val> ci) {
+                        Val c = ci[0];
+                        Mem b_t = mi.bram("bT", DType::f32(),
+                                          {Sym::p(ts2)});
+                        mi.tileLoad(bv, b_t, {c}, {Sym::p(ts2)},
+                                    Sym::p(par));
+                        Mem out_t = mi.bram(
+                            "outT", DType::f32(),
+                            {Sym::p(ts1), Sym::p(ts2)});
+                        mi.pipe(
+                            "P1",
+                            {ctr(Sym::p(ts1)), ctr(Sym::p(ts2))},
+                            Sym::p(par),
+                            [&](Scope& p, std::vector<Val> ij) {
+                                Val prod = p.load(a_t, {ij[0]}) *
+                                           p.load(b_t, {ij[1]});
+                                p.store(out_t, {ij[0], ij[1]}, prod);
+                            });
+                        mi.tileStore(out, out_t, {r, c},
+                                     {Sym::p(ts1), Sym::p(ts2)},
+                                     Sym::p(par));
+                    });
+            });
+    });
+    return d;
+}
+
+} // namespace dhdl::apps

@@ -1,0 +1,68 @@
+#include "apps/apps.hh"
+
+#include <algorithm>
+
+namespace dhdl::apps {
+
+int64_t
+scaledSize(int64_t v, double scale, int64_t quantum)
+{
+    int64_t scaled = int64_t(double(v) * scale);
+    scaled = (scaled / quantum) * quantum;
+    return std::max(quantum, scaled);
+}
+
+const std::vector<AppEntry>&
+allApps()
+{
+    static const std::vector<AppEntry> apps = {
+        {"dotproduct",
+         [](double s) {
+             DotproductConfig c;
+             c.n = scaledSize(c.n, s, 9600);
+             return buildDotproduct(c);
+         }},
+        {"outerprod",
+         [](double s) {
+             OuterprodConfig c;
+             c.n = scaledSize(c.n, s, 960);
+             c.m = scaledSize(c.m, s, 960);
+             return buildOuterprod(c);
+         }},
+        {"gemm",
+         [](double s) {
+             GemmConfig c;
+             c.m = scaledSize(c.m, s, 96);
+             c.n = scaledSize(c.n, s, 96);
+             c.k = scaledSize(c.k, s, 96);
+             return buildGemm(c);
+         }},
+        {"tpchq6",
+         [](double s) {
+             Tpchq6Config c;
+             c.n = scaledSize(c.n, s, 9600);
+             return buildTpchq6(c);
+         }},
+        {"blackscholes",
+         [](double s) {
+             BlackscholesConfig c;
+             c.n = scaledSize(c.n, s, 9216);
+             return buildBlackscholes(c);
+         }},
+        {"gda",
+         [](double s) {
+             GdaConfig c;
+             c.rows = scaledSize(c.rows, s, 960);
+             return buildGda(c);
+         }},
+        {"kmeans",
+         [](double s) {
+             KmeansConfig c;
+             c.n = scaledSize(c.n, s, 960);
+             return buildKmeans(c);
+         }},
+    };
+    return apps;
+}
+
+} // namespace dhdl::apps

@@ -1,0 +1,81 @@
+#include "apps/apps.hh"
+
+namespace dhdl::apps {
+
+/**
+ * TPC-H Query 6 (memory bound, data-dependent filter): streams four
+ * record columns and reduces price * discount over rows passing the
+ * date / discount / quantity predicates. The branch becomes a mux in
+ * the dataflow pipeline (Section V-D).
+ */
+Design
+buildTpchq6(const Tpchq6Config& cfg)
+{
+    Design d("tpchq6");
+    int64_t n = cfg.n;
+
+    ParamId ts = d.tileParam("tileSize", n, 0, 32768);
+    ParamId outer_par = d.parParam("outerPar", 96, 1, 8);
+    ParamId inner_par = d.parParam("innerPar", 96, 4, 96);
+    ParamId m1 = d.toggleParam("M1toggle");
+
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        return b[ts] % b[inner_par] == 0 &&
+               (n / b[ts]) % b[outer_par] == 0;
+    });
+
+    Mem dates = d.offchip("dates", DType::f32(), {Sym::c(n)});
+    Mem qtys = d.offchip("quantities", DType::f32(), {Sym::c(n)});
+    Mem discs = d.offchip("discounts", DType::f32(), {Sym::c(n)});
+    Mem prices = d.offchip("prices", DType::f32(), {Sym::c(n)});
+    Mem out = d.reg("revenue", DType::f32());
+
+    d.accel([&](Scope& s) {
+        s.metaPipeReduce(
+            "M1", {ctr(n, Sym::p(ts))}, Sym::p(outer_par), Sym::p(m1),
+            out, Op::Add,
+            [&](Scope& m, std::vector<Val> iv) -> Mem {
+                Val r = iv[0];
+                auto tile = [&](const char* nm, Mem src) {
+                    Mem t = m.bram(nm, DType::f32(), {Sym::p(ts)});
+                    return std::make_pair(t, src);
+                };
+                auto [date_t, date_src] = tile("dateT", dates);
+                auto [qty_t, qty_src] = tile("qtyT", qtys);
+                auto [disc_t, disc_src] = tile("discT", discs);
+                auto [price_t, price_src] = tile("priceT", prices);
+                m.parallel("loads", [&](Scope& p) {
+                    p.tileLoad(date_src, date_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                    p.tileLoad(qty_src, qty_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                    p.tileLoad(disc_src, disc_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                    p.tileLoad(price_src, price_t, {r}, {Sym::p(ts)},
+                               Sym::p(inner_par));
+                });
+                Mem acc = m.reg("acc", DType::f32());
+                m.pipeReduce(
+                    "P1", {ctr(Sym::p(ts))}, Sym::p(inner_par), acc,
+                    Op::Add,
+                    [&](Scope& p, std::vector<Val> ii) -> Val {
+                        Val i = ii[0];
+                        Val dt = p.load(date_t, {i});
+                        Val q = p.load(qty_t, {i});
+                        Val ds = p.load(disc_t, {i});
+                        Val pr = p.load(price_t, {i});
+                        Val pass = (dt >= double(Tpchq6Filter::dateLo)) &&
+                                   (dt < double(Tpchq6Filter::dateHi)) &&
+                                   (ds >= double(Tpchq6Filter::discLo)) &&
+                                   (ds <= double(Tpchq6Filter::discHi)) &&
+                                   (q < double(Tpchq6Filter::qtyMax));
+                        Val zero = p.constant(0.0, DType::f32());
+                        return p.mux(pass, pr * ds, zero);
+                    });
+                return acc;
+            });
+    });
+    return d;
+}
+
+} // namespace dhdl::apps

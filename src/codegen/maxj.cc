@@ -1,0 +1,335 @@
+#include "codegen/maxj.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "analysis/banking.hh"
+
+namespace dhdl::codegen {
+
+namespace {
+
+/** Sanitize a DHDL node name into a Java identifier. */
+std::string
+ident(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name)
+        out.push_back(std::isalnum(uint8_t(c)) ? c : '_');
+    if (out.empty() || std::isdigit(uint8_t(out[0])))
+        out.insert(out.begin(), 'v');
+    return out;
+}
+
+std::string
+typeOf(const DType& t)
+{
+    std::ostringstream os;
+    if (t.isFloat())
+        os << "dfeFloat(" << int(t.fieldA) << ", " << int(t.fieldB + 1)
+           << ")";
+    else if (t.isBit())
+        os << "dfeBool()";
+    else
+        os << "dfeFixOffset(" << t.bits() << ", " << -int(t.fieldB)
+           << ", SignMode." << (t.sign ? "TWOSCOMPLEMENT" : "UNSIGNED")
+           << ")";
+    return os.str();
+}
+
+class MaxjEmitter
+{
+  public:
+    MaxjEmitter(const Inst& inst) : inst_(inst), g_(inst.graph()) {}
+
+    std::string
+    kernel()
+    {
+        os_ << "package " << ident(g_.name()) << ";\n\n";
+        os_ << "import com.maxeler.maxcompiler.v2.kernelcompiler."
+               "Kernel;\n";
+        os_ << "import com.maxeler.maxcompiler.v2.kernelcompiler."
+               "KernelParameters;\n";
+        os_ << "import com.maxeler.maxcompiler.v2.kernelcompiler."
+               "stdlib.core.CounterChain;\n";
+        os_ << "import com.maxeler.maxcompiler.v2.kernelcompiler."
+               "stdlib.memory.Memory;\n\n";
+        os_ << "class " << className() << " extends Kernel {\n\n";
+        os_ << "    " << className()
+            << "(KernelParameters parameters) {\n";
+        os_ << "        super(parameters);\n\n";
+        if (g_.root != kNoNode)
+            emitCtrl(g_.root, 2);
+        os_ << "    }\n";
+        os_ << "}\n";
+        return os_.str();
+    }
+
+    std::string
+    manager()
+    {
+        os_ << "package " << ident(g_.name()) << ";\n\n";
+        os_ << "import com.maxeler.maxcompiler.v2.managers.custom."
+               "CustomManager;\n\n";
+        os_ << "class " << className() << "Manager"
+            << " extends CustomManager {\n";
+        os_ << "    " << className() << "Manager(EngineParameters p) {\n";
+        os_ << "        super(p);\n";
+        os_ << "        KernelBlock k = addKernel(new " << className()
+            << "(makeKernelParameters(\"" << className() << "\")));\n";
+        for (NodeId m : g_.offchipMems) {
+            const auto& mem = g_.nodeAs<OffChipMemNode>(m);
+            os_ << "        // off-chip array " << mem.name() << " ("
+                << mem.type.str() << ")\n";
+            os_ << "        k.getInput(\"" << ident(mem.name())
+                << "\") <== addStreamFromOnCardMemory(\""
+                << ident(mem.name())
+                << "\", MemoryControlGroup.MemoryAccessPattern."
+                   "LINEAR_1D);\n";
+        }
+        os_ << "    }\n";
+        os_ << "}\n";
+        return os_.str();
+    }
+
+  private:
+    std::string
+    className()
+    {
+        std::string n = ident(g_.name());
+        n[0] = char(std::toupper(uint8_t(n[0])));
+        return n + "Kernel";
+    }
+
+    void
+    line(int depth, const std::string& text)
+    {
+        for (int i = 0; i < depth; ++i)
+            os_ << "    ";
+        os_ << text << "\n";
+    }
+
+    std::string
+    ref(NodeId id)
+    {
+        const Node& n = g_.node(id);
+        if (n.kind() == NodeKind::Prim) {
+            const auto& p = g_.nodeAs<PrimNode>(id);
+            if (p.op == Op::Const) {
+                std::ostringstream c;
+                c << "constant.var(" << p.constValue << ")";
+                return c.str();
+            }
+        }
+        return ident(n.name()) + "_" + std::to_string(id);
+    }
+
+    void
+    emitPrim(NodeId id, int depth)
+    {
+        const Node& n = g_.node(id);
+        std::ostringstream l;
+        switch (n.kind()) {
+          case NodeKind::Prim: {
+            const auto& p = g_.nodeAs<PrimNode>(id);
+            if (p.op == Op::Const)
+                return;
+            if (p.op == Op::Iter)
+                return; // emitted with the counter chain
+            l << "DFEVar " << ref(id) << " = ";
+            auto in = [&](size_t i) { return ref(p.inputs[i]); };
+            switch (p.op) {
+              case Op::Add: l << in(0) << " + " << in(1); break;
+              case Op::Sub: l << in(0) << " - " << in(1); break;
+              case Op::Mul: l << in(0) << " * " << in(1); break;
+              case Op::Div: l << in(0) << " / " << in(1); break;
+              case Op::Mod: l << "KernelMath.modulo(" << in(0) << ", "
+                              << in(1) << ")"; break;
+              case Op::Min: l << "KernelMath.min(" << in(0) << ", "
+                              << in(1) << ")"; break;
+              case Op::Max: l << "KernelMath.max(" << in(0) << ", "
+                              << in(1) << ")"; break;
+              case Op::Lt: l << in(0) << " < " << in(1); break;
+              case Op::Le: l << in(0) << " <= " << in(1); break;
+              case Op::Gt: l << in(0) << " > " << in(1); break;
+              case Op::Ge: l << in(0) << " >= " << in(1); break;
+              case Op::Eq: l << in(0) << " === " << in(1); break;
+              case Op::Neq: l << in(0) << " !== " << in(1); break;
+              case Op::And: l << in(0) << " & " << in(1); break;
+              case Op::Or: l << in(0) << " | " << in(1); break;
+              case Op::Not: l << "~" << in(0); break;
+              case Op::Mux: l << in(0) << " ? " << in(1) << " : "
+                              << in(2); break;
+              case Op::Abs: l << "KernelMath.abs(" << in(0) << ")";
+                            break;
+              case Op::Neg: l << "-" << in(0); break;
+              case Op::Sqrt: l << "KernelMath.sqrt(" << in(0) << ")";
+                             break;
+              case Op::Exp: l << "KernelMath.exp(" << in(0) << ")";
+                            break;
+              case Op::Log: l << "KernelMath.log(" << in(0) << ")";
+                            break;
+              case Op::ToFloat:
+              case Op::ToFixed:
+                l << in(0) << ".cast(" << typeOf(p.type) << ")";
+                break;
+              default: l << in(0); break;
+            }
+            l << ";";
+            line(depth, l.str());
+            break;
+          }
+          case NodeKind::Load: {
+            const auto& ld = g_.nodeAs<LoadNode>(id);
+            l << "DFEVar " << ref(id) << " = "
+              << ident(g_.node(ld.mem).name()) << "_" << ld.mem
+              << ".read(" << addr(ld.addr) << ");";
+            line(depth, l.str());
+            break;
+          }
+          case NodeKind::Store: {
+            const auto& st = g_.nodeAs<StoreNode>(id);
+            l << ident(g_.node(st.mem).name()) << "_" << st.mem
+              << ".write(" << addr(st.addr) << ", " << ref(st.value)
+              << ", constant.var(true));";
+            line(depth, l.str());
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    std::string
+    addr(const std::vector<NodeId>& a)
+    {
+        std::ostringstream os;
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << ref(a[i]);
+        }
+        return os.str();
+    }
+
+    void
+    emitCtrl(NodeId id, int depth)
+    {
+        const auto& c = g_.nodeAs<ControllerNode>(id);
+        std::string kind = kindName(c.kind());
+        bool meta = c.kind() == NodeKind::MetaPipe &&
+                    inst_.metaActive(id);
+        std::ostringstream hdr;
+        hdr << "// " << (meta ? "MetaPipe" : kind) << " "
+            << c.name() << " par=" << inst_.par(id);
+        line(depth, hdr.str());
+
+        if (c.counter != kNoNode) {
+            const auto& ctr = g_.nodeAs<CounterNode>(c.counter);
+            std::ostringstream cc;
+            cc << "CounterChain " << ident(c.name())
+               << "_chain = control.count.makeCounterChain();";
+            line(depth, cc.str());
+            for (size_t d = 0; d < ctr.dims.size(); ++d) {
+                std::ostringstream iv;
+                iv << "DFEVar " << ident(c.name()) << "_i" << d
+                   << " = " << ident(c.name()) << "_chain.addCounter("
+                   << inst_.val(ctr.dims[d].max) << ", "
+                   << inst_.val(ctr.dims[d].step) << ");";
+                line(depth, iv.str());
+            }
+            // Bind iterator nodes to the chain counters.
+            for (NodeId ch : c.children) {
+                const auto* p = g_.tryAs<PrimNode>(ch);
+                if (p && p->op == Op::Iter) {
+                    std::ostringstream b;
+                    b << "DFEVar " << ref(ch) << " = "
+                      << ident(c.name()) << "_i" << p->ctrDim << ";";
+                    line(depth, b.str());
+                }
+            }
+        }
+
+        for (NodeId ch : c.children) {
+            const Node& n = g_.node(ch);
+            switch (n.kind()) {
+              case NodeKind::Bram: {
+                const auto& m = g_.nodeAs<BramNode>(ch);
+                std::ostringstream l;
+                l << "Memory<DFEVar> " << ident(m.name()) << "_" << ch
+                  << " = mem.alloc(" << typeOf(m.type) << ", "
+                  << inst_.memElems(ch) << "); // banks="
+                  << inferBanks(inst_, ch)
+                  << (inst_.doubleBuffered(ch) ? " doubleBuffered"
+                                               : "");
+                line(depth, l.str());
+                break;
+              }
+              case NodeKind::Reg: {
+                const auto& m = g_.nodeAs<RegNode>(ch);
+                std::ostringstream l;
+                l << "DFEVar " << ident(m.name()) << "_" << ch
+                  << " = " << typeOf(m.type) << ".newInstance(this);";
+                line(depth, l.str());
+                break;
+              }
+              case NodeKind::TileLd: {
+                const auto& t = g_.nodeAs<TileLdNode>(ch);
+                std::ostringstream l;
+                l << "// TileLd: LMem -> "
+                  << ident(g_.node(t.onchip).name()) << " ("
+                  << inst_.val(t.par) << " elems/cycle)";
+                line(depth, l.str());
+                line(depth,
+                     "LMemCommandStream.makeKernelOutput(\"" +
+                         ident(g_.node(t.offchip).name()) +
+                         "_cmd\", ...);");
+                break;
+              }
+              case NodeKind::TileSt: {
+                const auto& t = g_.nodeAs<TileStNode>(ch);
+                std::ostringstream l;
+                l << "// TileSt: " << ident(g_.node(t.onchip).name())
+                  << " -> LMem (" << inst_.val(t.par)
+                  << " elems/cycle)";
+                line(depth, l.str());
+                line(depth,
+                     "LMemCommandStream.makeKernelOutput(\"" +
+                         ident(g_.node(t.offchip).name()) +
+                         "_cmd\", ...);");
+                break;
+              }
+              case NodeKind::Pipe:
+              case NodeKind::Sequential:
+              case NodeKind::ParallelCtrl:
+              case NodeKind::MetaPipe:
+                emitCtrl(ch, depth + 1);
+                break;
+              default:
+                emitPrim(ch, depth);
+                break;
+            }
+        }
+    }
+
+    const Inst& inst_;
+    const Graph& g_;
+    std::ostringstream os_;
+};
+
+} // namespace
+
+std::string
+emitMaxj(const Inst& inst)
+{
+    return MaxjEmitter(inst).kernel();
+}
+
+std::string
+emitMaxjManager(const Inst& inst)
+{
+    return MaxjEmitter(inst).manager();
+}
+
+} // namespace dhdl::codegen

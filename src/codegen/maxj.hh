@@ -1,0 +1,30 @@
+/**
+ * @file
+ * MaxJ code generation (Steps 5-7 of Figure 1). The paper's compiler
+ * "generates hardware by emitting MaxJ, which is a low-level
+ * Java-based hardware generation language" from Maxeler. This module
+ * emits a MaxJ Kernel class for a concrete design instance: counter
+ * chains for Counter templates, stream offsets/FIFOs for delay
+ * matching, Mem.alloc blocks for BRAMs, and LMem command streams for
+ * TileLd/TileSt. Without the proprietary MaxCompiler the output is
+ * validated structurally (well-formedness + golden substrings).
+ */
+
+#ifndef DHDL_CODEGEN_MAXJ_HH
+#define DHDL_CODEGEN_MAXJ_HH
+
+#include <string>
+
+#include "analysis/instance.hh"
+
+namespace dhdl::codegen {
+
+/** Emit the MaxJ Kernel source for one design instance. */
+std::string emitMaxj(const Inst& inst);
+
+/** Emit the MaxJ Manager (stream + LMem wiring) for the design. */
+std::string emitMaxjManager(const Inst& inst);
+
+} // namespace dhdl::codegen
+
+#endif // DHDL_CODEGEN_MAXJ_HH

@@ -1,0 +1,470 @@
+#include "core/builder.hh"
+
+#include <algorithm>
+
+namespace dhdl {
+
+Design::Design(std::string name) : graph_(std::move(name))
+{
+}
+
+ParamId
+Design::tileParam(const std::string& name, int64_t data_size, int64_t def,
+                  int64_t max_value)
+{
+    require(data_size > 0, "tile parameter '" + name +
+            "' needs a positive data size");
+    ParamDef d;
+    d.name = name;
+    d.kind = ParamKind::TileSize;
+    d.divisorOf = data_size;
+    d.minValue = 1;
+    d.maxValue = std::min(max_value, data_size);
+    if (def <= 0) {
+        // Default to the largest legal divisor <= 1024, preferring
+        // multiples of 8 so default parallelization factors divide it.
+        def = largestDivisorLE(data_size,
+                               std::min<int64_t>(1024, d.maxValue), 8);
+    }
+    d.defaultValue = def;
+    return params().add(d);
+}
+
+ParamId
+Design::parParam(const std::string& name, int64_t trip, int64_t def,
+                 int64_t max_value)
+{
+    require(trip > 0, "par parameter '" + name +
+            "' needs a positive trip count");
+    ParamDef d;
+    d.name = name;
+    d.kind = ParamKind::ParFactor;
+    d.divisorOf = trip;
+    d.minValue = 1;
+    d.maxValue = std::min(max_value, trip);
+    d.defaultValue = def;
+    return params().add(d);
+}
+
+ParamId
+Design::toggleParam(const std::string& name, int64_t def)
+{
+    ParamDef d;
+    d.name = name;
+    d.kind = ParamKind::Toggle;
+    d.minValue = 0;
+    d.maxValue = 1;
+    d.defaultValue = def;
+    return params().add(d);
+}
+
+ParamId
+Design::fixedParam(const std::string& name, int64_t value)
+{
+    ParamDef d;
+    d.name = name;
+    d.kind = ParamKind::Fixed;
+    d.defaultValue = value;
+    d.minValue = value;
+    d.maxValue = value;
+    return params().add(d);
+}
+
+Mem
+Design::offchip(const std::string& name, DType type, std::vector<Sym> dims)
+{
+    require(!dims.empty(), "off-chip memory '" + name + "' needs dims");
+    auto& n = graph_.make<OffChipMemNode>(name, type, std::move(dims));
+    graph_.offchipMems.push_back(n.id());
+    return Mem{n.id()};
+}
+
+Mem
+Design::reg(const std::string& name, DType type, double init)
+{
+    auto& n = graph_.make<RegNode>(name, type, init);
+    designRegs_.push_back(n.id());
+    return Mem{n.id()};
+}
+
+void
+Design::accel(const std::function<void(Scope&)>& fn)
+{
+    require(graph_.root == kNoNode, "accel() may only be called once");
+    auto& top = graph_.make<SequentialNode>("accel");
+    graph_.root = top.id();
+    // Design-level registers live inside the top controller.
+    for (NodeId r : designRegs_) {
+        graph_.node(r).parent = top.id();
+        top.children.push_back(r);
+    }
+    Scope s(*this, top.id());
+    fn(s);
+}
+
+// ---- Scope ----------------------------------------------------------------
+
+void
+Scope::attach(NodeId id)
+{
+    graph().node(id).parent = ctrl_;
+    graph().nodeAs<ControllerNode>(ctrl_).children.push_back(id);
+}
+
+Mem
+Scope::bram(const std::string& name, DType type, std::vector<Sym> dims)
+{
+    require(!dims.empty(), "BRAM '" + name + "' needs dims");
+    auto& n = graph().make<BramNode>(name, type, std::move(dims));
+    attach(n.id());
+    return Mem{n.id()};
+}
+
+Mem
+Scope::reg(const std::string& name, DType type, double init)
+{
+    auto& n = graph().make<RegNode>(name, type, init);
+    attach(n.id());
+    return Mem{n.id()};
+}
+
+Mem
+Scope::queue(const std::string& name, DType type, Sym depth)
+{
+    auto& n = graph().make<QueueNode>(name, type, depth);
+    attach(n.id());
+    return Mem{n.id()};
+}
+
+NodeId
+Scope::newController(NodeKind kind, const std::string& name,
+                     std::vector<CtrDim> dims, Sym par, Sym toggle,
+                     std::vector<Val>& iters_out)
+{
+    ControllerNode* c = nullptr;
+    switch (kind) {
+      case NodeKind::Pipe:
+        c = &graph().make<PipeNode>(name);
+        break;
+      case NodeKind::Sequential:
+        c = &graph().make<SequentialNode>(name);
+        break;
+      case NodeKind::ParallelCtrl:
+        c = &graph().make<ParallelNode>(name);
+        break;
+      case NodeKind::MetaPipe:
+        c = &graph().make<MetaPipeNode>(name);
+        break;
+      default:
+        panic("newController: not a controller kind");
+    }
+    c->par = par;
+    c->toggle = toggle;
+    attach(c->id());
+
+    if (!dims.empty()) {
+        auto& counter = graph().make<CounterNode>(name + ".ctr",
+                                                  std::move(dims));
+        counter.parent = c->id();
+        c->counter = counter.id();
+        const auto& cdims =
+            graph().nodeAs<CounterNode>(counter.id()).dims;
+        for (size_t i = 0; i < cdims.size(); ++i) {
+            auto& it = graph().make<PrimNode>(
+                name + ".i" + std::to_string(i), Op::Iter, DType::i32());
+            it.counter = counter.id();
+            it.ctrDim = int(i);
+            it.parent = c->id();
+            c->children.push_back(it.id());
+            iters_out.push_back(Val{nullptr, it.id()});
+        }
+    }
+    return c->id();
+}
+
+void
+Scope::sequential(const std::string& name,
+                  const std::function<void(Scope&)>& fn)
+{
+    std::vector<Val> iters;
+    NodeId id = newController(NodeKind::Sequential, name, {}, Sym::c(1),
+                              Sym::c(1), iters);
+    Scope s(design_, id);
+    fn(s);
+}
+
+void
+Scope::sequential(const std::string& name, std::vector<CtrDim> dims,
+                  const std::function<void(Scope&,
+                                           std::vector<Val>)>& fn)
+{
+    std::vector<Val> iters;
+    NodeId id = newController(NodeKind::Sequential, name, std::move(dims),
+                              Sym::c(1), Sym::c(1), iters);
+    Scope s(design_, id);
+    for (auto& it : iters)
+        it.scope = &s;
+    fn(s, iters);
+}
+
+void
+Scope::parallel(const std::string& name,
+                const std::function<void(Scope&)>& fn)
+{
+    std::vector<Val> iters;
+    NodeId id = newController(NodeKind::ParallelCtrl, name, {}, Sym::c(1),
+                              Sym::c(1), iters);
+    Scope s(design_, id);
+    fn(s);
+}
+
+void
+Scope::pipe(const std::string& name, std::vector<CtrDim> dims, Sym par,
+            const std::function<void(Scope&, std::vector<Val>)>& fn)
+{
+    std::vector<Val> iters;
+    NodeId id = newController(NodeKind::Pipe, name, std::move(dims), par,
+                              Sym::c(1), iters);
+    Scope s(design_, id);
+    for (auto& it : iters)
+        it.scope = &s;
+    fn(s, iters);
+}
+
+void
+Scope::pipeReduce(const std::string& name, std::vector<CtrDim> dims,
+                  Sym par, Mem accum, Op combine,
+                  const std::function<Val(Scope&, std::vector<Val>)>& fn)
+{
+    require(accum.valid(), "pipeReduce needs an accumulator");
+    std::vector<Val> iters;
+    NodeId id = newController(NodeKind::Pipe, name, std::move(dims), par,
+                              Sym::c(1), iters);
+    auto& c = graph().nodeAs<PipeNode>(id);
+    c.pattern = Pattern::Reduce;
+    c.accum = accum.id;
+    c.combine = combine;
+    Scope s(design_, id);
+    for (auto& it : iters)
+        it.scope = &s;
+    Val result = fn(s, iters);
+    require(result.valid(), "pipeReduce body must return a value");
+    c.bodyResult = result.id;
+}
+
+void
+Scope::metaPipe(const std::string& name, std::vector<CtrDim> dims, Sym par,
+                Sym toggle,
+                const std::function<void(Scope&, std::vector<Val>)>& fn)
+{
+    std::vector<Val> iters;
+    NodeId id = newController(NodeKind::MetaPipe, name, std::move(dims),
+                              par, toggle, iters);
+    Scope s(design_, id);
+    for (auto& it : iters)
+        it.scope = &s;
+    fn(s, iters);
+}
+
+void
+Scope::metaPipeReduce(const std::string& name, std::vector<CtrDim> dims,
+                      Sym par, Sym toggle, Mem accum, Op combine,
+                      const std::function<Mem(Scope&,
+                                              std::vector<Val>)>& fn)
+{
+    require(accum.valid(), "metaPipeReduce needs an accumulator");
+    std::vector<Val> iters;
+    NodeId id = newController(NodeKind::MetaPipe, name, std::move(dims),
+                              par, toggle, iters);
+    auto& c = graph().nodeAs<MetaPipeNode>(id);
+    c.pattern = Pattern::Reduce;
+    c.accum = accum.id;
+    c.combine = combine;
+    Scope s(design_, id);
+    for (auto& it : iters)
+        it.scope = &s;
+    Mem result = fn(s, iters);
+    require(result.valid(), "metaPipeReduce body must return a memory");
+    c.bodyResult = result.id;
+}
+
+void
+Scope::tileLoad(Mem offchip, Mem dst, std::vector<Val> base,
+                std::vector<Sym> extent, Sym par)
+{
+    require(offchip.valid() && dst.valid(), "tileLoad needs memories");
+    auto& n = graph().make<TileLdNode>(
+        graph().node(dst.id).name() + ".load", offchip.id, dst.id);
+    for (const auto& b : base)
+        n.base.push_back(b.id);
+    n.base.resize(extent.size(), kNoNode);
+    n.extent = std::move(extent);
+    n.par = par;
+    attach(n.id());
+}
+
+void
+Scope::tileStore(Mem offchip, Mem src, std::vector<Val> base,
+                 std::vector<Sym> extent, Sym par)
+{
+    require(offchip.valid() && src.valid(), "tileStore needs memories");
+    auto& n = graph().make<TileStNode>(
+        graph().node(src.id).name() + ".store", offchip.id, src.id);
+    for (const auto& b : base)
+        n.base.push_back(b.id);
+    n.base.resize(extent.size(), kNoNode);
+    n.extent = std::move(extent);
+    n.par = par;
+    attach(n.id());
+}
+
+Val
+Scope::constant(double v, DType type)
+{
+    auto& n = graph().make<PrimNode>("const", Op::Const, type);
+    n.constValue = v;
+    attach(n.id());
+    return Val{this, n.id()};
+}
+
+Val
+Scope::load(Mem mem, std::vector<Val> addr)
+{
+    require(mem.valid(), "load from invalid memory");
+    const auto& m = graph().nodeAs<MemNode>(mem.id);
+    auto& n = graph().make<LoadNode>(m.name() + ".ld", mem.id, m.type);
+    for (const auto& a : addr)
+        n.addr.push_back(a.id);
+    attach(n.id());
+    return Val{this, n.id()};
+}
+
+void
+Scope::store(Mem mem, std::vector<Val> addr, Val value)
+{
+    require(mem.valid(), "store to invalid memory");
+    require(value.valid(), "store of invalid value");
+    const auto& m = graph().nodeAs<MemNode>(mem.id);
+    auto& n = graph().make<StoreNode>(m.name() + ".st", mem.id, value.id);
+    for (const auto& a : addr)
+        n.addr.push_back(a.id);
+    attach(n.id());
+}
+
+Val
+Scope::binop(Op op, Val a, Val b)
+{
+    require(a.valid() && b.valid(), "binop on invalid value");
+    DType t = DType::f32();
+    if (opProducesBit(op)) {
+        t = DType::bit();
+    } else if (const auto* p = graph().tryAs<PrimNode>(a.id)) {
+        t = p->type;
+    } else if (const auto* ld = graph().tryAs<LoadNode>(a.id)) {
+        t = ld->type;
+    }
+    auto& n = graph().make<PrimNode>(opName(op), op, t);
+    n.inputs = {a.id, b.id};
+    attach(n.id());
+    return Val{this, n.id()};
+}
+
+Val
+Scope::unary(Op op, Val a)
+{
+    require(a.valid(), "unary on invalid value");
+    DType t = DType::f32();
+    if (const auto* p = graph().tryAs<PrimNode>(a.id))
+        t = p->type;
+    else if (const auto* ld = graph().tryAs<LoadNode>(a.id))
+        t = ld->type;
+    if (opProducesBit(op))
+        t = DType::bit();
+    auto& n = graph().make<PrimNode>(opName(op), op, t);
+    n.inputs = {a.id};
+    attach(n.id());
+    return Val{this, n.id()};
+}
+
+Val
+Scope::mux(Val sel, Val a, Val b)
+{
+    require(sel.valid() && a.valid() && b.valid(), "mux on invalid value");
+    DType t = DType::f32();
+    if (const auto* p = graph().tryAs<PrimNode>(a.id))
+        t = p->type;
+    else if (const auto* ld = graph().tryAs<LoadNode>(a.id))
+        t = ld->type;
+    auto& n = graph().make<PrimNode>("mux", Op::Mux, t);
+    n.inputs = {sel.id, a.id, b.id};
+    attach(n.id());
+    return Val{this, n.id()};
+}
+
+// ---- Operators -------------------------------------------------------------
+
+namespace {
+
+Scope*
+scopeOf(Val a, Val b)
+{
+    Scope* s = a.scope ? a.scope : b.scope;
+    require(s != nullptr, "operator on scope-less values");
+    return s;
+}
+
+} // namespace
+
+Val operator+(Val a, Val b) { return scopeOf(a, b)->binop(Op::Add, a, b); }
+Val operator-(Val a, Val b) { return scopeOf(a, b)->binop(Op::Sub, a, b); }
+Val operator*(Val a, Val b) { return scopeOf(a, b)->binop(Op::Mul, a, b); }
+Val operator/(Val a, Val b) { return scopeOf(a, b)->binop(Op::Div, a, b); }
+Val operator<(Val a, Val b) { return scopeOf(a, b)->binop(Op::Lt, a, b); }
+Val operator<=(Val a, Val b) { return scopeOf(a, b)->binop(Op::Le, a, b); }
+Val operator>(Val a, Val b) { return scopeOf(a, b)->binop(Op::Gt, a, b); }
+Val operator>=(Val a, Val b) { return scopeOf(a, b)->binop(Op::Ge, a, b); }
+Val operator==(Val a, Val b) { return scopeOf(a, b)->binop(Op::Eq, a, b); }
+Val operator!=(Val a, Val b) { return scopeOf(a, b)->binop(Op::Neq, a, b); }
+Val operator&&(Val a, Val b) { return scopeOf(a, b)->binop(Op::And, a, b); }
+Val operator||(Val a, Val b) { return scopeOf(a, b)->binop(Op::Or, a, b); }
+Val operator!(Val a) { return scopeOf(a, a)->unary(Op::Not, a); }
+Val operator-(Val a) { return scopeOf(a, a)->unary(Op::Neg, a); }
+
+namespace {
+
+Val
+litLike(Val a, double v)
+{
+    Scope* s = a.scope;
+    require(s != nullptr, "literal operand needs a scoped value");
+    DType t = DType::f32();
+    if (const auto* p = s->graph().tryAs<PrimNode>(a.id))
+        t = p->type;
+    else if (const auto* ld = s->graph().tryAs<LoadNode>(a.id))
+        t = ld->type;
+    return s->constant(v, t);
+}
+
+} // namespace
+
+Val operator+(Val a, double b) { return a + litLike(a, b); }
+Val operator-(Val a, double b) { return a - litLike(a, b); }
+Val operator*(Val a, double b) { return a * litLike(a, b); }
+Val operator/(Val a, double b) { return a / litLike(a, b); }
+Val operator<(Val a, double b) { return a < litLike(a, b); }
+Val operator>(Val a, double b) { return a > litLike(a, b); }
+Val operator>=(Val a, double b) { return a >= litLike(a, b); }
+Val operator<=(Val a, double b) { return a <= litLike(a, b); }
+Val operator-(double a, Val b) { return litLike(b, a) - b; }
+Val operator*(double a, Val b) { return litLike(b, a) * b; }
+Val operator/(double a, Val b) { return litLike(b, a) / b; }
+Val operator+(double a, Val b) { return litLike(b, a) + b; }
+
+Val vmin(Val a, Val b) { return scopeOf(a, b)->binop(Op::Min, a, b); }
+Val vmax(Val a, Val b) { return scopeOf(a, b)->binop(Op::Max, a, b); }
+Val vabs(Val a) { return scopeOf(a, a)->unary(Op::Abs, a); }
+Val vsqrt(Val a) { return scopeOf(a, a)->unary(Op::Sqrt, a); }
+Val vexp(Val a) { return scopeOf(a, a)->unary(Op::Exp, a); }
+Val vlog(Val a) { return scopeOf(a, a)->unary(Op::Log, a); }
+
+} // namespace dhdl

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The DHDL embedded DSL. The paper embeds DHDL in Scala and builds the
+ * graph by metaprogramming: the program runs once, instantiating
+ * parameterized templates (Figure 4). This builder gives the same
+ * style in C++: controller bodies are lambdas executed at construction
+ * time, producing the hierarchical dataflow graph.
+ *
+ * Example (dot product):
+ * @code
+ *   Design d("dotproduct");
+ *   ParamId ts = d.tileParam("tileSize", n);
+ *   Mem a = d.offchip("a", DType::f32(), {n});
+ *   Mem b = d.offchip("b", DType::f32(), {n});
+ *   Mem out = d.reg("out", DType::f32());
+ *   d.accel([&](Scope& s) {
+ *       s.metaPipeReduce("outer", {ctr(n, Sym::p(ts))}, ...);
+ *   });
+ * @endcode
+ */
+
+#ifndef DHDL_CORE_BUILDER_HH
+#define DHDL_CORE_BUILDER_HH
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/graph.hh"
+
+namespace dhdl {
+
+class Scope;
+
+/** Handle to a memory node created through the DSL. */
+struct Mem {
+    NodeId id = kNoNode;
+    bool valid() const { return id != kNoNode; }
+};
+
+/**
+ * Handle to a value-producing node (primitive, load, or iterator).
+ * Carries its scope so that infix operators can build nodes.
+ */
+struct Val {
+    Scope* scope = nullptr;
+    NodeId id = kNoNode;
+    bool valid() const { return id != kNoNode; }
+};
+
+/** Shorthand for a counter dimension 0..max by step. */
+inline CtrDim
+ctr(Sym max, Sym step = Sym::c(1))
+{
+    return CtrDim{Sym::c(0), max, step};
+}
+
+inline CtrDim
+ctr(int64_t max, Sym step = Sym::c(1))
+{
+    return CtrDim{Sym::c(0), Sym::c(max), step};
+}
+
+/**
+ * A DHDL design: a graph, its parameter table, and the DSL entry
+ * points. Off-chip memories and host-visible registers are declared on
+ * the design; the accelerator body is declared through accel().
+ */
+class Design
+{
+  public:
+    explicit Design(std::string name);
+
+    Graph& graph() { return graph_; }
+    const Graph& graph() const { return graph_; }
+    ParamTable& params() { return graph_.params(); }
+    const ParamTable& params() const { return graph_.params(); }
+
+    /** Declare a tile-size parameter; legal values divide dataSize. */
+    ParamId tileParam(const std::string& name, int64_t data_size,
+                      int64_t def = 0, int64_t max_value = INT64_MAX);
+
+    /** Declare a parallelization factor dividing the trip count. */
+    ParamId parParam(const std::string& name, int64_t trip,
+                     int64_t def = 1, int64_t max_value = 96);
+
+    /** Declare a MetaPipe toggle (0 = Sequential, 1 = MetaPipe). */
+    ParamId toggleParam(const std::string& name, int64_t def = 1);
+
+    /** Declare a fixed (non-explored) named constant parameter. */
+    ParamId fixedParam(const std::string& name, int64_t value);
+
+    /** Declare an N-dimensional off-chip DRAM array. */
+    Mem offchip(const std::string& name, DType type,
+                std::vector<Sym> dims);
+
+    /** Declare a host-visible scalar register (e.g. a final result). */
+    Mem reg(const std::string& name, DType type, double init = 0.0);
+
+    /**
+     * Define the accelerator body. Creates the top-level Sequential
+     * controller and runs fn with its scope. Must be called once.
+     */
+    void accel(const std::function<void(Scope&)>& fn);
+
+  private:
+    friend class Scope;
+    Graph graph_;
+    std::vector<NodeId> designRegs_;
+};
+
+/**
+ * Construction context inside one controller. All node-creating calls
+ * attach the new node to this scope's controller.
+ */
+class Scope
+{
+  public:
+    Scope(Design& design, NodeId controller)
+        : design_(design), ctrl_(controller) {}
+
+    Design& design() { return design_; }
+    Graph& graph() { return design_.graph(); }
+    NodeId controller() const { return ctrl_; }
+
+    // ---- Memories -----------------------------------------------------
+
+    /** On-chip scratchpad with the given (possibly symbolic) dims. */
+    Mem bram(const std::string& name, DType type, std::vector<Sym> dims);
+
+    /** Local register. */
+    Mem reg(const std::string& name, DType type, double init = 0.0);
+
+    /** Priority queue of the given depth. */
+    Mem queue(const std::string& name, DType type, Sym depth);
+
+    // ---- Controllers --------------------------------------------------
+
+    /** Sequential block without a loop. */
+    void sequential(const std::string& name,
+                    const std::function<void(Scope&)>& fn);
+
+    /** Sequential loop over a counter chain. */
+    void sequential(const std::string& name, std::vector<CtrDim> dims,
+                    const std::function<void(Scope&,
+                                             std::vector<Val>)>& fn);
+
+    /** Fork-join parallel block with an implicit barrier. */
+    void parallel(const std::string& name,
+                  const std::function<void(Scope&)>& fn);
+
+    /** Fine-grained pipeline over a counter chain (Map pattern). */
+    void pipe(const std::string& name, std::vector<CtrDim> dims, Sym par,
+              const std::function<void(Scope&, std::vector<Val>)>& fn);
+
+    /**
+     * Fine-grained pipeline with a reduction: the body's result value
+     * is folded into the accumulator register with the combine op.
+     */
+    void pipeReduce(const std::string& name, std::vector<CtrDim> dims,
+                    Sym par, Mem accum, Op combine,
+                    const std::function<Val(Scope&,
+                                            std::vector<Val>)>& fn);
+
+    /** Coarse-grained pipeline over a counter chain (Map pattern). */
+    void metaPipe(const std::string& name, std::vector<CtrDim> dims,
+                  Sym par, Sym toggle,
+                  const std::function<void(Scope&,
+                                           std::vector<Val>)>& fn);
+
+    /**
+     * Coarse-grained pipeline with a tile reduction: the memory
+     * returned by the body is combined elementwise into the
+     * accumulator BRAM every iteration (Figure 4's MetaPipe(..,
+     * sigT){..}{_+_}).
+     */
+    void metaPipeReduce(const std::string& name, std::vector<CtrDim> dims,
+                        Sym par, Sym toggle, Mem accum, Op combine,
+                        const std::function<Mem(Scope&,
+                                                std::vector<Val>)>& fn);
+
+    // ---- Memory command generators -------------------------------------
+
+    /** Load a tile of an off-chip array into a BRAM. */
+    void tileLoad(Mem offchip, Mem dst, std::vector<Val> base,
+                  std::vector<Sym> extent, Sym par = Sym::c(1));
+
+    /** Store a BRAM tile back to an off-chip array. */
+    void tileStore(Mem offchip, Mem src, std::vector<Val> base,
+                   std::vector<Sym> extent, Sym par = Sym::c(1));
+
+    // ---- Primitives ----------------------------------------------------
+
+    /** Literal constant. */
+    Val constant(double v, DType type = DType::f32());
+
+    /** Read one element of an on-chip memory. */
+    Val load(Mem mem, std::vector<Val> addr);
+
+    /** Write one element of an on-chip memory. */
+    void store(Mem mem, std::vector<Val> addr, Val value);
+
+    /** Binary operation; result type follows the left operand. */
+    Val binop(Op op, Val a, Val b);
+
+    /** Unary operation. */
+    Val unary(Op op, Val a);
+
+    /** 2-way multiplexer: sel ? a : b. */
+    Val mux(Val sel, Val a, Val b);
+
+  private:
+    friend class Design;
+
+    NodeId newController(NodeKind kind, const std::string& name,
+                         std::vector<CtrDim> dims, Sym par, Sym toggle,
+                         std::vector<Val>& iters_out);
+    void attach(NodeId id);
+
+    Design& design_;
+    NodeId ctrl_;
+};
+
+// ---- Infix operators on Val ---------------------------------------------
+
+Val operator+(Val a, Val b);
+Val operator-(Val a, Val b);
+Val operator*(Val a, Val b);
+Val operator/(Val a, Val b);
+Val operator<(Val a, Val b);
+Val operator<=(Val a, Val b);
+Val operator>(Val a, Val b);
+Val operator>=(Val a, Val b);
+Val operator==(Val a, Val b);
+Val operator!=(Val a, Val b);
+Val operator&&(Val a, Val b);
+Val operator||(Val a, Val b);
+Val operator!(Val a);
+Val operator-(Val a);
+
+Val operator+(Val a, double b);
+Val operator-(Val a, double b);
+Val operator*(Val a, double b);
+Val operator/(Val a, double b);
+Val operator<(Val a, double b);
+Val operator>(Val a, double b);
+Val operator>=(Val a, double b);
+Val operator<=(Val a, double b);
+Val operator-(double a, Val b);
+Val operator*(double a, Val b);
+Val operator/(double a, Val b);
+Val operator+(double a, Val b);
+
+Val vmin(Val a, Val b);
+Val vmax(Val a, Val b);
+Val vabs(Val a);
+Val vsqrt(Val a);
+Val vexp(Val a);
+Val vlog(Val a);
+
+} // namespace dhdl
+
+#endif // DHDL_CORE_BUILDER_HH

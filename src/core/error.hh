@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error reporting for DHDL, following the gem5 fatal/panic distinction:
+ * fatal() is a user error (bad design description, illegal parameters);
+ * panic() is an internal invariant violation (a bug in this library).
+ */
+
+#ifndef DHDL_CORE_ERROR_HH
+#define DHDL_CORE_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dhdl {
+
+/** Raised for user-caused errors: malformed designs, illegal bindings. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Raised for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Throw a FatalError with the given message. */
+[[noreturn]] inline void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+/** Throw a PanicError with the given message. */
+[[noreturn]] inline void
+panic(const std::string& msg)
+{
+    throw PanicError(msg);
+}
+
+/** Require a user-level condition; throws FatalError when violated. */
+inline void
+require(bool cond, const std::string& msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+/** Assert an internal invariant; throws PanicError when violated. */
+inline void
+invariant(bool cond, const std::string& msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace dhdl
+
+#endif // DHDL_CORE_ERROR_HH

@@ -1,0 +1,7 @@
+#include "core/graph.hh"
+
+// Graph is header-only today; this translation unit anchors the vtable
+// emission for Node subclasses and keeps the build layout uniform.
+
+namespace dhdl {
+} // namespace dhdl

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The hierarchical DHDL dataflow graph. Owns all nodes (arena style)
+ * and the design's parameter table. A Graph plus a ParamBinding fully
+ * determines a concrete hardware design instance.
+ */
+
+#ifndef DHDL_CORE_GRAPH_HH
+#define DHDL_CORE_GRAPH_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/node.hh"
+#include "core/param.hh"
+
+namespace dhdl {
+
+/** Arena-owning hierarchical dataflow graph. */
+class Graph
+{
+  public:
+    explicit Graph(std::string name) : root(kNoNode),
+        name_(std::move(name)) {}
+
+    Graph(const Graph&) = delete;
+    Graph& operator=(const Graph&) = delete;
+    Graph(Graph&&) = default;
+    Graph& operator=(Graph&&) = default;
+
+    const std::string& name() const { return name_; }
+
+    /** Create a node of type T in the arena and return a reference. */
+    template <class T, class... Args>
+    T&
+    make(std::string node_name, Args&&... args)
+    {
+        auto id = NodeId(nodes_.size());
+        auto up = std::make_unique<T>(id, std::move(node_name),
+                                      std::forward<Args>(args)...);
+        T& ref = *up;
+        nodes_.push_back(std::move(up));
+        return ref;
+    }
+
+    size_t numNodes() const { return nodes_.size(); }
+
+    Node&
+    node(NodeId id)
+    {
+        invariant(id >= 0 && size_t(id) < nodes_.size(),
+                  "node id out of range");
+        return *nodes_[size_t(id)];
+    }
+
+    const Node&
+    node(NodeId id) const
+    {
+        invariant(id >= 0 && size_t(id) < nodes_.size(),
+                  "node id out of range");
+        return *nodes_[size_t(id)];
+    }
+
+    /** Typed access; panics when the node is not of the given kind. */
+    template <class T>
+    T&
+    nodeAs(NodeId id)
+    {
+        T* p = dynamic_cast<T*>(&node(id));
+        invariant(p != nullptr, "node kind mismatch");
+        return *p;
+    }
+
+    template <class T>
+    const T&
+    nodeAs(NodeId id) const
+    {
+        const T* p = dynamic_cast<const T*>(&node(id));
+        invariant(p != nullptr, "node kind mismatch");
+        return *p;
+    }
+
+    /** Typed access that returns nullptr on kind mismatch. */
+    template <class T>
+    const T*
+    tryAs(NodeId id) const
+    {
+        return dynamic_cast<const T*>(&node(id));
+    }
+
+    ParamTable& params() { return params_; }
+    const ParamTable& params() const { return params_; }
+
+    /** Top-level controller (set by the builder's accel() call). */
+    NodeId root;
+
+    /** Ids of all OffChipMem nodes, in declaration order. */
+    std::vector<NodeId> offchipMems;
+
+    /**
+     * Cross-parameter legality constraints (e.g. an inner
+     * parallelization factor must divide the tile size it iterates
+     * over). Checked by the design space explorer before estimating
+     * a point.
+     */
+    std::vector<std::function<bool(const ParamBinding&)>> constraints;
+
+    /** True when a binding satisfies every design constraint. */
+    bool
+    satisfiesConstraints(const ParamBinding& b) const
+    {
+        for (const auto& c : constraints) {
+            if (!c(b))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    ParamTable params_;
+};
+
+} // namespace dhdl
+
+#endif // DHDL_CORE_GRAPH_HH

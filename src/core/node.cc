@@ -1,0 +1,80 @@
+#include "core/node.hh"
+
+namespace dhdl {
+
+const char*
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Iter: return "iter";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Mod: return "mod";
+      case Op::Min: return "min";
+      case Op::Max: return "max";
+      case Op::Lt: return "lt";
+      case Op::Le: return "le";
+      case Op::Gt: return "gt";
+      case Op::Ge: return "ge";
+      case Op::Eq: return "eq";
+      case Op::Neq: return "neq";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Not: return "not";
+      case Op::Mux: return "mux";
+      case Op::Abs: return "abs";
+      case Op::Neg: return "neg";
+      case Op::Sqrt: return "sqrt";
+      case Op::Exp: return "exp";
+      case Op::Log: return "log";
+      case Op::ToFloat: return "tofloat";
+      case Op::ToFixed: return "tofixed";
+    }
+    return "?";
+}
+
+bool
+opProducesBit(Op op)
+{
+    switch (op) {
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge:
+      case Op::Eq:
+      case Op::Neq:
+      case Op::And:
+      case Op::Or:
+      case Op::Not:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char*
+kindName(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::Prim: return "Prim";
+      case NodeKind::Load: return "Ld";
+      case NodeKind::Store: return "St";
+      case NodeKind::OffChipMem: return "OffChipMem";
+      case NodeKind::Bram: return "BRAM";
+      case NodeKind::Reg: return "Reg";
+      case NodeKind::Queue: return "Queue";
+      case NodeKind::Counter: return "Counter";
+      case NodeKind::Pipe: return "Pipe";
+      case NodeKind::Sequential: return "Sequential";
+      case NodeKind::ParallelCtrl: return "Parallel";
+      case NodeKind::MetaPipe: return "MetaPipe";
+      case NodeKind::TileLd: return "TileLd";
+      case NodeKind::TileSt: return "TileSt";
+    }
+    return "?";
+}
+
+} // namespace dhdl

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * DHDL node classes. Each node corresponds to one of the architectural
+ * templates of Table I in the paper:
+ *
+ *   Primitives:  +, -, *, /, comparisons, mux, abs/sqrt/log/exp,
+ *                Ld, St (on-chip loads/stores)
+ *   Memories:    OffChipMem, BRAM, Reg, Priority Queue
+ *   Controllers: Counter, Pipe, Sequential, Parallel, MetaPipe
+ *   Memory command generators: TileLd, TileSt
+ *
+ * The graph is hierarchical: every node has a parent controller, and
+ * controllers keep an ordered list of children (their pipeline stages
+ * or loop body). Parameters (tile sizes, parallelization factors,
+ * MetaPipe toggles) appear as Sym references so a single graph
+ * describes the whole design space.
+ */
+
+#ifndef DHDL_CORE_NODE_HH
+#define DHDL_CORE_NODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/param.hh"
+#include "core/types.hh"
+
+namespace dhdl {
+
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/** Discriminator for Node subclasses; one value per Table I template. */
+enum class NodeKind : uint8_t {
+    Prim,
+    Load,
+    Store,
+    OffChipMem,
+    Bram,
+    Reg,
+    Queue,
+    Counter,
+    Pipe,
+    Sequential,
+    ParallelCtrl,
+    MetaPipe,
+    TileLd,
+    TileSt,
+};
+
+/** Primitive operations (vectorized; scalar is vector width 1). */
+enum class Op : uint8_t {
+    Const, //!< Literal constant.
+    Iter,  //!< Loop iterator produced by a Counter dimension.
+    Add, Sub, Mul, Div, Mod, Min, Max,
+    Lt, Le, Gt, Ge, Eq, Neq,
+    And, Or, Not,
+    Mux,   //!< inputs: select(bit), true-value, false-value.
+    Abs, Neg, Sqrt, Exp, Log,
+    ToFloat, ToFixed,
+};
+
+/** Name of an Op, e.g. "add". */
+const char* opName(Op op);
+
+/** True for ops whose result is a single bit (comparisons, logic). */
+bool opProducesBit(Op op);
+
+/** Parallel pattern a controller was generated from (Section III-B3). */
+enum class Pattern : uint8_t {
+    Map,    //!< Replicas connected in parallel.
+    Reduce, //!< Replicas connected as a balanced combining tree.
+};
+
+/** Abstract base of all DHDL nodes. */
+class Node
+{
+  public:
+    Node(NodeKind kind, NodeId id, std::string name)
+        : parent(kNoNode), kind_(kind), id_(id), name_(std::move(name)) {}
+    virtual ~Node() = default;
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    NodeKind kind() const { return kind_; }
+    NodeId id() const { return id_; }
+    const std::string& name() const { return name_; }
+
+    /** Enclosing controller (kNoNode only for the root and globals). */
+    NodeId parent;
+
+    bool
+    isController() const
+    {
+        return kind_ == NodeKind::Pipe || kind_ == NodeKind::Sequential ||
+               kind_ == NodeKind::ParallelCtrl ||
+               kind_ == NodeKind::MetaPipe;
+    }
+
+    bool
+    isMemory() const
+    {
+        return kind_ == NodeKind::OffChipMem || kind_ == NodeKind::Bram ||
+               kind_ == NodeKind::Reg || kind_ == NodeKind::Queue;
+    }
+
+    bool
+    isPrimitive() const
+    {
+        return kind_ == NodeKind::Prim || kind_ == NodeKind::Load ||
+               kind_ == NodeKind::Store;
+    }
+
+    bool
+    isTileTransfer() const
+    {
+        return kind_ == NodeKind::TileLd || kind_ == NodeKind::TileSt;
+    }
+
+  private:
+    NodeKind kind_;
+    NodeId id_;
+    std::string name_;
+};
+
+/**
+ * A primitive compute node. Represents a vector computation; the
+ * effective vector width is the product of the parallelization factors
+ * of the enclosing controllers.
+ */
+class PrimNode : public Node
+{
+  public:
+    PrimNode(NodeId id, std::string name, Op op, DType type)
+        : Node(NodeKind::Prim, id, std::move(name)), op(op), type(type),
+          constValue(0.0), counter(kNoNode), ctrDim(0) {}
+
+    Op op;
+    DType type;
+    /** Data inputs (operand order is significant, e.g. for Mux). */
+    std::vector<NodeId> inputs;
+    /** Literal value when op == Op::Const. */
+    double constValue;
+    /** Producing counter and dimension when op == Op::Iter. */
+    NodeId counter;
+    int ctrDim;
+};
+
+/** On-chip load (Ld template): read one element of a local memory. */
+class LoadNode : public Node
+{
+  public:
+    LoadNode(NodeId id, std::string name, NodeId mem, DType type)
+        : Node(NodeKind::Load, id, std::move(name)), mem(mem), type(type) {}
+
+    NodeId mem;
+    /** One address value per memory dimension. */
+    std::vector<NodeId> addr;
+    DType type;
+};
+
+/** On-chip store (St template): write one element of a local memory. */
+class StoreNode : public Node
+{
+  public:
+    StoreNode(NodeId id, std::string name, NodeId mem, NodeId value)
+        : Node(NodeKind::Store, id, std::move(name)), mem(mem),
+          value(value) {}
+
+    NodeId mem;
+    std::vector<NodeId> addr;
+    NodeId value;
+};
+
+/** Common base of all memory templates. */
+class MemNode : public Node
+{
+  public:
+    MemNode(NodeKind kind, NodeId id, std::string name, DType type,
+            std::vector<Sym> dims)
+        : Node(kind, id, std::move(name)), type(type),
+          dims(std::move(dims)) {}
+
+    DType type;
+    std::vector<Sym> dims;
+
+    /** Number of addressable elements under a binding. */
+    int64_t
+    numElems(const ParamBinding& b) const
+    {
+        int64_t n = 1;
+        for (const auto& d : dims)
+            n *= d.eval(b);
+        return n;
+    }
+};
+
+/** N-dimensional off-chip DRAM array (dims are dataset constants). */
+class OffChipMemNode : public MemNode
+{
+  public:
+    OffChipMemNode(NodeId id, std::string name, DType type,
+                   std::vector<Sym> dims)
+        : MemNode(NodeKind::OffChipMem, id, std::move(name), type,
+                  std::move(dims)) {}
+};
+
+/**
+ * On-chip scratchpad (BRAM template). Banking is inferred automatically
+ * from the vector widths and access patterns of the Ld/St nodes that
+ * touch it (Section III-B2); forcedBanks overrides the inference.
+ */
+class BramNode : public MemNode
+{
+  public:
+    BramNode(NodeId id, std::string name, DType type, std::vector<Sym> dims)
+        : MemNode(NodeKind::Bram, id, std::move(name), type,
+                  std::move(dims)) {}
+
+    int forcedBanks = 0;
+};
+
+/** Non-pipeline register (Reg template). Scalar. */
+class RegNode : public MemNode
+{
+  public:
+    RegNode(NodeId id, std::string name, DType type, double init = 0.0)
+        : MemNode(NodeKind::Reg, id, std::move(name), type,
+                  {Sym::c(1)}), init(init) {}
+
+    double init;
+};
+
+/** Hardware sorting queue (Priority Queue template). */
+class QueueNode : public MemNode
+{
+  public:
+    QueueNode(NodeId id, std::string name, DType type, Sym depth)
+        : MemNode(NodeKind::Queue, id, std::move(name), type, {depth}),
+          depth(depth) {}
+
+    Sym depth;
+};
+
+/** One dimension of a counter chain: iterates min..max by step. */
+struct CtrDim {
+    Sym min = Sym::c(0);
+    Sym max = Sym::c(1);
+    Sym step = Sym::c(1);
+
+    int64_t
+    trip(const ParamBinding& b) const
+    {
+        int64_t lo = min.eval(b), hi = max.eval(b), st = step.eval(b);
+        if (st <= 0 || hi <= lo)
+            return 0;
+        return (hi - lo + st - 1) / st;
+    }
+};
+
+/** Counter chain producing loop iterators (Counter template). */
+class CounterNode : public Node
+{
+  public:
+    CounterNode(NodeId id, std::string name, std::vector<CtrDim> dims)
+        : Node(NodeKind::Counter, id, std::move(name)),
+          dims(std::move(dims)) {}
+
+    std::vector<CtrDim> dims;
+
+    /** Total iterations = product of per-dimension trip counts. */
+    int64_t
+    trip(const ParamBinding& b) const
+    {
+        int64_t t = 1;
+        for (const auto& d : dims)
+            t *= d.trip(b);
+        return t;
+    }
+};
+
+/**
+ * Common base for Pipe / Sequential / Parallel / MetaPipe. Controllers
+ * own their body via the ordered children list and may carry a Counter,
+ * a parallelization factor, the parallel pattern they were generated
+ * from, and (for Reduce) an accumulator and combine function.
+ */
+class ControllerNode : public Node
+{
+  public:
+    ControllerNode(NodeKind kind, NodeId id, std::string name)
+        : Node(kind, id, std::move(name)), counter(kNoNode),
+          par(Sym::c(1)), pattern(Pattern::Map), accum(kNoNode),
+          bodyResult(kNoNode), combine(Op::Add), toggle(Sym::c(1)) {}
+
+    NodeId counter;
+    Sym par;
+    Pattern pattern;
+    /** Reduce target: a Reg (Pipe) or a BRAM tile (MetaPipe). */
+    NodeId accum;
+    /** Value (Pipe) or memory (MetaPipe) produced by one iteration. */
+    NodeId bodyResult;
+    Op combine;
+    /**
+     * MetaPipe toggle (Section III-C): when bound to 0 the controller
+     * executes its stages sequentially and intermediate buffers are not
+     * double-buffered; when 1 it overlaps stages as a coarse-grained
+     * pipeline. Always 1 for other controller kinds.
+     */
+    Sym toggle;
+    /** Ordered body: stages (outer controllers) or datapath (Pipe). */
+    std::vector<NodeId> children;
+};
+
+/** Dataflow pipeline of primitive nodes (innermost loop bodies). */
+class PipeNode : public ControllerNode
+{
+  public:
+    PipeNode(NodeId id, std::string name)
+        : ControllerNode(NodeKind::Pipe, id, std::move(name)) {}
+};
+
+/** Unpipelined, in-order execution of child controllers. */
+class SequentialNode : public ControllerNode
+{
+  public:
+    SequentialNode(NodeId id, std::string name)
+        : ControllerNode(NodeKind::Sequential, id, std::move(name)) {}
+};
+
+/** Fork-join container with a synchronizing barrier at the end. */
+class ParallelNode : public ControllerNode
+{
+  public:
+    ParallelNode(NodeId id, std::string name)
+        : ControllerNode(NodeKind::ParallelCtrl, id, std::move(name)) {}
+};
+
+/**
+ * Coarse-grained pipeline with asynchronous handshaking across stages;
+ * intermediate buffers become double buffers (Section III-B3).
+ */
+class MetaPipeNode : public ControllerNode
+{
+  public:
+    MetaPipeNode(NodeId id, std::string name)
+        : ControllerNode(NodeKind::MetaPipe, id, std::move(name)) {}
+};
+
+/**
+ * Tile load (TileLd template): burst-transfers a dense N-dimensional
+ * tile of an OffChipMem into an on-chip BRAM, instantiating command and
+ * data queues toward the memory controller.
+ */
+class TileLdNode : public Node
+{
+  public:
+    TileLdNode(NodeId id, std::string name, NodeId offchip, NodeId dst)
+        : Node(NodeKind::TileLd, id, std::move(name)), offchip(offchip),
+          onchip(dst), par(Sym::c(1)) {}
+
+    NodeId offchip;
+    NodeId onchip;
+    /** Per-dimension base offsets (kNoNode means 0). */
+    std::vector<NodeId> base;
+    /** Tile extent per dimension; typically tile-size parameters. */
+    std::vector<Sym> extent;
+    /** Transfer parallelization (elements moved per cycle). */
+    Sym par;
+};
+
+/** Tile store (TileSt template): BRAM tile back to an OffChipMem. */
+class TileStNode : public Node
+{
+  public:
+    TileStNode(NodeId id, std::string name, NodeId offchip, NodeId src)
+        : Node(NodeKind::TileSt, id, std::move(name)), offchip(offchip),
+          onchip(src), par(Sym::c(1)) {}
+
+    NodeId offchip;
+    NodeId onchip;
+    std::vector<NodeId> base;
+    std::vector<Sym> extent;
+    Sym par;
+};
+
+/** Name of a node kind, e.g. "MetaPipe". */
+const char* kindName(NodeKind k);
+
+} // namespace dhdl
+
+#endif // DHDL_CORE_NODE_HH

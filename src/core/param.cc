@@ -1,0 +1,110 @@
+#include "core/param.hh"
+
+#include <algorithm>
+
+namespace dhdl {
+
+std::vector<int64_t>
+divisorsOf(int64_t n)
+{
+    std::vector<int64_t> divs;
+    if (n <= 0)
+        return divs;
+    for (int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            divs.push_back(d);
+            if (d != n / d)
+                divs.push_back(n / d);
+        }
+    }
+    std::sort(divs.begin(), divs.end());
+    return divs;
+}
+
+int64_t
+largestDivisorLE(int64_t n, int64_t cap, int64_t multiple)
+{
+    int64_t best = 1, best_mult = 0;
+    for (int64_t d : divisorsOf(n)) {
+        if (d > cap)
+            break;
+        best = d;
+        if (multiple > 0 && d % multiple == 0)
+            best_mult = d;
+    }
+    return best_mult > 0 ? best_mult : best;
+}
+
+ParamId
+ParamTable::add(ParamDef def)
+{
+    require(!def.name.empty(), "parameter must be named");
+    require(def.minValue <= def.maxValue,
+            "parameter '" + def.name + "' has empty range");
+    defs_.push_back(std::move(def));
+    return ParamId(defs_.size() - 1);
+}
+
+const ParamDef&
+ParamTable::operator[](ParamId p) const
+{
+    invariant(p >= 0 && size_t(p) < defs_.size(),
+              "parameter id out of range");
+    return defs_[size_t(p)];
+}
+
+ParamBinding
+ParamTable::defaults() const
+{
+    ParamBinding b;
+    b.values.reserve(defs_.size());
+    for (const auto& d : defs_)
+        b.values.push_back(d.defaultValue);
+    return b;
+}
+
+std::vector<int64_t>
+ParamTable::legalValues(ParamId p) const
+{
+    const ParamDef& d = (*this)[p];
+    std::vector<int64_t> vals;
+    switch (d.kind) {
+      case ParamKind::Toggle:
+        vals = {0, 1};
+        break;
+      case ParamKind::Fixed:
+        vals = {d.defaultValue};
+        break;
+      case ParamKind::TileSize:
+      case ParamKind::ParFactor:
+        if (d.divisorOf > 0) {
+            for (int64_t v : divisorsOf(d.divisorOf)) {
+                if (v >= d.minValue && v <= d.maxValue)
+                    vals.push_back(v);
+            }
+        } else {
+            for (int64_t v = d.minValue;
+                 v <= std::min<int64_t>(d.maxValue, d.minValue + 4096); ++v)
+                vals.push_back(v);
+        }
+        break;
+    }
+    if (vals.empty())
+        vals.push_back(d.defaultValue);
+    return vals;
+}
+
+bool
+ParamTable::isLegal(const ParamBinding& b) const
+{
+    if (b.values.size() != defs_.size())
+        return false;
+    for (size_t i = 0; i < defs_.size(); ++i) {
+        auto legal = legalValues(ParamId(i));
+        if (!std::binary_search(legal.begin(), legal.end(), b.values[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace dhdl

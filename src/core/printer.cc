@@ -1,0 +1,193 @@
+#include "core/printer.hh"
+
+#include <sstream>
+
+namespace dhdl {
+
+std::string
+symStr(const Graph& g, const Sym& s)
+{
+    if (s.isParam()) {
+        std::string out = "$" + g.params()[s.param()].name;
+        if (s.offset() > 0)
+            out += "+" + std::to_string(s.offset());
+        else if (s.offset() < 0)
+            out += std::to_string(s.offset());
+        return out;
+    }
+    return std::to_string(s.constant());
+}
+
+namespace {
+
+class Printer
+{
+  public:
+    explicit Printer(const Graph& g) : g_(g) {}
+
+    std::string
+    run()
+    {
+        os_ << "design " << g_.name() << " {\n";
+        for (NodeId m : g_.offchipMems)
+            printOffchip(g_.nodeAs<OffChipMemNode>(m));
+        if (g_.root != kNoNode)
+            printNode(g_.root, 1);
+        os_ << "}\n";
+        return os_.str();
+    }
+
+  private:
+    void
+    indent(int depth)
+    {
+        for (int i = 0; i < depth; ++i)
+            os_ << "  ";
+    }
+
+    void
+    printOffchip(const OffChipMemNode& m)
+    {
+        indent(1);
+        os_ << "offchip " << m.name() << " : " << m.type.str() << "[";
+        dims(m.dims);
+        os_ << "]\n";
+    }
+
+    void
+    dims(const std::vector<Sym>& ds)
+    {
+        for (size_t i = 0; i < ds.size(); ++i) {
+            if (i)
+                os_ << ", ";
+            os_ << symStr(g_, ds[i]);
+        }
+    }
+
+    void
+    printCounter(const ControllerNode& c)
+    {
+        if (c.counter == kNoNode)
+            return;
+        const auto& ctr = g_.nodeAs<CounterNode>(c.counter);
+        os_ << "(";
+        for (size_t i = 0; i < ctr.dims.size(); ++i) {
+            if (i)
+                os_ << ", ";
+            os_ << symStr(g_, ctr.dims[i].min) << ".."
+                << symStr(g_, ctr.dims[i].max) << " by "
+                << symStr(g_, ctr.dims[i].step);
+        }
+        os_ << ")";
+    }
+
+    void
+    printNode(NodeId id, int depth)
+    {
+        const Node& n = g_.node(id);
+        indent(depth);
+        switch (n.kind()) {
+          case NodeKind::Pipe:
+          case NodeKind::Sequential:
+          case NodeKind::ParallelCtrl:
+          case NodeKind::MetaPipe: {
+            const auto& c = g_.nodeAs<ControllerNode>(id);
+            os_ << kindName(n.kind()) << " " << n.name();
+            printCounter(c);
+            if (c.par.isParam() || c.par.constant() != 1)
+                os_ << " par=" << symStr(g_, c.par);
+            if (c.kind() == NodeKind::MetaPipe)
+                os_ << " toggle=" << symStr(g_, c.toggle);
+            if (c.pattern == Pattern::Reduce)
+                os_ << " reduce(" << opName(c.combine) << " -> "
+                    << g_.node(c.accum).name() << ")";
+            os_ << " {\n";
+            for (NodeId ch : c.children) {
+                if (g_.node(ch).kind() == NodeKind::Prim &&
+                    g_.nodeAs<PrimNode>(ch).op == Op::Iter)
+                    continue;
+                printNode(ch, depth + 1);
+            }
+            indent(depth);
+            os_ << "}\n";
+            break;
+          }
+          case NodeKind::Bram: {
+            const auto& m = g_.nodeAs<BramNode>(id);
+            os_ << "bram " << m.name() << " : " << m.type.str() << "[";
+            dims(m.dims);
+            os_ << "]\n";
+            break;
+          }
+          case NodeKind::Reg: {
+            const auto& m = g_.nodeAs<RegNode>(id);
+            os_ << "reg " << m.name() << " : " << m.type.str() << "\n";
+            break;
+          }
+          case NodeKind::Queue: {
+            const auto& m = g_.nodeAs<QueueNode>(id);
+            os_ << "queue " << m.name() << " : " << m.type.str()
+                << " depth=" << symStr(g_, m.depth) << "\n";
+            break;
+          }
+          case NodeKind::TileLd: {
+            const auto& t = g_.nodeAs<TileLdNode>(id);
+            os_ << "tileLd " << g_.node(t.onchip).name() << " <- "
+                << g_.node(t.offchip).name() << "[";
+            dims(t.extent);
+            os_ << "] par=" << symStr(g_, t.par) << "\n";
+            break;
+          }
+          case NodeKind::TileSt: {
+            const auto& t = g_.nodeAs<TileStNode>(id);
+            os_ << "tileSt " << g_.node(t.offchip).name() << " <- "
+                << g_.node(t.onchip).name() << "[";
+            dims(t.extent);
+            os_ << "] par=" << symStr(g_, t.par) << "\n";
+            break;
+          }
+          case NodeKind::Prim: {
+            const auto& p = g_.nodeAs<PrimNode>(id);
+            os_ << "%" << id << " = " << opName(p.op);
+            if (p.op == Op::Const)
+                os_ << " " << p.constValue;
+            for (NodeId in : p.inputs)
+                os_ << " %" << in;
+            os_ << " : " << p.type.str() << "\n";
+            break;
+          }
+          case NodeKind::Load: {
+            const auto& l = g_.nodeAs<LoadNode>(id);
+            os_ << "%" << id << " = ld " << g_.node(l.mem).name() << "[";
+            for (size_t i = 0; i < l.addr.size(); ++i)
+                os_ << (i ? ", %" : "%") << l.addr[i];
+            os_ << "]\n";
+            break;
+          }
+          case NodeKind::Store: {
+            const auto& s = g_.nodeAs<StoreNode>(id);
+            os_ << "st " << g_.node(s.mem).name() << "[";
+            for (size_t i = 0; i < s.addr.size(); ++i)
+                os_ << (i ? ", %" : "%") << s.addr[i];
+            os_ << "] = %" << s.value << "\n";
+            break;
+          }
+          default:
+            os_ << kindName(n.kind()) << " " << n.name() << "\n";
+            break;
+        }
+    }
+
+    const Graph& g_;
+    std::ostringstream os_;
+};
+
+} // namespace
+
+std::string
+printGraph(const Graph& g)
+{
+    return Printer(g).run();
+}
+
+} // namespace dhdl

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Human-readable dump of a DHDL graph: the controller hierarchy with
+ * per-node template names, parameters, and data dependencies. Used by
+ * examples and tests; the format is stable (golden-tested).
+ */
+
+#ifndef DHDL_CORE_PRINTER_HH
+#define DHDL_CORE_PRINTER_HH
+
+#include <string>
+
+#include "core/graph.hh"
+
+namespace dhdl {
+
+/** Render a graph as an indented hierarchy. */
+std::string printGraph(const Graph& g);
+
+/** Render one symbolic size, e.g. "1536" or "$tileSize". */
+std::string symStr(const Graph& g, const Sym& s);
+
+} // namespace dhdl
+
+#endif // DHDL_CORE_PRINTER_HH

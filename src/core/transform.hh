@@ -1,0 +1,66 @@
+/**
+ * @file
+ * IR transformation and analysis passes over DHDL graphs. The paper's
+ * frontend (Step 1 of Figure 1) performs high-level optimizations
+ * before handing the tiled design to estimation; these passes cover
+ * the target-agnostic cleanups that remain useful at the DHDL level:
+ * constant folding of primitive subgraphs, dead-node elimination, and
+ * design statistics used by reports and the benches.
+ *
+ * Graphs are arena-allocated and immutable in shape, so passes mark
+ * results rather than physically deleting nodes: downstream analyses
+ * (expansion, simulation, codegen) consult the returned sets.
+ */
+
+#ifndef DHDL_CORE_TRANSFORM_HH
+#define DHDL_CORE_TRANSFORM_HH
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/graph.hh"
+
+namespace dhdl {
+
+/**
+ * Constant folding: evaluate primitive nodes whose operands are all
+ * Const nodes. Returns the folded value per foldable node id; graphs
+ * stay untouched (consumers may substitute the values).
+ */
+std::unordered_map<NodeId, double> foldConstants(const Graph& g);
+
+/**
+ * Evaluate one primitive op on constant operands (exposed for tests
+ * and for the folding pass). Returns nullopt for non-foldable ops
+ * (Iter, loads) or arity mismatch.
+ */
+std::optional<double> evalConstOp(Op op, const std::vector<double>& in);
+
+/**
+ * Dead-node elimination: primitives whose values can never reach a
+ * store, a tile transfer, a reduce result, or a controller structure.
+ * Returns the set of dead node ids.
+ */
+std::unordered_set<NodeId> findDeadNodes(const Graph& g);
+
+/** Aggregate design statistics (used by reports and examples). */
+struct GraphStats {
+    int controllers = 0;
+    int pipes = 0;
+    int metaPipes = 0;
+    int memories = 0;
+    int offchipMems = 0;
+    int transfers = 0;
+    int primitives = 0;
+    int maxDepth = 0; //!< Deepest controller nesting.
+    int params = 0;
+};
+
+/** Compute statistics for a graph. */
+GraphStats computeStats(const Graph& g);
+
+} // namespace dhdl
+
+#endif // DHDL_CORE_TRANSFORM_HH

@@ -1,0 +1,53 @@
+#include "core/types.hh"
+
+#include <sstream>
+
+namespace dhdl {
+
+int
+DType::bits() const
+{
+    switch (kind) {
+      case TypeKind::Float:
+        return 1 + fieldA + fieldB;
+      case TypeKind::Fixed:
+        return fieldA + fieldB;
+      case TypeKind::Bit:
+        return 1;
+    }
+    return 0;
+}
+
+std::string
+DType::str() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case TypeKind::Float:
+        if (fieldA == 8 && fieldB == 23)
+            return "f32";
+        if (fieldA == 11 && fieldB == 52)
+            return "f64";
+        os << "flt<" << int(fieldA) << "," << int(fieldB) << ">";
+        return os.str();
+      case TypeKind::Fixed:
+        if (fieldB == 0) {
+            os << (sign ? "i" : "u") << int(fieldA);
+            return os.str();
+        }
+        os << "fix<" << int(fieldA) << "," << int(fieldB) << ">";
+        return os.str();
+      case TypeKind::Bit:
+        return "bit";
+    }
+    return "?";
+}
+
+bool
+DType::operator==(const DType& o) const
+{
+    return kind == o.kind && fieldA == o.fieldA && fieldB == o.fieldB &&
+           sign == o.sign;
+}
+
+} // namespace dhdl

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DHDL value types. The paper supports variable bit-width fixed-point
+ * types, variable-precision floating-point types, and single-bit values
+ * (Section III-B), with type checking on every node that produces or
+ * stores data.
+ */
+
+#ifndef DHDL_CORE_TYPES_HH
+#define DHDL_CORE_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dhdl {
+
+/** Kind of a DHDL value type. */
+enum class TypeKind : uint8_t {
+    Float, //!< Sign + exponent + mantissa floating point.
+    Fixed, //!< Integer + fractional bits, optionally signed.
+    Bit,   //!< Single-bit boolean.
+};
+
+/**
+ * A DHDL data type. For Float, fieldA is the exponent width and fieldB
+ * the mantissa width (a sign bit is implicit). For Fixed, fieldA is the
+ * integer width and fieldB the fraction width (sign bit included in
+ * fieldA when signed). Bit ignores both fields.
+ */
+class DType
+{
+  public:
+    DType() : kind(TypeKind::Fixed), fieldA(32), fieldB(0), sign(true) {}
+    DType(TypeKind k, uint8_t a, uint8_t b, bool s)
+        : kind(k), fieldA(a), fieldB(b), sign(s) {}
+
+    TypeKind kind;
+    uint8_t fieldA;
+    uint8_t fieldB;
+    bool sign;
+
+    /** Total storage width in bits. */
+    int bits() const;
+
+    bool isFloat() const { return kind == TypeKind::Float; }
+    bool isFixed() const { return kind == TypeKind::Fixed; }
+    bool isBit() const { return kind == TypeKind::Bit; }
+
+    /** Human-readable name, e.g. "f32", "fix<16,16>", "bit". */
+    std::string str() const;
+
+    bool operator==(const DType& o) const;
+    bool operator!=(const DType& o) const { return !(*this == o); }
+
+    /** IEEE-754 single precision (8 exponent, 23 mantissa bits). */
+    static DType f32() { return {TypeKind::Float, 8, 23, true}; }
+    /** IEEE-754 double precision. */
+    static DType f64() { return {TypeKind::Float, 11, 52, true}; }
+    /** Signed 32-bit integer. */
+    static DType i32() { return {TypeKind::Fixed, 32, 0, true}; }
+    /** Signed 16-bit integer. */
+    static DType i16() { return {TypeKind::Fixed, 16, 0, true}; }
+    /** Signed fixed point with i integer and f fraction bits. */
+    static DType fix(uint8_t i, uint8_t f)
+    {
+        return {TypeKind::Fixed, i, f, true};
+    }
+    /** Single-bit boolean. */
+    static DType bit() { return {TypeKind::Bit, 1, 0, false}; }
+};
+
+} // namespace dhdl
+
+#endif // DHDL_CORE_TYPES_HH

@@ -1,0 +1,283 @@
+#include "cpu/kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "core/error.hh"
+
+namespace dhdl::cpu {
+
+float
+dotproduct(ThreadPool& pool, const std::vector<float>& a,
+           const std::vector<float>& b)
+{
+    require(a.size() == b.size(), "dotproduct size mismatch");
+    std::mutex mu;
+    int64_t n = int64_t(a.size());
+    double total = 0.0;
+    pool.parallelFor(n, [&](int64_t lo, int64_t hi) {
+        double s = 0.0;
+        for (int64_t i = lo; i < hi; ++i)
+            s += double(a[size_t(i)]) * double(b[size_t(i)]);
+        std::lock_guard<std::mutex> lock(mu);
+        total += s;
+    });
+    return float(total);
+}
+
+void
+outerprod(ThreadPool& pool, const std::vector<float>& a,
+          const std::vector<float>& b, std::vector<float>& out)
+{
+    int64_t n = int64_t(a.size());
+    int64_t m = int64_t(b.size());
+    require(out.size() == size_t(n * m), "outerprod size mismatch");
+    pool.parallelFor(n, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            float ai = a[size_t(i)];
+            float* row = &out[size_t(i * m)];
+            for (int64_t j = 0; j < m; ++j)
+                row[j] = ai * b[size_t(j)];
+        }
+    });
+}
+
+void
+gemm(ThreadPool& pool, const std::vector<float>& a,
+     const std::vector<float>& b, std::vector<float>& c, int64_t m,
+     int64_t n, int64_t k)
+{
+    require(a.size() == size_t(m * k) && b.size() == size_t(k * n) &&
+                c.size() == size_t(m * n),
+            "gemm size mismatch");
+    std::fill(c.begin(), c.end(), 0.0f);
+    constexpr int64_t kc = 64;
+    pool.parallelFor(m, [&](int64_t lo, int64_t hi) {
+        for (int64_t k0 = 0; k0 < k; k0 += kc) {
+            int64_t k1 = std::min(k, k0 + kc);
+            for (int64_t i = lo; i < hi; ++i) {
+                for (int64_t kk = k0; kk < k1; ++kk) {
+                    float aik = a[size_t(i * k + kk)];
+                    const float* brow = &b[size_t(kk * n)];
+                    float* crow = &c[size_t(i * n)];
+                    for (int64_t j = 0; j < n; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
+        }
+    });
+}
+
+float
+tpchq6(ThreadPool& pool, const std::vector<float>& dates,
+       const std::vector<float>& quantities,
+       const std::vector<float>& discounts,
+       const std::vector<float>& prices, float date_lo, float date_hi,
+       float disc_lo, float disc_hi, float qty_max)
+{
+    int64_t n = int64_t(dates.size());
+    require(quantities.size() == size_t(n) &&
+                discounts.size() == size_t(n) &&
+                prices.size() == size_t(n),
+            "tpchq6 size mismatch");
+    std::mutex mu;
+    double total = 0.0;
+    pool.parallelFor(n, [&](int64_t lo, int64_t hi) {
+        double s = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+            size_t u = size_t(i);
+            bool pass = dates[u] >= date_lo && dates[u] < date_hi &&
+                        discounts[u] >= disc_lo &&
+                        discounts[u] <= disc_hi &&
+                        quantities[u] < qty_max;
+            if (pass)
+                s += double(prices[u]) * double(discounts[u]);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        total += s;
+    });
+    return float(total);
+}
+
+namespace {
+
+/** Cumulative normal distribution (PARSEC blackscholes polynomial). */
+float
+cndf(float x)
+{
+    bool neg = x < 0.0f;
+    float ax = std::fabs(x);
+    float k = 1.0f / (1.0f + 0.2316419f * ax);
+    float k2 = k * k;
+    float k3 = k2 * k;
+    float k4 = k3 * k;
+    float k5 = k4 * k;
+    float poly = 0.319381530f * k - 0.356563782f * k2 +
+                 1.781477937f * k3 - 1.821255978f * k4 +
+                 1.330274429f * k5;
+    float pdf =
+        0.39894228040143270286f * std::exp(-0.5f * ax * ax);
+    float cnd = 1.0f - pdf * poly;
+    return neg ? 1.0f - cnd : cnd;
+}
+
+} // namespace
+
+float
+blackscholesOne(float otype, float sptprice, float strike, float rate,
+                float volatility, float otime)
+{
+    float sqrt_t = std::sqrt(otime);
+    float log_term = std::log(sptprice / strike);
+    float pow_term = 0.5f * volatility * volatility;
+    float den = volatility * sqrt_t;
+    float d1 = (log_term + (rate + pow_term) * otime) / den;
+    float d2 = d1 - den;
+    float n_d1 = cndf(d1);
+    float n_d2 = cndf(d2);
+    float fut = strike * std::exp(-rate * otime);
+    if (otype != 0.0f)
+        return sptprice * n_d1 - fut * n_d2;
+    return fut * (1.0f - n_d2) - sptprice * (1.0f - n_d1);
+}
+
+void
+blackscholes(ThreadPool& pool, const std::vector<float>& otype,
+             const std::vector<float>& sptprice,
+             const std::vector<float>& strike,
+             const std::vector<float>& rate,
+             const std::vector<float>& volatility,
+             const std::vector<float>& otime,
+             std::vector<float>& prices)
+{
+    int64_t n = int64_t(otype.size());
+    require(prices.size() == size_t(n), "blackscholes size mismatch");
+    pool.parallelFor(n, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            size_t u = size_t(i);
+            prices[u] = blackscholesOne(otype[u], sptprice[u],
+                                        strike[u], rate[u],
+                                        volatility[u], otime[u]);
+        }
+    });
+}
+
+void
+gda(ThreadPool& pool, const std::vector<float>& x,
+    const std::vector<float>& y, const std::vector<float>& mu0,
+    const std::vector<float>& mu1, std::vector<float>& sigma,
+    int64_t rows, int64_t cols)
+{
+    require(x.size() == size_t(rows * cols) && y.size() == size_t(rows) &&
+                mu0.size() == size_t(cols) &&
+                mu1.size() == size_t(cols) &&
+                sigma.size() == size_t(cols * cols),
+            "gda size mismatch");
+    std::mutex mu;
+    std::fill(sigma.begin(), sigma.end(), 0.0f);
+    pool.parallelFor(rows, [&](int64_t lo, int64_t hi) {
+        std::vector<float> sub(static_cast<size_t>(cols), 0.0f);
+        std::vector<double> local(size_t(cols * cols), 0.0);
+        for (int64_t r = lo; r < hi; ++r) {
+            const float* mu_r = y[size_t(r)] != 0.0f ? mu1.data()
+                                                     : mu0.data();
+            const float* xr = &x[size_t(r * cols)];
+            for (int64_t c = 0; c < cols; ++c)
+                sub[size_t(c)] = xr[c] - mu_r[c];
+            for (int64_t i = 0; i < cols; ++i) {
+                double si = double(sub[size_t(i)]);
+                for (int64_t j = 0; j < cols; ++j)
+                    local[size_t(i * cols + j)] +=
+                        si * double(sub[size_t(j)]);
+            }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        for (size_t i = 0; i < local.size(); ++i)
+            sigma[i] += float(local[i]);
+    });
+}
+
+void
+conv2d(ThreadPool& pool, const std::vector<float>& image,
+       const std::vector<float>& kernel, std::vector<float>& out,
+       int64_t h, int64_t w, int64_t k)
+{
+    int64_t h_out = h - k + 1;
+    int64_t w_out = w - k + 1;
+    require(image.size() == size_t(h * w) &&
+                kernel.size() == size_t(k * k) &&
+                out.size() == size_t(h_out * w_out),
+            "conv2d size mismatch");
+    pool.parallelFor(h_out, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            for (int64_t j = 0; j < w_out; ++j) {
+                float acc = 0;
+                for (int64_t ki = 0; ki < k; ++ki) {
+                    const float* row = &image[size_t((i + ki) * w)];
+                    const float* kr = &kernel[size_t(ki * k)];
+                    for (int64_t kj = 0; kj < k; ++kj)
+                        acc += row[j + kj] * kr[kj];
+                }
+                out[size_t(i * w_out + j)] = acc;
+            }
+        }
+    });
+}
+
+void
+kmeans(ThreadPool& pool, const std::vector<float>& points,
+       const std::vector<float>& centroids,
+       std::vector<float>& new_centroids, int64_t n, int64_t k,
+       int64_t dim)
+{
+    require(points.size() == size_t(n * dim) &&
+                centroids.size() == size_t(k * dim) &&
+                new_centroids.size() == size_t(k * dim),
+            "kmeans size mismatch");
+    std::mutex mu;
+    std::vector<double> acc(size_t(k * dim), 0.0);
+    std::vector<int64_t> count(size_t(k), 0);
+
+    pool.parallelFor(n, [&](int64_t lo, int64_t hi) {
+        std::vector<double> local_acc(size_t(k * dim), 0.0);
+        std::vector<int64_t> local_cnt(size_t(k), 0);
+        for (int64_t p = lo; p < hi; ++p) {
+            const float* pt = &points[size_t(p * dim)];
+            int64_t best = 0;
+            double best_d = 1e300;
+            for (int64_t c = 0; c < k; ++c) {
+                const float* ct = &centroids[size_t(c * dim)];
+                double d = 0.0;
+                for (int64_t j = 0; j < dim; ++j) {
+                    double diff = double(pt[j]) - double(ct[j]);
+                    d += diff * diff;
+                }
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            ++local_cnt[size_t(best)];
+            for (int64_t j = 0; j < dim; ++j)
+                local_acc[size_t(best * dim + j)] += double(pt[j]);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        for (size_t i = 0; i < acc.size(); ++i)
+            acc[i] += local_acc[i];
+        for (size_t i = 0; i < count.size(); ++i)
+            count[i] += local_cnt[i];
+    });
+
+    for (int64_t c = 0; c < k; ++c) {
+        for (int64_t j = 0; j < dim; ++j) {
+            size_t idx = size_t(c * dim + j);
+            new_centroids[idx] =
+                count[size_t(c)] > 0
+                    ? float(acc[idx] / double(count[size_t(c)]))
+                    : centroids[idx];
+        }
+    }
+}
+
+} // namespace dhdl::cpu

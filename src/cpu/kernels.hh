@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Optimized multithreaded CPU reference implementations of the seven
+ * evaluation benchmarks (Table II). These serve two purposes: they
+ * are the functional oracles for the DHDL simulator, and they define
+ * the operation/byte counts the roofline CPU model (Figure 6
+ * baseline) is evaluated on.
+ */
+
+#ifndef DHDL_CPU_KERNELS_HH
+#define DHDL_CPU_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/thread_pool.hh"
+
+namespace dhdl::cpu {
+
+/** Vector dot product: sum(a[i] * b[i]). */
+float dotproduct(ThreadPool& pool, const std::vector<float>& a,
+                 const std::vector<float>& b);
+
+/** Vector outer product: out[i*m + j] = a[i] * b[j]. */
+void outerprod(ThreadPool& pool, const std::vector<float>& a,
+               const std::vector<float>& b, std::vector<float>& out);
+
+/** Blocked matrix multiply: c[m x n] = a[m x k] * b[k x n]. */
+void gemm(ThreadPool& pool, const std::vector<float>& a,
+          const std::vector<float>& b, std::vector<float>& c,
+          int64_t m, int64_t n, int64_t k);
+
+/**
+ * TPC-H Query 6: sum(price * discount) over rows passing the date /
+ * discount / quantity filters.
+ */
+float tpchq6(ThreadPool& pool, const std::vector<float>& dates,
+             const std::vector<float>& quantities,
+             const std::vector<float>& discounts,
+             const std::vector<float>& prices, float date_lo,
+             float date_hi, float disc_lo, float disc_hi,
+             float qty_max);
+
+/**
+ * Black-Scholes European option pricing; otype selects call (1) or
+ * put (0) per option. Writes one price per option.
+ */
+void blackscholes(ThreadPool& pool, const std::vector<float>& otype,
+                  const std::vector<float>& sptprice,
+                  const std::vector<float>& strike,
+                  const std::vector<float>& rate,
+                  const std::vector<float>& volatility,
+                  const std::vector<float>& otime,
+                  std::vector<float>& prices);
+
+/** Scalar Black-Scholes (shared with the DHDL app's dataflow). */
+float blackscholesOne(float otype, float sptprice, float strike,
+                      float rate, float volatility, float otime);
+
+/**
+ * Gaussian discriminant analysis covariance accumulation:
+ * sigma[C x C] = sum_r (x_r - mu_{y_r}) (x_r - mu_{y_r})^T.
+ */
+void gda(ThreadPool& pool, const std::vector<float>& x,
+         const std::vector<float>& y, const std::vector<float>& mu0,
+         const std::vector<float>& mu1, std::vector<float>& sigma,
+         int64_t rows, int64_t cols);
+
+/**
+ * 2-D valid convolution: out[(h-k+1) x (w-k+1)] of image[h x w] with
+ * kernel[k x k] (extension app's reference).
+ */
+void conv2d(ThreadPool& pool, const std::vector<float>& image,
+            const std::vector<float>& kernel, std::vector<float>& out,
+            int64_t h, int64_t w, int64_t k);
+
+/**
+ * One k-means iteration: assign each point to the nearest centroid
+ * and emit the recomputed centroids (mean of assigned points; an
+ * empty cluster keeps its old centroid).
+ */
+void kmeans(ThreadPool& pool, const std::vector<float>& points,
+            const std::vector<float>& centroids,
+            std::vector<float>& new_centroids, int64_t n, int64_t k,
+            int64_t dim);
+
+} // namespace dhdl::cpu
+
+#endif // DHDL_CPU_KERNELS_HH

@@ -1,0 +1,21 @@
+#include "cpu/roofline.hh"
+
+#include <algorithm>
+
+#include "core/error.hh"
+
+namespace dhdl::cpu {
+
+double
+cpuTimeSeconds(const CpuPlatform& p, const CpuWorkload& w)
+{
+    require(w.computeEff > 0 && w.computeEff <= 1.0 &&
+                w.memoryEff > 0 && w.memoryEff <= 1.0,
+            "roofline efficiencies must be in (0, 1]");
+    double compute_s =
+        w.flops / (p.peakGflops() * 1e9 * w.computeEff);
+    double memory_s = w.bytes / (p.memBwGBs * 1e9 * w.memoryEff);
+    return std::max(compute_s, memory_s);
+}
+
+} // namespace dhdl::cpu

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Roofline performance model of the paper's CPU baseline: a 6-core
+ * Intel Xeon E5-2630 at 2.3 GHz with 42.6 GB/s of main memory
+ * bandwidth and a 15 MB LLC (Section V-D). The reproduction host is
+ * not that machine, so Figure 6's CPU times come from this calibrated
+ * model applied to each benchmark's operation and byte counts; the
+ * real multithreaded kernels (kernels.hh) remain the functional
+ * oracles. See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef DHDL_CPU_ROOFLINE_HH
+#define DHDL_CPU_ROOFLINE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dhdl::cpu {
+
+/** CPU platform parameters (defaults: Xeon E5-2630, 6 threads). */
+struct CpuPlatform {
+    int cores = 6;
+    double ghz = 2.3;
+    /** Peak single-precision FLOPs per cycle per core (AVX). */
+    double flopsPerCycle = 16.0;
+    double memBwGBs = 42.6;
+
+    double
+    peakGflops() const
+    {
+        return cores * ghz * flopsPerCycle;
+    }
+};
+
+/** One benchmark's workload characteristics on the CPU. */
+struct CpuWorkload {
+    std::string name;
+    double flops = 0;      //!< Useful arithmetic operations.
+    double bytes = 0;      //!< DRAM traffic (beyond-LLC bytes).
+    /** Fraction of peak FLOPs the tuned kernel sustains. */
+    double computeEff = 0.5;
+    /** Fraction of peak bandwidth the stream sustains. */
+    double memoryEff = 0.85;
+};
+
+/**
+ * Modeled execution time in seconds: the roofline max of compute
+ * time and memory time under the given efficiencies.
+ */
+double cpuTimeSeconds(const CpuPlatform& p, const CpuWorkload& w);
+
+} // namespace dhdl::cpu
+
+#endif // DHDL_CPU_ROOFLINE_HH

@@ -1,0 +1,86 @@
+#include "cpu/thread_pool.hh"
+
+#include <algorithm>
+
+#include "core/error.hh"
+
+namespace dhdl::cpu {
+
+ThreadPool::ThreadPool(int threads)
+{
+    require(threads > 0, "thread pool needs at least one worker");
+    workers_.reserve(size_t(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --pending_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tasks_.push(std::move(task));
+        ++pending_;
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::barrier()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(int64_t n,
+                        const std::function<void(int64_t, int64_t)>& body)
+{
+    if (n <= 0)
+        return;
+    int64_t chunks = std::min<int64_t>(threads(), n);
+    int64_t per = (n + chunks - 1) / chunks;
+    for (int64_t c = 0; c < chunks; ++c) {
+        int64_t lo = c * per;
+        int64_t hi = std::min(n, lo + per);
+        if (lo >= hi)
+            break;
+        submit([=, &body] { body(lo, hi); });
+    }
+    barrier();
+}
+
+} // namespace dhdl::cpu

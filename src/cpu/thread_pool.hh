@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal blocking thread pool with a parallel-for helper, used by
+ * the multithreaded CPU reference implementations (the paper runs
+ * each CPU benchmark with 6 threads on a Xeon E5-2630).
+ */
+
+#ifndef DHDL_CPU_THREAD_POOL_HH
+#define DHDL_CPU_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dhdl::cpu {
+
+/** Fixed-size worker pool executing submitted tasks. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int threads = 6);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int threads() const { return int(workers_.size()); }
+
+    /** Submit a task; wait for all with barrier(). */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void barrier();
+
+    /**
+     * Split [0, n) into one contiguous chunk per worker and run
+     * body(begin, end) on each; blocks until all chunks finish.
+     */
+    void parallelFor(int64_t n,
+                     const std::function<void(int64_t, int64_t)>& body);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable idleCv_;
+    int64_t pending_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace dhdl::cpu
+
+#endif // DHDL_CPU_THREAD_POOL_HH

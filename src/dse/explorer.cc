@@ -1,0 +1,61 @@
+#include "dse/explorer.hh"
+
+namespace dhdl::dse {
+
+size_t
+ExploreResult::bestIndex() const
+{
+    size_t best = SIZE_MAX;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].valid)
+            continue;
+        if (best == SIZE_MAX || points[i].cycles < points[best].cycles)
+            best = i;
+    }
+    return best;
+}
+
+DesignPoint
+Explorer::evaluate(const Graph& g, ParamBinding b) const
+{
+    DesignPoint p;
+    p.binding = std::move(b);
+    Inst inst(g, p.binding);
+    p.area = area_.estimate(inst);
+    p.cycles = runtime_.estimate(inst).cycles;
+    p.valid = p.area.fits(area_.device());
+    return p;
+}
+
+ExploreResult
+Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
+{
+    ParamSpace space(g);
+    ExploreResult res;
+    // Small pruned spaces are walked exhaustively; larger ones are
+    // randomly sampled (the paper samples up to 75,000 legal points).
+    auto bindings =
+        space.sizeEstimate() <= double(cfg.maxPoints)
+            ? space.enumerate(cfg.maxPoints)
+            : space.sample(cfg.maxPoints, cfg.seed);
+    res.points.reserve(bindings.size());
+    for (auto& b : bindings)
+        res.points.push_back(evaluate(g, std::move(b)));
+
+    // Pareto over valid points only, then map back to full indices.
+    std::vector<size_t> valid;
+    for (size_t i = 0; i < res.points.size(); ++i) {
+        if (res.points[i].valid)
+            valid.push_back(i);
+    }
+    auto front = paretoFront(
+        valid.size(),
+        [&](size_t i) { return res.points[valid[i]].area.alms; },
+        [&](size_t i) { return res.points[valid[i]].cycles; });
+    res.pareto.reserve(front.size());
+    for (size_t i : front)
+        res.pareto.push_back(valid[i]);
+    return res;
+}
+
+} // namespace dhdl::dse

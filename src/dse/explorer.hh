@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The design space explorer (Steps 2-4 of Figure 1): randomly sample
+ * the legal parameter space, estimate area and runtime for each
+ * point with the calibrated estimators, mark points that exceed any
+ * device capacity as invalid, and extract the Pareto frontier over
+ * (execution cycles, ALM usage).
+ */
+
+#ifndef DHDL_DSE_EXPLORER_HH
+#define DHDL_DSE_EXPLORER_HH
+
+#include "dse/pareto.hh"
+#include "dse/space.hh"
+#include "estimate/area_estimator.hh"
+#include "estimate/runtime_estimator.hh"
+
+namespace dhdl::dse {
+
+/** One evaluated design point. */
+struct DesignPoint {
+    ParamBinding binding;
+    est::AreaEstimate area;
+    double cycles = 0;
+    bool valid = false; //!< Fits every device resource capacity.
+};
+
+/** Exploration configuration. */
+struct ExploreConfig {
+    /** Points sampled from the legal space (paper: up to 75,000). */
+    int maxPoints = 75000;
+    uint64_t seed = 0xD5Eull;
+};
+
+/** Exploration output: all evaluated points + the Pareto front. */
+struct ExploreResult {
+    std::vector<DesignPoint> points;
+    /** Indices of Pareto-optimal valid points (cycles vs ALMs). */
+    std::vector<size_t> pareto;
+
+    /** The valid point with the fewest cycles; SIZE_MAX when none. */
+    size_t bestIndex() const;
+};
+
+/** DSE driver bound to calibrated estimators. */
+class Explorer
+{
+  public:
+    Explorer(const est::AreaEstimator& area,
+             const est::RuntimeEstimator& runtime)
+        : area_(area), runtime_(runtime) {}
+
+    /** Evaluate a single binding. */
+    DesignPoint evaluate(const Graph& g, ParamBinding b) const;
+
+    /** Sample and evaluate the design space of a graph. */
+    ExploreResult explore(const Graph& g,
+                          const ExploreConfig& cfg = {}) const;
+
+  private:
+    const est::AreaEstimator& area_;
+    const est::RuntimeEstimator& runtime_;
+};
+
+} // namespace dhdl::dse
+
+#endif // DHDL_DSE_EXPLORER_HH

@@ -1,0 +1,31 @@
+#include "dse/pareto.hh"
+
+#include <algorithm>
+
+namespace dhdl::dse {
+
+std::vector<size_t>
+paretoFront(size_t n, const std::function<double(size_t)>& x,
+            const std::function<double(size_t)>& y)
+{
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (x(a) != x(b))
+            return x(a) < x(b);
+        return y(a) < y(b);
+    });
+
+    std::vector<size_t> front;
+    double best_y = 1e300;
+    for (size_t i : order) {
+        if (y(i) < best_y) {
+            front.push_back(i);
+            best_y = y(i);
+        }
+    }
+    return front;
+}
+
+} // namespace dhdl::dse

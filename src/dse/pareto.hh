@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Pareto-frontier extraction. The paper reports Pareto-optimal
+ * designs "along the dimensions of execution time and ALM
+ * utilization" (Section V-C1); both objectives are minimized.
+ */
+
+#ifndef DHDL_DSE_PARETO_HH
+#define DHDL_DSE_PARETO_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace dhdl::dse {
+
+/**
+ * Indices of the Pareto-minimal points under objectives (x, y).
+ * A point is Pareto-optimal when no other point is <= in both
+ * objectives and < in at least one. Returned sorted by x ascending.
+ */
+std::vector<size_t>
+paretoFront(size_t n, const std::function<double(size_t)>& x,
+            const std::function<double(size_t)>& y);
+
+} // namespace dhdl::dse
+
+#endif // DHDL_DSE_PARETO_HH

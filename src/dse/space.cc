@@ -1,0 +1,104 @@
+#include "dse/space.hh"
+
+#include <unordered_set>
+
+namespace dhdl::dse {
+
+ParamSpace::ParamSpace(const Graph& g) : g_(g)
+{
+    const auto& params = g.params();
+    legal_.reserve(params.size());
+    for (size_t i = 0; i < params.size(); ++i)
+        legal_.push_back(params.legalValues(ParamId(i)));
+}
+
+double
+ParamSpace::sizeEstimate() const
+{
+    double n = 1;
+    for (const auto& vs : legal_)
+        n *= double(vs.size());
+    return n;
+}
+
+ParamBinding
+ParamSpace::randomBinding(ml::Rng& rng) const
+{
+    ParamBinding b;
+    b.values.reserve(legal_.size());
+    for (const auto& vs : legal_)
+        b.values.push_back(
+            vs[size_t(rng.uniformInt(0, int64_t(vs.size()) - 1))]);
+    return b;
+}
+
+bool
+ParamSpace::isLegal(const ParamBinding& b) const
+{
+    if (!g_.satisfiesConstraints(b))
+        return false;
+    for (NodeId id = 0; id < NodeId(g_.numNodes()); ++id) {
+        const Node& n = g_.node(id);
+        if (n.kind() != NodeKind::Bram && n.kind() != NodeKind::Queue)
+            continue;
+        const auto& m = g_.nodeAs<MemNode>(id);
+        int64_t bits = m.numElems(b) * m.type.bits();
+        if (bits > kMaxLocalMemBits)
+            return false;
+    }
+    return true;
+}
+
+std::vector<ParamBinding>
+ParamSpace::enumerate(int64_t cap) const
+{
+    std::vector<ParamBinding> out;
+    if (legal_.empty()) {
+        out.push_back(ParamBinding{});
+        return out;
+    }
+    std::vector<size_t> idx(legal_.size(), 0);
+    while (int64_t(out.size()) < cap) {
+        ParamBinding b;
+        b.values.reserve(legal_.size());
+        for (size_t i = 0; i < legal_.size(); ++i)
+            b.values.push_back(legal_[i][idx[i]]);
+        if (isLegal(b))
+            out.push_back(std::move(b));
+
+        // Odometer advance.
+        size_t d = legal_.size();
+        while (d-- > 0) {
+            if (++idx[d] < legal_[d].size())
+                break;
+            idx[d] = 0;
+            if (d == 0)
+                return out;
+        }
+    }
+    return out;
+}
+
+std::vector<ParamBinding>
+ParamSpace::sample(int n, uint64_t seed) const
+{
+    ml::Rng rng(ml::hashMix(seed));
+    std::vector<ParamBinding> out;
+    std::unordered_set<uint64_t> seen;
+    // The legal space can be smaller than n; bound the attempts.
+    int64_t attempts = int64_t(n) * 20 + 1000;
+    while (int(out.size()) < n && attempts-- > 0) {
+        ParamBinding b = randomBinding(rng);
+        uint64_t h = 0x9e3779b97f4a7c15ull;
+        for (int64_t v : b.values)
+            h = ml::hashMix(h ^ uint64_t(v));
+        if (!seen.insert(h).second)
+            continue;
+        if (!isLegal(b))
+            continue; // "We immediately discard illegal points."
+        out.push_back(std::move(b));
+    }
+    return out;
+}
+
+} // namespace dhdl::dse

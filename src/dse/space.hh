@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The design parameter space and the paper's pruning heuristics
+ * (Section IV-C):
+ *
+ *  - parallelization factors are integer divisors of trip counts;
+ *  - tile sizes are divisors of the annotated data dimensions;
+ *  - banking is inferred automatically, not explored;
+ *  - each local memory is capped at a fixed maximum size;
+ *
+ * together defining the "legal" subspace that is randomly sampled
+ * (up to 75,000 points in the paper's experiments).
+ */
+
+#ifndef DHDL_DSE_SPACE_HH
+#define DHDL_DSE_SPACE_HH
+
+#include "analysis/instance.hh"
+#include "ml/rng.hh"
+
+namespace dhdl::dse {
+
+/** Maximum size of a single on-chip memory, in bits. */
+inline constexpr int64_t kMaxLocalMemBits = int64_t(4) << 20;
+
+/** Enumeration and sampling of a design's legal parameter space. */
+class ParamSpace
+{
+  public:
+    explicit ParamSpace(const Graph& g);
+
+    /** Total number of parameter combinations before legality. */
+    double sizeEstimate() const;
+
+    /** Legal values of each parameter (pruned). */
+    const std::vector<std::vector<int64_t>>& legalValues() const
+    {
+        return legal_;
+    }
+
+    /** Draw one random combination of legal parameter values. */
+    ParamBinding randomBinding(ml::Rng& rng) const;
+
+    /**
+     * Structural legality of a binding: every local memory within
+     * the size cap. (Resource capacity is checked later, against
+     * the area estimate.)
+     */
+    bool isLegal(const ParamBinding& b) const;
+
+    /**
+     * Sample up to n distinct legal bindings. May return fewer when
+     * the legal space is smaller than n.
+     */
+    std::vector<ParamBinding> sample(int n, uint64_t seed) const;
+
+    /**
+     * Exhaustively enumerate legal bindings (odometer order), up to
+     * `cap` results. Used when the pruned space is small enough to
+     * walk completely.
+     */
+    std::vector<ParamBinding> enumerate(int64_t cap) const;
+
+  private:
+    const Graph& g_;
+    std::vector<std::vector<int64_t>> legal_;
+};
+
+} // namespace dhdl::dse
+
+#endif // DHDL_DSE_SPACE_HH

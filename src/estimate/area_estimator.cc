@@ -1,0 +1,247 @@
+#include "estimate/area_estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/serialize.hh"
+
+namespace dhdl::est {
+
+std::vector<double>
+AreaEstimator::designFeatures(const AreaModel& model,
+                              const fpga::Device& dev,
+                              const std::vector<TemplateInst>& ts,
+                              Resources raw)
+{
+    (void)model;
+    double n_ctrl = 0, n_mem = 0, n_xfer = 0, bits_sum = 0;
+    for (const auto& t : ts) {
+        switch (t.tkind) {
+          case TemplateKind::PipeCtrl:
+          case TemplateKind::SeqCtrl:
+          case TemplateKind::ParCtrl:
+          case TemplateKind::MetaPipeCtrl:
+            n_ctrl += 1;
+            break;
+          case TemplateKind::BramInst:
+          case TemplateKind::RegInst:
+          case TemplateKind::QueueInst:
+            n_mem += 1;
+            break;
+          case TemplateKind::TileTransfer:
+            n_xfer += 1;
+            break;
+          default:
+            break;
+        }
+        bits_sum += t.bits;
+    }
+    double n = double(std::max<size_t>(1, ts.size()));
+    return {
+        std::log2(1.0 + raw.lutsPack),
+        std::log2(1.0 + raw.lutsNoPack),
+        std::log2(1.0 + raw.regs),
+        std::log2(1.0 + raw.dsps),
+        std::log2(1.0 + raw.brams),
+        std::log2(1.0 + n),
+        n_ctrl,
+        n_mem,
+        n_xfer,
+        bits_sum / n,
+        raw.totalLuts() / double(dev.alms * dev.lutsPerAlm),
+    };
+}
+
+AreaEstimator::AreaEstimator(const fpga::VendorToolchain& tc,
+                             int train_designs, uint64_t seed)
+    : dev_(tc.device()), routeNet_({11, 6, 1}, seed ^ 1),
+      dupRegNet_({11, 6, 1}, seed ^ 2), unavailNet_({11, 6, 1}, seed ^ 3)
+{
+    // Step 1: characterize templates and fit the analytical models.
+    model_.fit(characterizeTemplates(tc));
+
+    // Step 2: train the post-P&R effect networks on random designs.
+    auto samples = fpga::randomDesignSamples(tc, train_designs, seed);
+
+    std::vector<std::vector<double>> feats;
+    std::vector<std::vector<double>> targets; // route, dupReg, unavail
+    std::vector<std::vector<double>> route_x; // for the BRAM-dup fit
+    std::vector<double> bram_y;
+
+    for (const auto& s : samples) {
+        Resources raw = model_.rawCount(s.templates);
+        if (raw.totalLuts() <= 0 || raw.regs <= 0)
+            continue;
+        feats.push_back(designFeatures(model_, dev_, s.templates, raw));
+        targets.push_back({s.report.routeLuts / raw.totalLuts(),
+                           s.report.dupRegs / raw.regs,
+                           s.report.unavailLuts / raw.totalLuts()});
+        route_x.push_back({s.report.routeLuts});
+        bram_y.push_back(s.report.dupBrams / std::max(1.0, raw.brams));
+    }
+    require(feats.size() >= 10, "too few usable training designs");
+
+    featScaler_.fit(feats);
+    targetScaler_.fit(targets);
+    std::vector<std::vector<double>> xs(feats.size());
+    std::array<std::vector<std::vector<double>>, 3> ys;
+    for (size_t i = 0; i < feats.size(); ++i) {
+        xs[i] = featScaler_.transformed(feats[i]);
+        for (int f = 0; f < 3; ++f)
+            ys[size_t(f)].push_back(
+                {targetScaler_.scaleColumn(size_t(f),
+                                           targets[i][size_t(f)])});
+    }
+
+    ml::RpropTrainer(routeNet_).train(xs, ys[0], 600);
+    ml::RpropTrainer(dupRegNet_).train(xs, ys[1], 600);
+    ml::RpropTrainer(unavailNet_).train(xs, ys[2], 600);
+
+    // Step 3: BRAM duplication as a linear function of the number of
+    // routing LUTs, "fit using the same data used to train the neural
+    // networks". The regressand is the duplication *fraction* so the
+    // prediction scales with the design's own block RAM count.
+    bramDup_.fit(route_x, bram_y);
+
+    // Step 4: calibrate the packing rate: 1-D search for the rate
+    // that minimizes mean relative ALM error on the training designs.
+    double best_rate = 1.0, best_err = 1e300;
+    for (double rate = 0.5; rate <= 1.001; rate += 0.01) {
+        packRate_ = rate;
+        double err = 0;
+        int m = 0;
+        for (const auto& s : samples) {
+            if (s.report.alms < 1000)
+                continue;
+            auto e = estimateList(s.templates);
+            err += std::fabs(e.alms - s.report.alms) / s.report.alms;
+            ++m;
+        }
+        if (m > 0 && err / m < best_err) {
+            best_err = err / m;
+            best_rate = rate;
+        }
+    }
+    packRate_ = best_rate;
+}
+
+AreaEstimator::AreaEstimator(fpga::Device dev, std::istream& is)
+    : dev_(std::move(dev)), routeNet_({1, 1}), dupRegNet_({1, 1}),
+      unavailNet_({1, 1})
+{
+    std::string tag, version;
+    is >> tag >> version;
+    require(bool(is) && tag == "area_estimator" && version == "v1",
+            "bad calibration file header");
+    model_ = AreaModel::load(is);
+    routeNet_ = ml::loadMlp(is);
+    dupRegNet_ = ml::loadMlp(is);
+    unavailNet_ = ml::loadMlp(is);
+    featScaler_ = ml::loadScaler(is);
+    targetScaler_ = ml::loadScaler(is);
+    bramDup_ = ml::loadLinear(is);
+    auto rate = ml::readDoubles(is, "pack_rate");
+    require(rate.size() == 1, "bad pack-rate record");
+    packRate_ = rate.front();
+}
+
+void
+AreaEstimator::save(std::ostream& os) const
+{
+    os << "area_estimator v1\n";
+    model_.save(os);
+    ml::saveMlp(os, routeNet_);
+    ml::saveMlp(os, dupRegNet_);
+    ml::saveMlp(os, unavailNet_);
+    ml::saveScaler(os, featScaler_);
+    ml::saveScaler(os, targetScaler_);
+    ml::saveLinear(os, bramDup_);
+    ml::writeDoubles(os, "pack_rate", {packRate_});
+}
+
+AreaEstimate
+AreaEstimator::assemble(const std::vector<TemplateInst>& ts,
+                        Resources raw, double route_frac,
+                        double dup_reg_frac, double unavail_frac,
+                        double pack_rate) const
+{
+    (void)ts;
+    AreaEstimate e;
+    e.raw = raw;
+    e.routeLuts = std::max(0.0, route_frac) * raw.totalLuts();
+    e.dupRegs = std::max(0.0, dup_reg_frac) * raw.regs;
+    e.unavailLuts = std::max(0.0, unavail_frac) * raw.totalLuts();
+    e.dupBrams =
+        std::max(0.0, bramDup_.predict({e.routeLuts})) * raw.brams;
+
+    // LUT packing: routing LUTs are assumed packable; packable LUTs
+    // pack pairwise (at the calibrated rate) into compute units with
+    // two registers each.
+    double packable = raw.lutsPack + e.routeLuts;
+    double unpackable = raw.lutsNoPack + e.unavailLuts;
+    double logic_units =
+        unpackable + packable * (1.0 - pack_rate / 2.0);
+
+    e.luts = raw.totalLuts() + e.routeLuts + e.unavailLuts;
+    e.regs = raw.regs + e.dupRegs;
+    // DSP counts are integral in reality; rounding (not ceiling) the
+    // fitted estimate avoids a systematic +1 at small counts.
+    e.dsps = std::round(raw.dsps);
+    e.brams = std::ceil(raw.brams + e.dupBrams);
+
+    double reg_units = std::max(
+        0.0, (e.regs - double(dev_.regsPerAlm) * logic_units) /
+                 double(dev_.regsPerAlm));
+    e.alms = logic_units + reg_units;
+    return e;
+}
+
+AreaEstimate
+AreaEstimator::estimateList(const std::vector<TemplateInst>& ts) const
+{
+    Resources raw = model_.rawCount(ts);
+    auto f = featScaler_.transformed(
+        designFeatures(model_, dev_, ts, raw));
+    double route = targetScaler_.inverseColumn(
+        0, routeNet_.predictScalar(f));
+    double dup_reg = targetScaler_.inverseColumn(
+        1, dupRegNet_.predictScalar(f));
+    double unavail = targetScaler_.inverseColumn(
+        2, unavailNet_.predictScalar(f));
+    return assemble(ts, raw, route, dup_reg, unavail, packRate_);
+}
+
+AreaEstimate
+AreaEstimator::estimate(const Inst& inst) const
+{
+    return estimateList(expandTemplates(inst));
+}
+
+AreaEstimate
+AreaEstimator::estimateAnalyticOnly(
+    const std::vector<TemplateInst>& ts) const
+{
+    // Average correction factors straight from Section IV-A prose
+    // (~10% routing, ~5% duplicated registers, ~4% unavailable), with
+    // the BRAM-dup linear model replaced by its training-mean slope.
+    // The paper's literal packing assumption ("all packable LUTs will
+    // be packed") without the calibration step.
+    Resources raw = model_.rawCount(ts);
+    return assemble(ts, raw, 0.10, 0.05, 0.04, 1.0);
+}
+
+const fpga::VendorToolchain&
+defaultToolchain()
+{
+    static fpga::VendorToolchain tc;
+    return tc;
+}
+
+const AreaEstimator&
+calibratedEstimator()
+{
+    static AreaEstimator est(defaultToolchain());
+    return est;
+}
+
+} // namespace dhdl::est

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Hybrid area estimation (Section IV-B2). Pipeline:
+ *
+ *  1. Count raw resources per node from the fitted template models
+ *     (including delay-matching resources from ASAP slack analysis).
+ *  2. Predict global post-P&R effects with small ANNs (11-6-1, one
+ *     per factor): routing LUTs, duplicated registers, unavailable
+ *     LUTs. Duplicated BRAMs are a linear function of routing LUTs.
+ *  3. Add the effects to the raw counts, then model LUT packing
+ *     ("the simple assumption that all packable LUTs will be
+ *     packed"), pairing packable LUTs into compute units with two
+ *     registers each, to obtain ALMs, DSPs and BRAMs.
+ *
+ * The estimator is calibrated once per device + toolchain: template
+ * characterization plus ANN training on 200 random design samples.
+ */
+
+#ifndef DHDL_ESTIMATE_AREA_ESTIMATOR_HH
+#define DHDL_ESTIMATE_AREA_ESTIMATOR_HH
+
+#include <iostream>
+#include <memory>
+
+#include "estimate/area_model.hh"
+#include "ml/mlp.hh"
+#include "ml/scaler.hh"
+
+namespace dhdl::est {
+
+/** Full area estimate with the intermediate effect predictions. */
+struct AreaEstimate {
+    Resources raw;          //!< Template-model resource counts.
+    double routeLuts = 0;   //!< Predicted route-through LUTs.
+    double dupRegs = 0;     //!< Predicted duplicated registers.
+    double unavailLuts = 0; //!< Predicted unusable LUTs.
+    double dupBrams = 0;    //!< Predicted duplicated block RAMs.
+    double alms = 0;
+    double luts = 0;
+    double regs = 0;
+    double dsps = 0;
+    double brams = 0;
+
+    bool
+    fits(const fpga::Device& d) const
+    {
+        return alms <= double(d.alms) && dsps <= double(d.dsps) &&
+               brams <= double(d.m20ks);
+    }
+};
+
+/** Calibrated hybrid area estimator. */
+class AreaEstimator
+{
+  public:
+    /**
+     * Calibrate against a toolchain: run the template
+     * characterization sweep, fit the analytical models, then train
+     * the effect ANNs on train_designs random design samples.
+     */
+    explicit AreaEstimator(const fpga::VendorToolchain& tc,
+                           int train_designs = 200,
+                           uint64_t seed = 0xA11CE);
+
+    /**
+     * Restore a previously calibrated estimator from a stream (see
+     * save()); `dev` must be the device it was calibrated for.
+     */
+    AreaEstimator(fpga::Device dev, std::istream& is);
+
+    /** Persist the full calibration (template models, ANNs, scalers,
+     *  BRAM-duplication fit, packing rate). */
+    void save(std::ostream& os) const;
+
+    /** Estimate a whole design instance. */
+    AreaEstimate estimate(const Inst& inst) const;
+
+    /** Estimate a pre-expanded template list. */
+    AreaEstimate
+    estimateList(const std::vector<TemplateInst>& ts) const;
+
+    /**
+     * Ablation: analytic-only estimate with fixed average correction
+     * factors instead of the ANNs (used by bench/ablation_estimator).
+     */
+    AreaEstimate
+    estimateAnalyticOnly(const std::vector<TemplateInst>& ts) const;
+
+    const AreaModel& model() const { return model_; }
+    const fpga::Device& device() const { return dev_; }
+
+    /** The 11 ANN input features for a design (Section IV-B2). */
+    static std::vector<double>
+    designFeatures(const AreaModel& model, const fpga::Device& dev,
+                   const std::vector<TemplateInst>& ts, Resources raw);
+
+  private:
+    AreaEstimate
+    assemble(const std::vector<TemplateInst>& ts, Resources raw,
+             double route_frac, double dup_reg_frac,
+             double unavail_frac, double pack_rate) const;
+
+    fpga::Device dev_;
+    AreaModel model_;
+    ml::Mlp routeNet_;
+    ml::Mlp dupRegNet_;
+    ml::Mlp unavailNet_;
+    ml::MinMaxScaler featScaler_;
+    ml::MinMaxScaler targetScaler_; //!< 3 columns: route/dupReg/unavail.
+    ml::LinearModel bramDup_;       //!< dupBrams ~ routeLuts.
+    /**
+     * Calibrated pairwise packing rate: fraction of packable LUTs the
+     * toolchain actually packs, fit on the training designs (the
+     * paper assumes 1.0 after observing ~0.8 in practice; calibrating
+     * removes the systematic ALM bias of that assumption).
+     */
+    double packRate_ = 1.0;
+};
+
+/**
+ * Process-wide calibrated estimator against the default MAIA board
+ * toolchain (calibration runs once, lazily).
+ */
+const AreaEstimator& calibratedEstimator();
+
+/** The toolchain instance paired with calibratedEstimator(). */
+const fpga::VendorToolchain& defaultToolchain();
+
+} // namespace dhdl::est
+
+#endif // DHDL_ESTIMATE_AREA_ESTIMATOR_HH

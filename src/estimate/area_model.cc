@@ -1,0 +1,179 @@
+#include "estimate/area_model.hh"
+
+#include <cmath>
+
+#include "analysis/critical_path.hh"
+#include "ml/serialize.hh"
+
+namespace dhdl::est {
+
+uint64_t
+AreaModel::classKey(const TemplateInst& t)
+{
+    uint64_t k = uint64_t(t.tkind) << 16;
+    if (t.tkind == TemplateKind::PrimOp ||
+        t.tkind == TemplateKind::ReduceTree) {
+        k |= uint64_t(t.op) << 1;
+        k |= uint64_t(t.isFloat);
+    }
+    return k;
+}
+
+std::vector<double>
+AreaModel::features(const TemplateInst& t)
+{
+    double lanes = double(t.lanes);
+    double vec = double(std::max<int64_t>(1, t.vec));
+    double bits = double(t.bits);
+    double banks = double(std::max(1, t.banks));
+    double copies = lanes * (t.doubleBuf ? 2.0 : 1.0);
+
+    switch (t.tkind) {
+      case TemplateKind::PrimOp:
+        return {lanes, lanes * bits, lanes * bits * bits / 64.0};
+      case TemplateKind::LoadStore:
+        return {lanes, lanes * bits, lanes * banks,
+                lanes * bits * std::log2(std::max(1.0, banks))};
+      case TemplateKind::BramInst: {
+        // Physical block count is a deterministic function of the
+        // geometry; give it to the regression as a feature. Banks of
+        // 640 bits or less map to MLAB LUT-RAM, not M20K.
+        double depth = std::ceil(double(t.elems) / banks);
+        bool mlab = depth * bits <= 640.0;
+        double phys = mlab ? 0.0
+                           : std::max(std::ceil(depth * bits / 20480.0),
+                                      std::ceil(bits / 40.0)) *
+                                 banks * copies;
+        double mlab_bits = mlab ? depth * bits * banks * copies : 0.0;
+        return {phys, mlab_bits, lanes, lanes * banks,
+                lanes * bits * banks / 32.0,
+                copies * bits * banks / 32.0};
+      }
+      case TemplateKind::RegInst:
+        return {copies * bits, lanes, lanes * bits};
+      case TemplateKind::QueueInst:
+        return {lanes * double(t.depth) * bits, lanes};
+      case TemplateKind::CounterInst:
+        return {lanes * double(t.ctrDims), lanes * vec, lanes};
+      case TemplateKind::PipeCtrl:
+        return {lanes, lanes * vec};
+      case TemplateKind::SeqCtrl:
+      case TemplateKind::ParCtrl:
+      case TemplateKind::MetaPipeCtrl:
+        return {lanes, lanes * double(t.stages), lanes * vec};
+      case TemplateKind::TileTransfer: {
+        double width = bits * vec;
+        return {lanes, lanes * width,
+                lanes * std::log2(1.0 + double(t.tileElems)),
+                lanes * std::ceil(512.0 * width / 20480.0)};
+      }
+      case TemplateKind::ReduceTree:
+        return {lanes * std::max(0.0, vec - 1.0),
+                lanes * std::log2(1.0 + vec) * bits / 32.0, lanes};
+      case TemplateKind::DelayLine: {
+        bool fifo = t.depth > kBramDelayThreshold;
+        double bits_total = t.delayBits * lanes;
+        return {fifo ? 0.0 : bits_total,
+                fifo ? std::ceil(t.delayBits / 20480.0) * lanes : 0.0,
+                lanes};
+      }
+    }
+    return {lanes};
+}
+
+void
+AreaModel::fit(const std::vector<fpga::TemplateSample>& samples)
+{
+    require(!samples.empty(), "no characterization samples");
+    // Group samples per class.
+    std::unordered_map<uint64_t, std::vector<const fpga::TemplateSample*>>
+        groups;
+    for (const auto& s : samples)
+        groups[classKey(s.inst)].push_back(&s);
+
+    models_.clear();
+    for (auto& [key, group] : groups) {
+        std::vector<std::vector<double>> x;
+        std::array<std::vector<double>, 5> y;
+        for (const auto* s : group) {
+            x.push_back(features(s->inst));
+            y[0].push_back(s->observed.lutsPack);
+            y[1].push_back(s->observed.lutsNoPack);
+            y[2].push_back(s->observed.regs);
+            y[3].push_back(s->observed.dsps);
+            y[4].push_back(s->observed.brams);
+        }
+        auto& ms = models_[key];
+        for (int i = 0; i < 5; ++i)
+            ms[size_t(i)].fit(x, y[size_t(i)], 1e-6);
+    }
+}
+
+Resources
+AreaModel::cost(const TemplateInst& t) const
+{
+    auto it = models_.find(classKey(t));
+    if (it == models_.end()) {
+        // Fall back to the kind-wide default class (op Add, fixed).
+        TemplateInst d = t;
+        d.op = Op::Add;
+        d.isFloat = false;
+        it = models_.find(classKey(d));
+        require(it != models_.end(),
+                std::string("uncharacterized template class: ") +
+                    templateKindName(t.tkind));
+    }
+    auto f = features(t);
+    const auto& ms = it->second;
+    Resources r;
+    r.lutsPack = std::max(0.0, ms[0].predict(f));
+    r.lutsNoPack = std::max(0.0, ms[1].predict(f));
+    r.regs = std::max(0.0, ms[2].predict(f));
+    r.dsps = std::max(0.0, ms[3].predict(f));
+    r.brams = std::max(0.0, ms[4].predict(f));
+    return r;
+}
+
+Resources
+AreaModel::rawCount(const std::vector<TemplateInst>& ts) const
+{
+    Resources total;
+    for (const auto& t : ts)
+        total += cost(t);
+    return total;
+}
+
+void
+AreaModel::save(std::ostream& os) const
+{
+    os << "area_model " << models_.size() << " v1\n";
+    for (const auto& [key, ms] : models_) {
+        os << "class " << key << "\n";
+        for (const auto& m : ms)
+            ml::saveLinear(os, m);
+    }
+}
+
+AreaModel
+AreaModel::load(std::istream& is)
+{
+    std::string tag, version;
+    size_t count = 0;
+    is >> tag >> count >> version;
+    require(bool(is) && tag == "area_model" && version == "v1",
+            "bad area-model file header");
+    AreaModel model;
+    for (size_t i = 0; i < count; ++i) {
+        std::string ctag;
+        uint64_t key = 0;
+        is >> ctag >> key;
+        require(bool(is) && ctag == "class",
+                "bad area-model class record");
+        auto& ms = model.models_[key];
+        for (auto& m : ms)
+            m = ml::loadLinear(is);
+    }
+    return model;
+}
+
+} // namespace dhdl::est

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Template-level analytical area models. Each template class (kind,
+ * plus operator and number type for datapath templates) gets five
+ * linear models — packable LUTs, unpackable LUTs, registers, DSPs and
+ * block RAMs — fit against isolated characterization synthesis runs
+ * (Section IV-B: "Using this data, we create analytical models of
+ * each DHDL template's resource requirements"). The models are
+ * application-independent and characterized once per device/toolchain.
+ */
+
+#ifndef DHDL_ESTIMATE_AREA_MODEL_HH
+#define DHDL_ESTIMATE_AREA_MODEL_HH
+
+#include <array>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+#include "fpga/characterize.hh"
+#include "ml/linreg.hh"
+
+namespace dhdl::est {
+
+/** Fitted per-template analytical resource models. */
+class AreaModel
+{
+  public:
+    /** Fit from characterization observations. */
+    void fit(const std::vector<fpga::TemplateSample>& samples);
+
+    /** Predicted raw resources of one template instance. */
+    Resources cost(const TemplateInst& t) const;
+
+    /** Predicted raw resources of a whole template list. */
+    Resources rawCount(const std::vector<TemplateInst>& ts) const;
+
+    /** Model-class key for a template instance (exposed for tests). */
+    static uint64_t classKey(const TemplateInst& t);
+
+    /** Feature vector used for the class's regression. */
+    static std::vector<double> features(const TemplateInst& t);
+
+    size_t numClasses() const { return models_.size(); }
+
+    /** Persist the fitted per-class models (text, versioned). */
+    void save(std::ostream& os) const;
+
+    /** Restore previously persisted models. */
+    static AreaModel load(std::istream& is);
+
+  private:
+    /** lutsPack, lutsNoPack, regs, dsps, brams. */
+    std::unordered_map<uint64_t, std::array<ml::LinearModel, 5>> models_;
+};
+
+} // namespace dhdl::est
+
+#endif // DHDL_ESTIMATE_AREA_MODEL_HH

@@ -1,0 +1,238 @@
+#include "estimate/runtime_estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/resources.hh"
+
+namespace dhdl::est {
+
+namespace {
+
+/** Fixed controller synchronization overhead per stage, cycles. */
+constexpr double kStageOverhead = 4.0;
+
+} // namespace
+
+RuntimeEstimator::RuntimeEstimator(fpga::Device dev)
+    : dev_(std::move(dev))
+{
+}
+
+double
+RuntimeEstimator::transferBytes(const Inst& inst, NodeId xfer) const
+{
+    const Graph& g = inst.graph();
+    int64_t elems = 1;
+    int bits;
+    if (g.node(xfer).kind() == NodeKind::TileLd) {
+        const auto& t = g.nodeAs<TileLdNode>(xfer);
+        bits = g.nodeAs<MemNode>(t.offchip).type.bits();
+        for (const auto& e : t.extent)
+            elems *= inst.val(e);
+    } else {
+        const auto& t = g.nodeAs<TileStNode>(xfer);
+        bits = g.nodeAs<MemNode>(t.offchip).type.bits();
+        for (const auto& e : t.extent)
+            elems *= inst.val(e);
+    }
+    return double(elems) * bits / 8.0;
+}
+
+std::vector<NodeId>
+RuntimeEstimator::competitors(const Inst& inst, NodeId xfer) const
+{
+    // Competing accessors: transfers below the nearest enclosing
+    // container that executes its contents concurrently (a Parallel,
+    // or an active MetaPipe whose stages overlap in steady state).
+    const Graph& g = inst.graph();
+    NodeId anc = g.node(xfer).parent;
+    while (anc != kNoNode) {
+        const Node& n = g.node(anc);
+        if (n.kind() == NodeKind::ParallelCtrl ||
+            (n.kind() == NodeKind::MetaPipe && inst.metaActive(anc)))
+            break;
+        anc = n.parent;
+    }
+    std::vector<NodeId> out;
+    if (anc == kNoNode)
+        return out;
+    for (NodeId t : inst.transfers()) {
+        if (t == xfer)
+            continue;
+        NodeId p = t;
+        while (p != kNoNode && p != anc)
+            p = g.node(p).parent;
+        if (p == anc)
+            out.push_back(t);
+    }
+    return out;
+}
+
+double
+RuntimeEstimator::onchipBytesPerCycle(const Inst& inst,
+                                      NodeId xfer) const
+{
+    const Graph& g = inst.graph();
+    if (g.node(xfer).kind() == NodeKind::TileLd) {
+        const auto& t = g.nodeAs<TileLdNode>(xfer);
+        return double(std::max<int64_t>(1, inst.val(t.par))) *
+               g.nodeAs<MemNode>(t.offchip).type.bits() / 8.0;
+    }
+    const auto& t = g.nodeAs<TileStNode>(xfer);
+    return double(std::max<int64_t>(1, inst.val(t.par))) *
+           g.nodeAs<MemNode>(t.offchip).type.bits() / 8.0;
+}
+
+double
+RuntimeEstimator::transferCycles(const Inst& inst, NodeId xfer) const
+{
+    const Graph& g = inst.graph();
+    int bits;
+    int64_t elems = 1, inner = 1, par = 1;
+    if (g.node(xfer).kind() == NodeKind::TileLd) {
+        const auto& t = g.nodeAs<TileLdNode>(xfer);
+        bits = g.nodeAs<MemNode>(t.offchip).type.bits();
+        for (const auto& e : t.extent)
+            elems *= inst.val(e);
+        inner = inst.val(t.extent.back());
+        par = std::max<int64_t>(1, inst.val(t.par));
+    } else {
+        const auto& t = g.nodeAs<TileStNode>(xfer);
+        bits = g.nodeAs<MemNode>(t.offchip).type.bits();
+        for (const auto& e : t.extent)
+            elems *= inst.val(e);
+        inner = inst.val(t.extent.back());
+        par = std::max<int64_t>(1, inst.val(t.par));
+    }
+
+    double bytes = double(elems) * bits / 8.0;
+    double row_bytes = double(inner) * bits / 8.0;
+    if (elems == inner)
+        row_bytes = bytes; // one contiguous run
+
+    // Command model: each contiguous row run is a burst-quantized
+    // command with a fixed activation overhead ("the number and
+    // length of memory commands", Section IV-B).
+    constexpr double kRowOverheadCycles = 6.0;
+    double peak = dev_.bytesPerCycle();
+    double bursts_per_row =
+        std::ceil(row_bytes / double(dev_.burstBytes));
+    double row_cycles =
+        bursts_per_row * double(dev_.burstBytes) / peak +
+        kRowOverheadCycles;
+    double row_rate = row_bytes / row_cycles;
+
+    // Demand-aware contention: competing streams (including the
+    // lanes-replicated copies of each transfer) consume only what
+    // their on-chip side can sink, capped at an equal share; this
+    // stream gets the remainder (at least an equal split).
+    auto rivals = competitors(inst, xfer);
+    double self_copies =
+        double(std::max<int64_t>(1, inst.lanes(xfer)));
+    double n = self_copies;
+    for (NodeId r : rivals)
+        n += double(std::max<int64_t>(1, inst.lanes(r)));
+    // A rival that moves far fewer bytes than this stream finishes
+    // early and releases its share; weight its demand by the overlap
+    // fraction (the static analogue of max-min fluid sharing).
+    double rival_demand = 0;
+    for (NodeId r : rivals) {
+        double overlap =
+            std::min(1.0, transferBytes(inst, r) / std::max(1.0,
+                                                            bytes));
+        rival_demand += double(std::max<int64_t>(1, inst.lanes(r))) *
+                        std::min(onchipBytesPerCycle(inst, r),
+                                 peak / n) *
+                        overlap;
+    }
+    double onchip_self = double(par) * bits / 8.0;
+    rival_demand +=
+        (self_copies - 1.0) * std::min(onchip_self, peak / n);
+    double share = std::max(peak / n, peak - rival_demand);
+
+    // On-chip side can also throttle the stream: par elements/cycle.
+    double effective = std::min({row_rate, share, onchip_self});
+    return double(dev_.dramLatency) + bytes / std::max(1e-9, effective);
+}
+
+double
+RuntimeEstimator::stageCycles(const Inst& inst, NodeId stage) const
+{
+    const Graph& g = inst.graph();
+    if (g.node(stage).isTileTransfer())
+        return transferCycles(inst, stage);
+    return ctrlCycles(inst, stage);
+}
+
+double
+RuntimeEstimator::ctrlCycles(const Inst& inst, NodeId ctrl) const
+{
+    const Graph& g = inst.graph();
+    const auto& c = g.nodeAs<ControllerNode>(ctrl);
+    int64_t trip = inst.trip(ctrl);
+    int64_t par = inst.par(ctrl);
+    double iters = std::ceil(double(trip) / double(par));
+
+    switch (c.kind()) {
+      case NodeKind::Pipe: {
+        PipeTiming t = analyzePipe(inst, ctrl);
+        return double(t.depth) + iters * double(t.ii) +
+               kStageOverhead;
+      }
+      case NodeKind::ParallelCtrl: {
+        double worst = 0;
+        for (NodeId s : inst.stagesOf(ctrl))
+            worst = std::max(worst, stageCycles(inst, s));
+        return worst + kStageOverhead;
+      }
+      case NodeKind::Sequential:
+      case NodeKind::MetaPipe: {
+        auto stages = inst.stagesOf(ctrl);
+        std::vector<double> times;
+        times.reserve(stages.size() + 1);
+        for (NodeId s : stages)
+            times.push_back(stageCycles(inst, s));
+
+        // Tile reduction of a Reduce MetaPipe is an implicit extra
+        // stage combining the body result into the accumulator.
+        if (c.pattern == Pattern::Reduce && c.accum != kNoNode) {
+            const auto& acc = g.nodeAs<MemNode>(c.accum);
+            double elems = double(inst.memElems(c.accum));
+            double lat = opLatency(c.combine, acc.type);
+            times.push_back(elems / double(par) + lat + kStageOverhead);
+        }
+        if (times.empty())
+            return kStageOverhead;
+
+        double sum = 0, worst = 0;
+        for (double t : times) {
+            sum += t;
+            worst = std::max(worst, t);
+        }
+
+        bool overlapped = c.kind() == NodeKind::MetaPipe &&
+                          inst.metaActive(ctrl) && times.size() > 1;
+        if (overlapped) {
+            // (N-1) * max(stage) + sum(stage)  [Section IV-B]
+            return (iters - 1.0) * worst + sum +
+                   kStageOverhead * double(times.size());
+        }
+        return iters * (sum + kStageOverhead * double(times.size()));
+      }
+      default:
+        panic("ctrlCycles on non-controller");
+    }
+}
+
+RuntimeEstimate
+RuntimeEstimator::estimate(const Inst& inst) const
+{
+    require(inst.graph().root != kNoNode, "design has no accel body");
+    RuntimeEstimate e;
+    e.cycles = ctrlCycles(inst, inst.graph().root);
+    e.seconds = e.cycles / (dev_.fabricMHz * 1e6);
+    return e;
+}
+
+} // namespace dhdl::est

@@ -1,0 +1,363 @@
+#include "fpga/characterize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/rng.hh"
+
+namespace dhdl::fpga {
+
+using ml::Rng;
+
+namespace {
+
+/** All primitive ops characterized for datapath use. */
+const Op kAllOps[] = {
+    Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Mod, Op::Min, Op::Max,
+    Op::Lt, Op::Le, Op::Gt, Op::Ge, Op::Eq, Op::Neq, Op::And, Op::Or,
+    Op::Not, Op::Mux, Op::Abs, Op::Neg, Op::Sqrt, Op::Exp, Op::Log,
+    Op::ToFloat, Op::ToFixed,
+};
+
+void
+addSample(std::vector<TemplateSample>& out, const VendorToolchain& tc,
+          const TemplateInst& t)
+{
+    out.push_back({t, tc.isolatedSynthesis(t),
+                   tc.isolatedPowerMw(t)});
+}
+
+} // namespace
+
+std::vector<TemplateSample>
+characterizeTemplates(const VendorToolchain& tc)
+{
+    std::vector<TemplateSample> out;
+
+    // Primitive operators: sweep lanes for float and fixed variants.
+    for (Op op : kAllOps) {
+        for (bool is_float : {false, true}) {
+            for (int64_t lanes : {1, 2, 4, 8, 16, 48}) {
+                for (int bits : {16, 32}) {
+                    if (is_float && bits != 32)
+                        continue;
+                    TemplateInst t;
+                    t.tkind = TemplateKind::PrimOp;
+                    t.op = op;
+                    t.isFloat = is_float;
+                    t.bits = is_float ? 32 : bits;
+                    t.lanes = lanes;
+                    addSample(out, tc, t);
+                }
+            }
+        }
+    }
+
+    // Single-bit logic variants (predicates).
+    for (Op op : {Op::And, Op::Or, Op::Not, Op::Mux}) {
+        for (int64_t lanes : {1, 4, 16}) {
+            TemplateInst t;
+            t.tkind = TemplateKind::PrimOp;
+            t.op = op;
+            t.bits = 1;
+            t.lanes = lanes;
+            addSample(out, tc, t);
+        }
+    }
+
+    // On-chip access ports across banking factors.
+    for (int banks : {1, 2, 4, 8, 16, 32}) {
+        for (int64_t lanes : {1, 2, 8}) {
+            for (int bits : {1, 32}) {
+                TemplateInst t;
+                t.tkind = TemplateKind::LoadStore;
+                t.bits = bits;
+                t.banks = banks;
+                t.lanes = lanes;
+                addSample(out, tc, t);
+            }
+        }
+    }
+
+    // Scratchpads across geometry, banking and double buffering.
+    for (int64_t elems : {64, 512, 4096, 16384, 131072}) {
+        for (int banks : {1, 2, 4, 16}) {
+            for (bool db : {false, true}) {
+                for (int bits : {1, 32}) {
+                    for (int64_t lanes : {1, 3}) {
+                        TemplateInst t;
+                        t.tkind = TemplateKind::BramInst;
+                        t.bits = bits;
+                        t.elems = elems;
+                        t.banks = banks;
+                        t.doubleBuf = db;
+                        t.lanes = lanes;
+                        addSample(out, tc, t);
+                    }
+                }
+            }
+        }
+    }
+
+    // Registers.
+    for (int bits : {1, 16, 32, 64}) {
+        for (bool db : {false, true}) {
+            for (int64_t lanes : {1, 8, 48}) {
+                TemplateInst t;
+                t.tkind = TemplateKind::RegInst;
+                t.bits = bits;
+                t.doubleBuf = db;
+                t.lanes = lanes;
+                addSample(out, tc, t);
+            }
+        }
+    }
+
+    // Priority queues.
+    for (int64_t depth : {4, 8, 16, 32, 64, 128}) {
+        for (int64_t lanes : {1, 2, 4}) {
+            TemplateInst t;
+            t.tkind = TemplateKind::QueueInst;
+            t.bits = 32;
+            t.depth = depth;
+            t.elems = depth;
+            t.lanes = lanes;
+            addSample(out, tc, t);
+        }
+    }
+
+    // Counter chains.
+    for (int dims : {1, 2, 3, 4}) {
+        for (int64_t vec : {1, 2, 8, 16}) {
+            for (int64_t lanes : {1, 4}) {
+                TemplateInst t;
+                t.tkind = TemplateKind::CounterInst;
+                t.ctrDims = dims;
+                t.vec = vec;
+                t.lanes = lanes;
+                addSample(out, tc, t);
+            }
+        }
+    }
+
+    // Controller FSMs.
+    for (TemplateKind k : {TemplateKind::PipeCtrl, TemplateKind::SeqCtrl,
+                           TemplateKind::ParCtrl,
+                           TemplateKind::MetaPipeCtrl}) {
+        for (int stages : {1, 2, 3, 4, 6, 10}) {
+            for (int64_t vec : {1, 4, 16}) {
+                for (int64_t lanes : {1, 4}) {
+                    TemplateInst t;
+                    t.tkind = k;
+                    t.stages = stages;
+                    t.vec = vec;
+                    t.lanes = lanes;
+                    addSample(out, tc, t);
+                }
+            }
+        }
+    }
+
+    // Tile transfer engines.
+    for (int64_t vec : {1, 2, 4, 8, 16}) {
+        for (int64_t tile_elems : {256, 4096, 65536, 1048576}) {
+            for (int bits : {1, 32}) {
+                for (int64_t lanes : {1, 2}) {
+                    TemplateInst t;
+                    t.tkind = TemplateKind::TileTransfer;
+                    t.bits = bits;
+                    t.vec = vec;
+                    t.tileElems = tile_elems;
+                    t.lanes = lanes;
+                    addSample(out, tc, t);
+                }
+            }
+        }
+    }
+
+    // Reduction trees.
+    for (Op op : {Op::Add, Op::Min, Op::Max, Op::And}) {
+        for (bool is_float : {false, true}) {
+            for (int64_t vec : {2, 4, 8, 16, 48}) {
+                for (int64_t lanes : {1, 4}) {
+                    TemplateInst t;
+                    t.tkind = TemplateKind::ReduceTree;
+                    t.op = op;
+                    t.isFloat = is_float;
+                    t.bits = 32;
+                    t.vec = vec;
+                    t.lanes = lanes;
+                    addSample(out, tc, t);
+                }
+            }
+        }
+    }
+
+    // Delay lines: register and BRAM-FIFO variants.
+    for (double bits : {64.0, 256.0, 1024.0, 8192.0}) {
+        for (int64_t depth : {0, 17}) {
+            for (int64_t lanes : {1, 4}) {
+                TemplateInst t;
+                t.tkind = TemplateKind::DelayLine;
+                t.delayBits = bits;
+                t.depth = depth;
+                t.lanes = lanes;
+                addSample(out, tc, t);
+            }
+        }
+    }
+
+    return out;
+}
+
+std::vector<TemplateInst>
+randomTemplateList(const Device& dev, uint64_t seed)
+{
+    Rng rng(ml::hashMix(seed));
+    std::vector<TemplateInst> ts;
+
+    // Overall scale: from a few percent to near-full device.
+    double scale = std::pow(10.0, rng.uniform(0.0, 2.2)); // 1 .. ~160
+
+    int n_pipes = std::max<int64_t>(1, int64_t(scale * 0.4));
+    int n_outer = 1 + int(rng.uniformInt(0, 3));
+    bool is_float = rng.uniform() < 0.7;
+
+    // Outer controllers.
+    for (int i = 0; i < n_outer; ++i) {
+        TemplateInst c;
+        c.tkind = rng.uniform() < 0.5 ? TemplateKind::MetaPipeCtrl
+                                      : TemplateKind::SeqCtrl;
+        c.stages = int(rng.uniformInt(2, 6));
+        c.lanes = 1;
+        c.vec = 1;
+        ts.push_back(c);
+
+        TemplateInst ctr;
+        ctr.tkind = TemplateKind::CounterInst;
+        ctr.ctrDims = int(rng.uniformInt(1, 3));
+        ctr.vec = 1;
+        ts.push_back(ctr);
+    }
+
+    // Datapath pipes with operators and accesses.
+    const Op datapath_ops[] = {Op::Add, Op::Sub, Op::Mul, Op::Div,
+                               Op::Mux, Op::Lt, Op::Min, Op::Sqrt,
+                               Op::Exp};
+    for (int p = 0; p < n_pipes; ++p) {
+        int64_t lanes = int64_t(1) << rng.uniformInt(0, 4);
+        TemplateInst pc;
+        pc.tkind = TemplateKind::PipeCtrl;
+        pc.vec = lanes;
+        ts.push_back(pc);
+
+        int n_ops = int(rng.uniformInt(2, 14));
+        for (int i = 0; i < n_ops; ++i) {
+            TemplateInst t;
+            t.tkind = TemplateKind::PrimOp;
+            t.op = datapath_ops[rng.uniformInt(0, 8)];
+            t.isFloat = is_float && !opProducesBit(t.op);
+            t.bits = 32;
+            t.lanes = lanes;
+            ts.push_back(t);
+        }
+
+        int n_access = int(rng.uniformInt(1, 4));
+        for (int i = 0; i < n_access; ++i) {
+            TemplateInst t;
+            t.tkind = TemplateKind::LoadStore;
+            t.bits = 32;
+            t.banks = int(lanes);
+            t.lanes = lanes;
+            ts.push_back(t);
+        }
+
+        if (rng.uniform() < 0.4) {
+            TemplateInst t;
+            t.tkind = TemplateKind::ReduceTree;
+            t.op = Op::Add;
+            t.isFloat = is_float;
+            t.bits = 32;
+            t.vec = lanes;
+            ts.push_back(t);
+        }
+
+        if (rng.uniform() < 0.5) {
+            TemplateInst t;
+            t.tkind = TemplateKind::DelayLine;
+            t.delayBits = rng.uniform(32.0, 4096.0);
+            t.depth = rng.uniform() < 0.3 ? 17 : 0;
+            t.lanes = lanes;
+            ts.push_back(t);
+        }
+    }
+
+    // Buffers sized to mirror the scale of the compute.
+    int n_brams = std::max<int64_t>(1, int64_t(scale * 0.25));
+    for (int i = 0; i < n_brams; ++i) {
+        TemplateInst t;
+        t.tkind = TemplateKind::BramInst;
+        t.bits = 32;
+        t.elems = int64_t(1) << rng.uniformInt(6, 17);
+        t.banks = 1 << rng.uniformInt(0, 4);
+        t.doubleBuf = rng.uniform() < 0.5;
+        ts.push_back(t);
+    }
+
+    // A quarter of designs are BRAM-dominated (huge tiles, little
+    // logic) so the post-P&R models see that regime too — several of
+    // the paper's benchmarks live there (gemm, dotproduct tiles).
+    if (rng.uniform() < 0.25) {
+        int n_big = int(rng.uniformInt(2, 6));
+        for (int i = 0; i < n_big; ++i) {
+            TemplateInst t;
+            t.tkind = TemplateKind::BramInst;
+            t.bits = 32;
+            t.elems = int64_t(1) << rng.uniformInt(15, 17);
+            t.banks = 1 << rng.uniformInt(0, 6);
+            t.doubleBuf = rng.uniform() < 0.5;
+            t.lanes = rng.uniformInt(1, 4);
+            ts.push_back(t);
+        }
+    }
+
+    int n_regs = int(rng.uniformInt(2, 12));
+    for (int i = 0; i < n_regs; ++i) {
+        TemplateInst t;
+        t.tkind = TemplateKind::RegInst;
+        t.bits = 32;
+        t.doubleBuf = rng.uniform() < 0.3;
+        t.lanes = int64_t(1) << rng.uniformInt(0, 3);
+        ts.push_back(t);
+    }
+
+    int n_xfer = int(rng.uniformInt(1, 6));
+    for (int i = 0; i < n_xfer; ++i) {
+        TemplateInst t;
+        t.tkind = TemplateKind::TileTransfer;
+        t.bits = 32;
+        t.vec = int64_t(1) << rng.uniformInt(0, 3);
+        t.tileElems = int64_t(1) << rng.uniformInt(8, 20);
+        ts.push_back(t);
+    }
+
+    (void)dev;
+    return ts;
+}
+
+std::vector<DesignSample>
+randomDesignSamples(const VendorToolchain& tc, int n, uint64_t seed)
+{
+    std::vector<DesignSample> out;
+    out.reserve(size_t(n));
+    for (int i = 0; i < n; ++i) {
+        DesignSample s;
+        s.templates =
+            randomTemplateList(tc.device(), seed + uint64_t(i) * 7919);
+        s.report = tc.synthesizeList(s.templates);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace dhdl::fpga

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Characterization data generation (Section IV-B): "We obtain
+ * characterization data by synthesizing multiple instances of each
+ * template instantiated for combinations of its parameters ... Most
+ * templates require about six synthesized designs to characterize
+ * their resource and area usage." plus the "common set of 200 design
+ * samples with varying levels of resource usage" used to train the
+ * post-P&R artificial neural networks.
+ *
+ * Both datasets are produced by running the (synthetic) vendor
+ * toolchain; they are application-independent and only need to be
+ * generated once per device + toolchain pair.
+ */
+
+#ifndef DHDL_FPGA_CHARACTERIZE_HH
+#define DHDL_FPGA_CHARACTERIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/toolchain.hh"
+
+namespace dhdl::fpga {
+
+/** One isolated-template synthesis observation. */
+struct TemplateSample {
+    TemplateInst inst;
+    Resources observed;
+    /** Vectorless power-analysis report for the instance, mW. */
+    double powerMw = 0.0;
+};
+
+/** One whole-design synthesis observation (ANN training row). */
+struct DesignSample {
+    std::vector<TemplateInst> templates;
+    PnrReport report;
+};
+
+/**
+ * Synthesize the per-template characterization sweep: for each
+ * template class, several instances across its parameter ranges.
+ */
+std::vector<TemplateSample>
+characterizeTemplates(const VendorToolchain& tc);
+
+/**
+ * Generate n random synthetic designs spanning small to near-full
+ * device utilization and synthesize each with the full P&R flow.
+ */
+std::vector<DesignSample>
+randomDesignSamples(const VendorToolchain& tc, int n,
+                    uint64_t seed = 0x5EEDull);
+
+/**
+ * Generate one random template list (exposed for tests and for the
+ * estimator-ablation bench).
+ */
+std::vector<TemplateInst>
+randomTemplateList(const Device& dev, uint64_t seed);
+
+} // namespace dhdl::fpga
+
+#endif // DHDL_FPGA_CHARACTERIZE_HH

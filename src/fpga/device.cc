@@ -1,0 +1,11 @@
+#include "fpga/device.hh"
+
+namespace dhdl::fpga {
+
+Device
+Device::maia()
+{
+    return Device{};
+}
+
+} // namespace dhdl::fpga

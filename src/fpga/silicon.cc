@@ -1,0 +1,283 @@
+#include "fpga/silicon.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dhdl::fpga {
+
+namespace {
+
+/** ceil(a / b) for positive operands. */
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+double
+log2p1(double x)
+{
+    return std::log2(1.0 + std::max(0.0, x));
+}
+
+/** Cost of one floating-point operator instance (per lane). */
+Resources
+floatOpCost(Op op, int bits)
+{
+    // Scaled relative to single precision; normalize/round logic grows
+    // slightly super-linearly with mantissa width.
+    double w = double(bits) / 32.0;
+    double w2 = w * (1.0 + 0.15 * (w - 1.0));
+    switch (op) {
+      case Op::Add:
+      case Op::Sub:
+        return {380 * w2, 170 * w2, 610 * w2, 0, 0};
+      case Op::Mul:
+        return {90 * w2, 40 * w2, 185 * w2, bits <= 32 ? 1.0 : 4.0, 0};
+      case Op::Div:
+        return {980 * w2, 430 * w2, 1750 * w2, 0, 0};
+      case Op::Sqrt:
+        return {830 * w2, 390 * w2, 1480 * w2, 0, 0};
+      case Op::Exp:
+        return {620 * w2, 290 * w2, 1060 * w2, 2, 2};
+      case Op::Log:
+        return {700 * w2, 320 * w2, 1190 * w2, 2, 2};
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge:
+      case Op::Eq:
+      case Op::Neq:
+        return {58 * w, 22 * w, 64 * w, 0, 0};
+      case Op::Min:
+      case Op::Max:
+        return {74 * w, 28 * w, 70 * w, 0, 0};
+      case Op::Mux:
+        return {0.55 * bits, 0.1 * bits, 0.3 * bits, 0, 0};
+      case Op::Abs:
+      case Op::Neg:
+        return {6 * w, 2 * w, 34 * w, 0, 0};
+      case Op::ToFloat:
+      case Op::ToFixed:
+        return {170 * w2, 80 * w2, 300 * w2, 0, 0};
+      default:
+        return {20 * w, 10 * w, 20 * w, 0, 0};
+    }
+}
+
+/** Cost of one fixed-point / bit operator instance (per lane). */
+Resources
+fixedOpCost(Op op, int bits)
+{
+    double b = double(bits);
+    switch (op) {
+      case Op::Add:
+      case Op::Sub:
+        return {0.52 * b, 0.06 * b, 1.05 * b, 0, 0};
+      case Op::Mul: {
+        double dsp = bits <= 18 ? 1.0 : (bits <= 27 ? 2.0 : 3.0);
+        return {18, 8, 0.9 * b, dsp, 0};
+      }
+      case Op::Div:
+      case Op::Mod:
+        return {16.5 * b, 4.0 * b, 14.0 * b, 0, 0};
+      case Op::Sqrt:
+        return {9.0 * b, 2.5 * b, 8.0 * b, 0, 0};
+      case Op::Exp:
+      case Op::Log:
+        return {11.0 * b, 3.0 * b, 9.0 * b, 1, 1};
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge:
+      case Op::Eq:
+      case Op::Neq:
+        return {0.40 * b, 0.05 * b, 0.15 * b, 0, 0};
+      case Op::Min:
+      case Op::Max:
+        return {0.95 * b, 0.12 * b, 1.0 * b, 0, 0};
+      case Op::And:
+      case Op::Or:
+      case Op::Not:
+        return {0.5 * b, 0.05 * b, 0.1 * b, 0, 0};
+      case Op::Mux:
+        return {0.55 * b, 0.08 * b, 0.25 * b, 0, 0};
+      case Op::Abs:
+      case Op::Neg:
+        return {0.5 * b, 0.06 * b, 0.6 * b, 0, 0};
+      case Op::ToFloat:
+      case Op::ToFixed:
+        return {150, 70, 260, 0, 0};
+      default:
+        return {0.5 * b, 0.1 * b, 0.3 * b, 0, 0};
+    }
+}
+
+} // namespace
+
+Resources
+siliconCost(const Device& dev, const TemplateInst& t)
+{
+    Resources r;
+    double lanes = double(t.lanes);
+    double vec = double(std::max<int64_t>(1, t.vec));
+
+    switch (t.tkind) {
+      case TemplateKind::PrimOp:
+        r = t.isFloat ? floatOpCost(t.op, t.bits)
+                      : fixedOpCost(t.op, t.bits);
+        r = r * lanes;
+        break;
+
+      case TemplateKind::LoadStore: {
+        // Per access port: address decode plus log2(banks) switching
+        // stages of the bank interconnect (a Benes-style network is
+        // lanes x width x log(banks) overall) — the non-linear term
+        // that linear template models approximate.
+        double banks = std::max(1, t.banks);
+        double xbar = 0.30 * t.bits * log2p1(banks - 1);
+        r.lutsPack = (14 + 0.12 * t.bits) + xbar * 0.75;
+        r.lutsNoPack = 4 + xbar * 0.25;
+        r.regs = 18 + 0.4 * t.bits;
+        r = r * lanes;
+        break;
+      }
+
+      case TemplateKind::BramInst: {
+        int banks = std::max(1, t.banks);
+        int64_t depth = ceilDiv(std::max<int64_t>(1, t.elems), banks);
+        double copies = (t.doubleBuf ? 2.0 : 1.0) * lanes;
+        if (depth * t.bits <= dev.mlabBits) {
+            // Small banks go to MLAB LUT-RAM (no M20K consumed).
+            r.lutsPack += 0.55 * depth * t.bits * copies * banks /
+                          16.0;
+            r.lutsNoPack += 2.0 * copies * banks;
+        } else {
+            int64_t per_bank =
+                std::max(ceilDiv(depth * t.bits, dev.m20kBits),
+                         ceilDiv(t.bits, dev.m20kMaxWidth));
+            r.brams = double(per_bank * banks) * copies;
+        }
+        // Bank address decode + write enables; double buffers add a
+        // swap mux on the full width.
+        r.lutsPack += (6.0 + 1.8 * banks + 0.02 * t.bits * banks) *
+                      lanes;
+        r.lutsNoPack += (2.0 + 0.5 * banks) * lanes;
+        r.regs = (12.0 + 1.2 * banks) * lanes;
+        if (t.doubleBuf) {
+            r.lutsPack += 0.5 * t.bits * banks * lanes;
+            r.regs += (8.0 + 0.2 * t.bits) * lanes;
+        }
+        break;
+      }
+
+      case TemplateKind::RegInst: {
+        double copies = (t.doubleBuf ? 2.0 : 1.0) * lanes;
+        r.regs = double(t.bits) * copies + 4.0 * lanes;
+        r.lutsPack = 0.3 * t.bits * lanes;
+        if (t.doubleBuf)
+            r.lutsPack += 0.5 * t.bits * lanes;
+        break;
+      }
+
+      case TemplateKind::QueueInst: {
+        // Sorting network over the queue depth.
+        double depth = double(std::max<int64_t>(2, t.depth));
+        r.lutsPack = (1.35 * depth * t.bits) * lanes;
+        r.lutsNoPack = (0.3 * depth * t.bits) * lanes;
+        r.regs = (1.1 * depth * t.bits) * lanes;
+        r.brams = 0;
+        break;
+      }
+
+      case TemplateKind::CounterInst: {
+        double dims = std::max(1, t.ctrDims);
+        r.lutsPack = (18.0 * dims + 6.0 * vec) * lanes;
+        r.lutsNoPack = (4.0 * dims) * lanes;
+        r.regs = (34.0 * dims + 8.0 * vec) * lanes;
+        break;
+      }
+
+      case TemplateKind::PipeCtrl:
+        r.lutsPack = (36.0 + 1.5 * vec) * lanes;
+        r.lutsNoPack = 9.0 * lanes;
+        r.regs = (52.0 + 2.0 * vec) * lanes;
+        break;
+
+      case TemplateKind::SeqCtrl:
+        r.lutsPack = (48.0 + 11.0 * t.stages) * lanes;
+        r.lutsNoPack = (12.0 + 2.0 * t.stages) * lanes;
+        r.regs = (66.0 + 9.0 * t.stages) * lanes;
+        break;
+
+      case TemplateKind::ParCtrl:
+        r.lutsPack = (40.0 + 16.0 * t.stages) * lanes;
+        r.lutsNoPack = (10.0 + 3.0 * t.stages) * lanes;
+        r.regs = (55.0 + 12.0 * t.stages) * lanes;
+        break;
+
+      case TemplateKind::MetaPipeCtrl:
+        // Asynchronous handshaking across stages: token FIFOs, stage
+        // enables, done-signal synchronizers.
+        r.lutsPack = (95.0 + 34.0 * t.stages + 2.0 * vec) * lanes;
+        r.lutsNoPack = (25.0 + 7.0 * t.stages) * lanes;
+        r.regs = (130.0 + 42.0 * t.stages) * lanes;
+        break;
+
+      case TemplateKind::TileTransfer: {
+        // Command generator FSM + burst aligner + data/command FIFOs.
+        double width = double(t.bits) * vec;
+        double fifo_bits = 512.0 * width;
+        r.lutsPack = (230.0 + 0.45 * width +
+                      8.0 * log2p1(double(t.tileElems))) * lanes;
+        r.lutsNoPack = (70.0 + 0.12 * width) * lanes;
+        r.regs = (310.0 + 0.9 * width) * lanes;
+        r.brams = std::max<double>(
+                      1.0, std::ceil(fifo_bits / double(dev.m20kBits))) *
+                  lanes;
+        break;
+      }
+
+      case TemplateKind::ReduceTree: {
+        // vec-1 combiners in a balanced tree plus the staging regs.
+        Resources comb = t.isFloat ? floatOpCost(t.op, t.bits)
+                                   : fixedOpCost(t.op, t.bits);
+        double n = std::max(0.0, vec - 1.0);
+        r = comb * (n * lanes);
+        r.regs += 1.2 * t.bits * log2p1(vec) * lanes;
+        break;
+      }
+
+      case TemplateKind::DelayLine: {
+        if (t.depth > 0) {
+            // Long delays become BRAM FIFOs.
+            r.brams = std::ceil(t.delayBits / double(dev.m20kBits)) *
+                      lanes;
+            r.lutsPack = 9.0 * lanes;
+            r.regs = 14.0 * lanes;
+        } else {
+            r.regs = t.delayBits * lanes;
+            r.lutsPack = 0.02 * t.delayBits * lanes;
+        }
+        break;
+      }
+    }
+    return r;
+}
+
+double
+siliconPowerMw(const Device& dev, const TemplateInst& t)
+{
+    Resources r = siliconCost(dev, t);
+    // Per-resource dynamic power at 150 MHz, 28 nm, typical activity:
+    // LUT+FF pair ~6 uW, register ~2 uW, M20K ~1.9 mW, DSP ~2.4 mW.
+    double mw = r.totalLuts() * 0.006 + r.regs * 0.002 +
+                r.brams * 1.9 + r.dsps * 2.4;
+    // Memory command generators keep burst logic toggling at the
+    // memory clock, costing extra.
+    if (t.tkind == TemplateKind::TileTransfer)
+        mw *= 1.35;
+    return mw;
+}
+
+} // namespace dhdl::fpga

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Hidden "silicon" cost tables of the synthetic vendor toolchain.
+ *
+ * These tables stand in for the real resource costs that Altera's
+ * logic synthesis assigns to each DHDL template on Stratix V. They
+ * are intentionally private to the toolchain: the area estimator must
+ * never read them directly — it learns template costs by running
+ * characterization synthesis (Section IV-B: "We obtain
+ * characterization data by synthesizing multiple instances of each
+ * template instantiated for combinations of its parameters").
+ *
+ * Costs include mild non-linear terms (width-dependent carry/normalize
+ * logic, bank-mux growth) so that linear template models carry a small
+ * residual error, as real models do.
+ */
+
+#ifndef DHDL_FPGA_SILICON_HH
+#define DHDL_FPGA_SILICON_HH
+
+#include "analysis/resources.hh"
+#include "fpga/device.hh"
+
+namespace dhdl::fpga {
+
+/**
+ * Ground-truth pre-place-and-route resource cost of one template
+ * instance (all replicas included). Deterministic.
+ */
+Resources siliconCost(const Device& dev, const TemplateInst& t);
+
+/**
+ * Ground-truth dynamic power of one template instance at the 150 MHz
+ * fabric clock, in milliwatts (all replicas included). Deterministic;
+ * derived from the silicon resource cost with per-resource activity
+ * factors (DSPs and BRAMs toggle harder than LUT fabric).
+ */
+double siliconPowerMw(const Device& dev, const TemplateInst& t);
+
+} // namespace dhdl::fpga
+
+#endif // DHDL_FPGA_SILICON_HH

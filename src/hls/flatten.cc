@@ -1,0 +1,179 @@
+#include "hls/flatten.hh"
+
+#include <unordered_map>
+
+#include "analysis/resources.hh"
+
+namespace dhdl::hls {
+
+FuClass
+fuClassOf(const Graph& g, NodeId n)
+{
+    const Node& nd = g.node(n);
+    if (nd.kind() == NodeKind::Load || nd.kind() == NodeKind::Store)
+        return FuClass::MemPort;
+    if (nd.kind() != NodeKind::Prim)
+        return FuClass::Other;
+    switch (g.nodeAs<PrimNode>(n).op) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Min:
+      case Op::Max:
+        return FuClass::AddSub;
+      case Op::Mul:
+        return FuClass::Mul;
+      case Op::Div:
+      case Op::Mod:
+      case Op::Sqrt:
+      case Op::Exp:
+      case Op::Log:
+        return FuClass::DivSqrt;
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge:
+      case Op::Eq:
+      case Op::Neq:
+      case Op::And:
+      case Op::Or:
+      case Op::Not:
+      case Op::Mux:
+        return FuClass::Logic;
+      default:
+        return FuClass::Other;
+    }
+}
+
+namespace {
+
+class Flattener
+{
+  public:
+    Flattener(const Inst& inst, bool allow_pipe)
+        : inst_(inst), g_(inst.graph()), allowPipe_(allow_pipe) {}
+
+    FlatGraph
+    run(NodeId root)
+    {
+        if (root != kNoNode)
+            visit(root, 1, false);
+        return std::move(out_);
+    }
+
+  private:
+    void
+    visit(NodeId ctrl, int64_t repl, bool under_pipeline)
+    {
+        if (out_.truncated)
+            return;
+        const auto& c = g_.nodeAs<ControllerNode>(ctrl);
+
+        // The replication that scheduling sees: rolled loops
+        // contribute their unroll factor; loops under a pipelined
+        // outer loop are completely unrolled (full trip count).
+        int64_t trip = inst_.trip(ctrl);
+        int64_t factor = under_pipeline ? trip : inst_.par(ctrl);
+        int64_t my_repl = repl * std::max<int64_t>(1, factor);
+
+        bool pipeline_here =
+            allowPipe_ && c.kind() == NodeKind::MetaPipe &&
+            inst_.metaActive(ctrl);
+
+        if (c.kind() == NodeKind::Pipe) {
+            emitBody(c, my_repl);
+            return;
+        }
+        for (NodeId ch : c.children) {
+            if (g_.node(ch).isController())
+                visit(ch, my_repl, under_pipeline || pipeline_here);
+        }
+    }
+
+    void
+    emitBody(const ControllerNode& pipe, int64_t repl)
+    {
+        // Gather the body's primitive ops once, then replicate.
+        std::vector<NodeId> body;
+        for (NodeId ch : pipe.children) {
+            const Node& n = g_.node(ch);
+            if (!n.isPrimitive())
+                continue;
+            if (n.kind() == NodeKind::Prim) {
+                Op op = g_.nodeAs<PrimNode>(ch).op;
+                if (op == Op::Const || op == Op::Iter)
+                    continue;
+            }
+            body.push_back(ch);
+        }
+        if (body.empty())
+            return;
+
+        int64_t max_repl =
+            (kMaxFlatOps - int64_t(out_.ops.size())) /
+            int64_t(body.size());
+        if (repl > max_repl) {
+            repl = std::max<int64_t>(0, max_repl);
+            out_.truncated = true;
+        }
+
+        for (int64_t r = 0; r < repl; ++r) {
+            std::unordered_map<NodeId, int32_t> local;
+            for (NodeId ch : body) {
+                FlatOp op;
+                op.fu = fuClassOf(g_, ch);
+                const Node& n = g_.node(ch);
+                if (n.kind() == NodeKind::Prim) {
+                    const auto& p = g_.nodeAs<PrimNode>(ch);
+                    op.latency = std::max(1, opLatency(p.op, p.type));
+                    for (NodeId in : p.inputs) {
+                        auto it = local.find(in);
+                        if (it != local.end())
+                            op.preds.push_back(it->second);
+                    }
+                } else if (n.kind() == NodeKind::Load) {
+                    op.latency = 2;
+                    for (NodeId a : g_.nodeAs<LoadNode>(ch).addr) {
+                        auto it = local.find(a);
+                        if (it != local.end())
+                            op.preds.push_back(it->second);
+                    }
+                } else {
+                    op.latency = 1;
+                    const auto& s = g_.nodeAs<StoreNode>(ch);
+                    for (NodeId a : s.addr) {
+                        auto it = local.find(a);
+                        if (it != local.end())
+                            op.preds.push_back(it->second);
+                    }
+                    auto it = local.find(s.value);
+                    if (it != local.end())
+                        op.preds.push_back(it->second);
+                }
+                local[ch] = int32_t(out_.ops.size());
+                out_.ops.push_back(std::move(op));
+            }
+        }
+    }
+
+    const Inst& inst_;
+    const Graph& g_;
+    bool allowPipe_;
+    FlatGraph out_;
+};
+
+} // namespace
+
+FlatGraph
+flatten(const Inst& inst, bool allow_outer_pipelining)
+{
+    return Flattener(inst, allow_outer_pipelining)
+        .run(inst.graph().root);
+}
+
+FlatGraph
+flattenSubtree(const Inst& inst, NodeId ctrl, bool allow_outer_pipelining)
+{
+    return Flattener(inst, allow_outer_pipelining).run(ctrl);
+}
+
+} // namespace dhdl::hls

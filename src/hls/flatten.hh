@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Design flattening for the reference HLS-style estimator. Commercial
+ * HLS tools schedule at the flat operation level: when an outer loop
+ * carries a PIPELINE directive, "the tool completely unrolls all
+ * inner loops before pipelining the outer loop. This creates a large
+ * graph that complicates scheduling." (Section V-C2.) This module
+ * reproduces that blow-up: in Full mode, every loop nested below a
+ * pipelined outer controller is replicated by its full trip count; in
+ * Restricted mode loops stay rolled (replicated only by their
+ * unrolling/parallelization factors).
+ */
+
+#ifndef DHDL_HLS_FLATTEN_HH
+#define DHDL_HLS_FLATTEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/instance.hh"
+
+namespace dhdl::hls {
+
+/** Functional-unit class used for resource-constrained scheduling. */
+enum class FuClass : uint8_t {
+    AddSub,
+    Mul,
+    DivSqrt,
+    Logic,
+    MemPort,
+    Other,
+};
+
+/** One flat scheduled operation. */
+struct FlatOp {
+    FuClass fu = FuClass::Other;
+    int latency = 1;
+    /** Indices of predecessor ops in the flat list. */
+    std::vector<int32_t> preds;
+};
+
+/** Flat operation graph produced from a design instance. */
+struct FlatGraph {
+    std::vector<FlatOp> ops;
+    /** True when flattening hit the safety cap (graph truncated). */
+    bool truncated = false;
+};
+
+/** Hard cap on flat graph size (keeps degenerate cases bounded). */
+inline constexpr int64_t kMaxFlatOps = 4'000'000;
+
+/**
+ * Flatten a design instance. With allow_outer_pipelining, controllers
+ * whose MetaPipe toggle is enabled act as PIPELINE directives and
+ * force full unrolling of everything nested inside them.
+ */
+FlatGraph flatten(const Inst& inst, bool allow_outer_pipelining);
+
+/** Flatten only the subtree rooted at one controller. */
+FlatGraph flattenSubtree(const Inst& inst, NodeId ctrl,
+                         bool allow_outer_pipelining);
+
+/** The functional-unit class of a primitive node. */
+FuClass fuClassOf(const Graph& g, NodeId n);
+
+} // namespace dhdl::hls
+
+#endif // DHDL_HLS_FLATTEN_HH

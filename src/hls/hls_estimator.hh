@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reference HLS-style estimator: the Table IV baseline. For each
+ * design point it flattens the design the way a C-based HLS tool
+ * would (full inner-loop unrolling under pipelined outer loops in
+ * Full mode) and runs resource-constrained list scheduling on the
+ * flat graph. Restricted mode corresponds to the paper's "Vivado HLS
+ * restricted" column, which "ignores outer loop pipelining".
+ */
+
+#ifndef DHDL_HLS_HLS_ESTIMATOR_HH
+#define DHDL_HLS_HLS_ESTIMATOR_HH
+
+#include "hls/scheduler.hh"
+
+namespace dhdl::hls {
+
+/** Exploration mode of the HLS baseline. */
+enum class HlsMode {
+    Restricted, //!< No outer-loop pipelining (rolled outer loops).
+    Full,       //!< Outer pipelining with full inner unrolling.
+};
+
+/** HLS baseline estimate for one design point. */
+struct HlsEstimate {
+    double cycles = 0;      //!< Estimated design latency.
+    int64_t flatOps = 0;    //!< Size of the scheduled graph.
+    int64_t scheduleLen = 0;//!< Length of the body schedule.
+    bool truncated = false;
+};
+
+/** The HLS baseline estimator. */
+class HlsEstimator
+{
+  public:
+    explicit HlsEstimator(ResourceBudget budget = {})
+        : budget_(budget) {}
+
+    /** Analyze one design point (this is the timed operation). */
+    HlsEstimate estimate(const Inst& inst, HlsMode mode) const;
+
+  private:
+    double hierarchicalCycles(const Inst& inst, NodeId ctrl,
+                              HlsMode mode) const;
+
+    ResourceBudget budget_;
+};
+
+} // namespace dhdl::hls
+
+#endif // DHDL_HLS_HLS_ESTIMATOR_HH

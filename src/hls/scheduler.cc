@@ -1,0 +1,104 @@
+#include "hls/scheduler.hh"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace dhdl::hls {
+
+ScheduleResult
+listSchedule(const FlatGraph& g, const ResourceBudget& budget)
+{
+    ScheduleResult res;
+    res.ops = int64_t(g.ops.size());
+    res.truncated = g.truncated;
+    size_t n = g.ops.size();
+    if (n == 0)
+        return res;
+
+    // Downward rank (longest path to a sink) as the list priority.
+    std::vector<int64_t> rank(n, 0);
+    for (size_t i = n; i-- > 0;) {
+        rank[i] += g.ops[i].latency;
+        for (int32_t p : g.ops[i].preds)
+            rank[size_t(p)] = std::max(
+                rank[size_t(p)], rank[i] + g.ops[size_t(p)].latency);
+    }
+
+    std::vector<int32_t> missing(n, 0);
+    std::vector<std::vector<int32_t>> succs(n);
+    for (size_t i = 0; i < n; ++i) {
+        missing[i] = int32_t(g.ops[i].preds.size());
+        for (int32_t p : g.ops[i].preds)
+            succs[size_t(p)].push_back(int32_t(i));
+    }
+
+    // One ready heap per functional-unit class so each cycle issues
+    // exactly min(budget, ready) ops per class without re-heapifying
+    // deferred work (keeps scheduling O(V log V)).
+    auto cmp = [&](int32_t a, int32_t b) {
+        if (rank[size_t(a)] != rank[size_t(b)])
+            return rank[size_t(a)] < rank[size_t(b)];
+        return a > b;
+    };
+    using Heap = std::priority_queue<int32_t, std::vector<int32_t>,
+                                     decltype(cmp)>;
+    std::array<Heap, 6> ready{Heap(cmp), Heap(cmp), Heap(cmp),
+                              Heap(cmp), Heap(cmp), Heap(cmp)};
+    size_t n_ready = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (missing[i] == 0) {
+            ready[size_t(g.ops[i].fu)].push(int32_t(i));
+            ++n_ready;
+        }
+    }
+
+    // Completion buckets keyed by cycle.
+    std::map<int64_t, std::vector<int32_t>> completions;
+    int64_t cycle = 0;
+    size_t placed = 0;
+
+    while (placed < n) {
+        // Retire everything finishing at or before this cycle.
+        while (!completions.empty() &&
+               completions.begin()->first <= cycle) {
+            for (int32_t op : completions.begin()->second) {
+                for (int32_t s : succs[size_t(op)]) {
+                    if (--missing[size_t(s)] == 0) {
+                        ready[size_t(g.ops[size_t(s)].fu)].push(s);
+                        ++n_ready;
+                    }
+                }
+            }
+            completions.erase(completions.begin());
+        }
+
+        // Issue per class up to the class budget.
+        for (size_t c = 0; c < ready.size(); ++c) {
+            int avail = budget.count[c];
+            while (avail > 0 && !ready[c].empty()) {
+                int32_t op = ready[c].top();
+                ready[c].pop();
+                --n_ready;
+                --avail;
+                int64_t fin = cycle + g.ops[size_t(op)].latency;
+                completions[fin].push_back(op);
+                res.cycles = std::max(res.cycles, fin);
+                ++placed;
+            }
+        }
+
+        // Advance: to the next completion when nothing is ready, else
+        // to the next cycle.
+        if (n_ready == 0) {
+            if (completions.empty())
+                break;
+            cycle = std::max(cycle + 1, completions.begin()->first);
+        } else {
+            ++cycle;
+        }
+    }
+    return res;
+}
+
+} // namespace dhdl::hls

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Resource-constrained list scheduler over flat operation graphs —
+ * the core analysis a C-based HLS tool runs per design point. The
+ * cost of this scheduling (ASAP/ALAP mobility computation plus
+ * cycle-by-cycle placement) is what makes HLS-based design space
+ * exploration slow on unrolled graphs (Table IV).
+ */
+
+#ifndef DHDL_HLS_SCHEDULER_HH
+#define DHDL_HLS_SCHEDULER_HH
+
+#include <array>
+
+#include "hls/flatten.hh"
+
+namespace dhdl::hls {
+
+/** Functional units available per cycle, per class. */
+struct ResourceBudget {
+    std::array<int, 6> count = {256, 256, 64, 512, 8, 512};
+
+    int
+    of(FuClass c) const
+    {
+        return count[size_t(c)];
+    }
+};
+
+/** Scheduling outcome. */
+struct ScheduleResult {
+    int64_t cycles = 0;     //!< Schedule length.
+    int64_t ops = 0;        //!< Operations scheduled.
+    bool truncated = false; //!< Flat graph hit the size cap.
+};
+
+/** Mobility-driven list scheduling under resource constraints. */
+ScheduleResult listSchedule(const FlatGraph& g,
+                            const ResourceBudget& budget = {});
+
+} // namespace dhdl::hls
+
+#endif // DHDL_HLS_SCHEDULER_HH

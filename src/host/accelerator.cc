@@ -1,0 +1,75 @@
+#include "host/accelerator.hh"
+
+#include <algorithm>
+
+namespace dhdl::host {
+
+Accelerator::Accelerator(const Graph& g, ParamBinding binding,
+                         fpga::Device dev)
+    : g_(g), binding_(std::move(binding)), dev_(std::move(dev))
+{
+    require(g_.root != kNoNode, "design has no accel body");
+    inst_ = std::make_unique<Inst>(g_, binding_);
+    fsim_ = std::make_unique<sim::FunctionalSim>(*inst_);
+}
+
+void
+Accelerator::setInput(const std::string& name,
+                      std::vector<double> data)
+{
+    require(!ran_, "setInput after run(); create a new Accelerator");
+    staged_.emplace_back(name, std::move(data));
+}
+
+void
+Accelerator::requestOutput(const std::string& name)
+{
+    outputs_.push_back(name);
+}
+
+RunReport
+Accelerator::run()
+{
+    require(!ran_, "Accelerator::run() may only be called once");
+    RunReport rep;
+
+    // Host -> board DRAM.
+    double bytes_in = 0;
+    for (auto& [name, data] : staged_) {
+        bytes_in += double(data.size()) * 4.0; // f32 payload
+        fsim_->setOffchip(name, std::move(data));
+    }
+    rep.copyInSeconds = bytes_in / kPcieBytesPerSecond;
+
+    // Kernel execution: functional result + simulated wall clock.
+    fsim_->run();
+    auto timed = sim::TimingSim(*inst_, dev_).run();
+    rep.kernelCycles = timed.cycles;
+    rep.kernelSeconds = timed.seconds;
+
+    // Board DRAM -> host.
+    double bytes_out = 0;
+    for (const auto& name : outputs_)
+        bytes_out += double(fsim_->offchip(name).size()) * 4.0;
+    rep.copyOutSeconds = bytes_out / kPcieBytesPerSecond;
+
+    staged_.clear();
+    ran_ = true;
+    return rep;
+}
+
+const std::vector<double>&
+Accelerator::output(const std::string& name) const
+{
+    require(ran_, "output() before run()");
+    return fsim_->offchip(name);
+}
+
+double
+Accelerator::scalar(const std::string& name) const
+{
+    require(ran_, "scalar() before run()");
+    return fsim_->regValue(name);
+}
+
+} // namespace dhdl::host

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Host-side runtime facade. The paper "leverage[s] Maxeler's runtime
+ * to manage communication and data movement between the host CPU and
+ * the MAIA board" (Section V-A); this module is the equivalent layer
+ * for the simulated board: bind host buffers to off-chip arrays, run
+ * the accelerator (functional + timing), read results back, and
+ * account for PCIe transfer time separately from kernel execution —
+ * matching the paper's measurement convention ("execution time is
+ * measured starting from when the FPGA design is started (after
+ * input has been copied to FPGA DRAM)").
+ */
+
+#ifndef DHDL_HOST_ACCELERATOR_HH
+#define DHDL_HOST_ACCELERATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/instance.hh"
+#include "sim/functional.hh"
+#include "sim/timing.hh"
+
+namespace dhdl::host {
+
+/** Wall-clock breakdown of one accelerator invocation. */
+struct RunReport {
+    double copyInSeconds = 0;  //!< Host -> board DRAM over PCIe.
+    double kernelSeconds = 0;  //!< FPGA execution (the paper's metric).
+    double copyOutSeconds = 0; //!< Board DRAM -> host over PCIe.
+    double kernelCycles = 0;
+
+    double
+    totalSeconds() const
+    {
+        return copyInSeconds + kernelSeconds + copyOutSeconds;
+    }
+};
+
+/**
+ * A configured accelerator: one design at one design point, plus the
+ * host-side data bindings. Not copyable (owns the simulation state).
+ */
+class Accelerator
+{
+  public:
+    /** PCIe gen3 x8 effective host-board bandwidth, bytes/second. */
+    static constexpr double kPcieBytesPerSecond = 6.0e9;
+
+    Accelerator(const Graph& g, ParamBinding binding,
+                fpga::Device dev = fpga::Device::maia());
+
+    /** Stage host data for an off-chip array (copied at run()). */
+    void setInput(const std::string& name, std::vector<double> data);
+
+    /** Mark an off-chip array to be copied back after run(). */
+    void requestOutput(const std::string& name);
+
+    /**
+     * Execute once: copy staged inputs, run the design functionally
+     * and through the timing simulator, copy requested outputs.
+     */
+    RunReport run();
+
+    /** Read back an output array (after run()). */
+    const std::vector<double>& output(const std::string& name) const;
+
+    /** Read back a scalar register (after run()). */
+    double scalar(const std::string& name) const;
+
+    const Inst& instance() const { return *inst_; }
+
+  private:
+    const Graph& g_;
+    ParamBinding binding_;
+    fpga::Device dev_;
+    std::unique_ptr<Inst> inst_;
+    std::unique_ptr<sim::FunctionalSim> fsim_;
+    std::vector<std::pair<std::string, std::vector<double>>> staged_;
+    std::vector<std::string> outputs_;
+    bool ran_ = false;
+};
+
+} // namespace dhdl::host
+
+#endif // DHDL_HOST_ACCELERATOR_HH

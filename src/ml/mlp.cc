@@ -1,0 +1,181 @@
+#include "ml/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hh"
+
+namespace dhdl::ml {
+
+Mlp::Mlp(std::vector<int> layer_sizes, uint64_t seed)
+    : layers_(std::move(layer_sizes))
+{
+    require(layers_.size() >= 2, "MLP needs at least two layers");
+    size_t total = 0;
+    for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+        wOffset_.push_back(total);
+        total += size_t(layers_[l]) * size_t(layers_[l + 1]);
+        bOffset_.push_back(total);
+        total += size_t(layers_[l + 1]);
+    }
+    weights_.resize(total);
+    Rng rng(seed);
+    for (auto& w : weights_)
+        w = rng.uniform(-0.5, 0.5);
+}
+
+size_t
+Mlp::wIndex(size_t layer, int i, int j) const
+{
+    return wOffset_[layer] + size_t(i) * size_t(layers_[layer]) +
+           size_t(j);
+}
+
+size_t
+Mlp::bIndex(size_t layer, int i) const
+{
+    return bOffset_[layer] + size_t(i);
+}
+
+std::vector<double>
+Mlp::forward(const std::vector<double>& in) const
+{
+    require(int(in.size()) == layers_.front(), "MLP input arity");
+    std::vector<double> act = in;
+    for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+        std::vector<double> next(size_t(layers_[l + 1]), 0.0);
+        bool last = l + 2 == layers_.size();
+        for (int i = 0; i < layers_[l + 1]; ++i) {
+            double s = weights_[bIndex(l, i)];
+            for (int j = 0; j < layers_[l]; ++j)
+                s += weights_[wIndex(l, i, j)] * act[size_t(j)];
+            next[size_t(i)] = last ? s : std::tanh(s);
+        }
+        act = std::move(next);
+    }
+    return act;
+}
+
+double
+Mlp::predictScalar(const std::vector<double>& in) const
+{
+    auto out = forward(in);
+    invariant(out.size() == 1, "predictScalar on multi-output net");
+    return out.front();
+}
+
+std::vector<double>
+Mlp::gradient(const std::vector<std::vector<double>>& x,
+              const std::vector<std::vector<double>>& y) const
+{
+    require(x.size() == y.size() && !x.empty(),
+            "gradient needs matching, non-empty dataset");
+    std::vector<double> grad(weights_.size(), 0.0);
+    size_t nl = layers_.size();
+
+    for (size_t s = 0; s < x.size(); ++s) {
+        // Forward pass, keeping activations per layer.
+        std::vector<std::vector<double>> act(nl);
+        act[0] = x[s];
+        for (size_t l = 0; l + 1 < nl; ++l) {
+            act[l + 1].assign(size_t(layers_[l + 1]), 0.0);
+            bool last = l + 2 == nl;
+            for (int i = 0; i < layers_[l + 1]; ++i) {
+                double sum = weights_[bIndex(l, i)];
+                for (int j = 0; j < layers_[l]; ++j)
+                    sum += weights_[wIndex(l, i, j)] *
+                           act[l][size_t(j)];
+                act[l + 1][size_t(i)] = last ? sum : std::tanh(sum);
+            }
+        }
+
+        // Backward pass: delta[i] = dE/d(net input of unit i).
+        std::vector<double> delta(act[nl - 1].size());
+        for (size_t i = 0; i < delta.size(); ++i)
+            delta[i] = 2.0 * (act[nl - 1][i] - y[s][i]) /
+                       double(x.size() * delta.size());
+
+        for (size_t l = nl - 1; l-- > 0;) {
+            std::vector<double> prev_delta(size_t(layers_[l]), 0.0);
+            for (int i = 0; i < layers_[l + 1]; ++i) {
+                double d = delta[size_t(i)];
+                grad[bIndex(l, i)] += d;
+                for (int j = 0; j < layers_[l]; ++j) {
+                    grad[wIndex(l, i, j)] += d * act[l][size_t(j)];
+                    prev_delta[size_t(j)] +=
+                        d * weights_[wIndex(l, i, j)];
+                }
+            }
+            if (l > 0) {
+                // Apply tanh' of the hidden activation.
+                for (int j = 0; j < layers_[l]; ++j) {
+                    double a = act[l][size_t(j)];
+                    prev_delta[size_t(j)] *= (1.0 - a * a);
+                }
+            }
+            delta = std::move(prev_delta);
+        }
+    }
+    return grad;
+}
+
+double
+Mlp::mse(const std::vector<std::vector<double>>& x,
+         const std::vector<std::vector<double>>& y) const
+{
+    require(x.size() == y.size() && !x.empty(), "mse arity mismatch");
+    double total = 0.0;
+    size_t count = 0;
+    for (size_t s = 0; s < x.size(); ++s) {
+        auto out = forward(x[s]);
+        for (size_t i = 0; i < out.size(); ++i) {
+            double e = out[i] - y[s][i];
+            total += e * e;
+            ++count;
+        }
+    }
+    return total / double(count);
+}
+
+RpropTrainer::RpropTrainer(Mlp& net)
+    : net_(net), stepSize_(net.numWeights(), 0.1),
+      prevGrad_(net.numWeights(), 0.0)
+{
+}
+
+double
+RpropTrainer::train(const std::vector<std::vector<double>>& x,
+                    const std::vector<std::vector<double>>& y,
+                    int max_epochs, double tolerance)
+{
+    constexpr double eta_plus = 1.2;
+    constexpr double eta_minus = 0.5;
+    constexpr double step_max = 50.0;
+    constexpr double step_min = 1e-9;
+
+    double err = net_.mse(x, y);
+    for (int epoch = 0; epoch < max_epochs && err > tolerance; ++epoch) {
+        auto grad = net_.gradient(x, y);
+        auto& w = net_.params();
+        for (size_t i = 0; i < w.size(); ++i) {
+            double sign = prevGrad_[i] * grad[i];
+            if (sign > 0) {
+                stepSize_[i] = std::min(stepSize_[i] * eta_plus,
+                                        step_max);
+            } else if (sign < 0) {
+                stepSize_[i] = std::max(stepSize_[i] * eta_minus,
+                                        step_min);
+                grad[i] = 0.0; // RPROP+: skip update after sign flip
+            }
+            if (grad[i] > 0)
+                w[i] -= stepSize_[i];
+            else if (grad[i] < 0)
+                w[i] += stepSize_[i];
+            prevGrad_[i] = grad[i];
+        }
+        err = net_.mse(x, y);
+    }
+    return err;
+}
+
+} // namespace dhdl::ml

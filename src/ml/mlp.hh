@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Feed-forward multilayer perceptron with resilient backpropagation
+ * (RPROP+) training. The paper models post-place-and-route effects
+ * with "a set of small artificial neural networks ... Each network
+ * has three fully connected layers with eleven input nodes, six
+ * hidden layer nodes, and a single output node" (Section IV-B2),
+ * trained with the Encog library; RPROP is Encog's default trainer.
+ * This is a from-scratch replacement with the same topology.
+ */
+
+#ifndef DHDL_ML_MLP_HH
+#define DHDL_ML_MLP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/rng.hh"
+
+namespace dhdl::ml {
+
+/** A dense feed-forward network with tanh hidden units. */
+class Mlp
+{
+  public:
+    /**
+     * Construct with the given layer sizes, e.g. {11, 6, 1} for the
+     * paper's topology. Weights are initialized from the seed.
+     */
+    Mlp(std::vector<int> layer_sizes, uint64_t seed = 1);
+
+    /** Forward pass; input size must match the first layer. */
+    std::vector<double> forward(const std::vector<double>& in) const;
+
+    /** Convenience for single-output networks. */
+    double predictScalar(const std::vector<double>& in) const;
+
+    size_t numWeights() const { return weights_.size(); }
+    const std::vector<int>& layers() const { return layers_; }
+
+    /** Flat parameter access for the trainer and for tests. */
+    std::vector<double>& params() { return weights_; }
+    const std::vector<double>& params() const { return weights_; }
+
+    /**
+     * Full-batch mean-squared-error gradient with respect to all
+     * parameters (weights and biases), computed by backpropagation.
+     */
+    std::vector<double>
+    gradient(const std::vector<std::vector<double>>& x,
+             const std::vector<std::vector<double>>& y) const;
+
+    /** Mean squared error over a dataset. */
+    double mse(const std::vector<std::vector<double>>& x,
+               const std::vector<std::vector<double>>& y) const;
+
+  private:
+    friend class RpropTrainer;
+
+    /** Weight index of edge (from j in layer l, to i in layer l+1). */
+    size_t wIndex(size_t layer, int i, int j) const;
+    /** Bias index of unit i in layer l+1. */
+    size_t bIndex(size_t layer, int i) const;
+
+    std::vector<int> layers_;
+    std::vector<size_t> wOffset_; //!< per-layer weight block offsets
+    std::vector<size_t> bOffset_; //!< per-layer bias block offsets
+    std::vector<double> weights_; //!< weights and biases, flat
+};
+
+/** RPROP+ trainer (Riedmiller & Braun) on the full batch. */
+class RpropTrainer
+{
+  public:
+    explicit RpropTrainer(Mlp& net);
+
+    /**
+     * Run up to maxEpochs full-batch updates; stops early when the
+     * MSE drops below tolerance. Returns the final MSE.
+     */
+    double train(const std::vector<std::vector<double>>& x,
+                 const std::vector<std::vector<double>>& y,
+                 int max_epochs = 2000, double tolerance = 1e-7);
+
+  private:
+    Mlp& net_;
+    std::vector<double> stepSize_;
+    std::vector<double> prevGrad_;
+};
+
+} // namespace dhdl::ml
+
+#endif // DHDL_ML_MLP_HH

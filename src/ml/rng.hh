@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64 based).
+ * Every stochastic component of the framework — the synthetic vendor
+ * toolchain's noise, DSE sampling, ANN initialization — draws from
+ * this so that builds and experiments are reproducible bit-for-bit.
+ */
+
+#ifndef DHDL_ML_RNG_HH
+#define DHDL_ML_RNG_HH
+
+#include <cstdint>
+
+namespace dhdl::ml {
+
+/** Small, fast, seedable RNG (SplitMix64). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal via Box-Muller. */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+  private:
+    uint64_t state_;
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/** Mix an arbitrary integer into a well-distributed 64-bit hash. */
+uint64_t hashMix(uint64_t x);
+
+} // namespace dhdl::ml
+
+#endif // DHDL_ML_RNG_HH

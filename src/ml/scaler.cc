@@ -1,0 +1,58 @@
+#include "ml/scaler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hh"
+
+namespace dhdl::ml {
+
+void
+MinMaxScaler::fit(const std::vector<std::vector<double>>& rows)
+{
+    require(!rows.empty(), "scaler fit on empty sample set");
+    size_t cols = rows.front().size();
+    lo_.assign(cols, std::numeric_limits<double>::infinity());
+    hi_.assign(cols, -std::numeric_limits<double>::infinity());
+    for (const auto& r : rows) {
+        require(r.size() == cols, "ragged sample matrix");
+        for (size_t c = 0; c < cols; ++c) {
+            lo_[c] = std::min(lo_[c], r[c]);
+            hi_[c] = std::max(hi_[c], r[c]);
+        }
+    }
+    for (size_t c = 0; c < cols; ++c) {
+        if (hi_[c] - lo_[c] < 1e-12)
+            hi_[c] = lo_[c] + 1.0; // constant column: map to 0
+    }
+}
+
+void
+MinMaxScaler::transform(std::vector<double>& row) const
+{
+    require(row.size() == lo_.size(), "scaler arity mismatch");
+    for (size_t c = 0; c < row.size(); ++c)
+        row[c] = scaleColumn(c, row[c]);
+}
+
+std::vector<double>
+MinMaxScaler::transformed(const std::vector<double>& row) const
+{
+    auto out = row;
+    transform(out);
+    return out;
+}
+
+double
+MinMaxScaler::scaleColumn(size_t col, double v) const
+{
+    return (v - lo_[col]) / (hi_[col] - lo_[col]);
+}
+
+double
+MinMaxScaler::inverseColumn(size_t col, double v) const
+{
+    return lo_[col] + v * (hi_[col] - lo_[col]);
+}
+
+} // namespace dhdl::ml

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Min-max feature scaling for neural-network inputs and targets.
+ * The design-sample features span several orders of magnitude (raw
+ * LUT counts vs BRAM counts), so both are normalized to [0, 1]
+ * before training, mirroring standard Encog practice.
+ */
+
+#ifndef DHDL_ML_SCALER_HH
+#define DHDL_ML_SCALER_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dhdl::ml {
+
+/** Per-column min-max scaler mapping features to [0, 1]. */
+class MinMaxScaler
+{
+  public:
+    /** Fit column ranges from a row-major sample matrix. */
+    void fit(const std::vector<std::vector<double>>& rows);
+
+    /** Scale one row in place. */
+    void transform(std::vector<double>& row) const;
+
+    /** Scale a copy of one row. */
+    std::vector<double> transformed(const std::vector<double>& row) const;
+
+    /** Invert the scaling of one column value. */
+    double inverseColumn(size_t col, double v) const;
+
+    /** Forward-scale one column value. */
+    double scaleColumn(size_t col, double v) const;
+
+    size_t columns() const { return lo_.size(); }
+
+    const std::vector<double>& lowerBounds() const { return lo_; }
+    const std::vector<double>& upperBounds() const { return hi_; }
+
+    /** Reconstruct a fitted scaler from persisted bounds. */
+    static MinMaxScaler
+    fromBounds(std::vector<double> lo, std::vector<double> hi)
+    {
+        MinMaxScaler s;
+        s.lo_ = std::move(lo);
+        s.hi_ = std::move(hi);
+        return s;
+    }
+
+  private:
+    std::vector<double> lo_;
+    std::vector<double> hi_;
+};
+
+} // namespace dhdl::ml
+
+#endif // DHDL_ML_SCALER_HH

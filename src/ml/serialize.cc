@@ -1,0 +1,99 @@
+#include "ml/serialize.hh"
+
+#include <iomanip>
+#include <limits>
+
+#include "core/error.hh"
+
+namespace dhdl::ml {
+
+void
+writeDoubles(std::ostream& os, const std::string& tag,
+             const std::vector<double>& v)
+{
+    os << tag << " " << v.size() << " v1\n";
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (size_t i = 0; i < v.size(); ++i)
+        os << v[i] << (i + 1 == v.size() ? "\n" : " ");
+    if (v.empty())
+        os << "\n";
+}
+
+std::vector<double>
+readDoubles(std::istream& is, const std::string& tag)
+{
+    std::string got_tag, version;
+    size_t count = 0;
+    is >> got_tag >> count >> version;
+    require(bool(is), "truncated model file reading '" + tag + "'");
+    require(got_tag == tag, "model file tag mismatch: expected '" +
+                                tag + "', got '" + got_tag + "'");
+    require(version == "v1",
+            "unsupported model format version " + version);
+    std::vector<double> v(count);
+    for (auto& x : v)
+        is >> x;
+    require(bool(is), "truncated payload for '" + tag + "'");
+    return v;
+}
+
+void
+saveLinear(std::ostream& os, const LinearModel& m)
+{
+    auto coeffs = m.weights();
+    coeffs.push_back(m.bias());
+    writeDoubles(os, "linear", coeffs);
+}
+
+LinearModel
+loadLinear(std::istream& is)
+{
+    auto coeffs = readDoubles(is, "linear");
+    require(!coeffs.empty(), "linear model payload empty");
+    double b = coeffs.back();
+    coeffs.pop_back();
+    return LinearModel::fromWeights(std::move(coeffs), b);
+}
+
+void
+saveMlp(std::ostream& os, const Mlp& net)
+{
+    std::vector<double> layers(net.layers().begin(),
+                               net.layers().end());
+    writeDoubles(os, "mlp_layers", layers);
+    writeDoubles(os, "mlp_weights", net.params());
+}
+
+Mlp
+loadMlp(std::istream& is)
+{
+    auto layer_doubles = readDoubles(is, "mlp_layers");
+    std::vector<int> layers;
+    layers.reserve(layer_doubles.size());
+    for (double d : layer_doubles)
+        layers.push_back(int(d));
+    Mlp net(layers);
+    auto weights = readDoubles(is, "mlp_weights");
+    require(weights.size() == net.numWeights(),
+            "MLP weight count mismatch in model file");
+    net.params() = std::move(weights);
+    return net;
+}
+
+void
+saveScaler(std::ostream& os, const MinMaxScaler& s)
+{
+    writeDoubles(os, "scaler_lo", s.lowerBounds());
+    writeDoubles(os, "scaler_hi", s.upperBounds());
+}
+
+MinMaxScaler
+loadScaler(std::istream& is)
+{
+    auto lo = readDoubles(is, "scaler_lo");
+    auto hi = readDoubles(is, "scaler_hi");
+    require(lo.size() == hi.size(), "scaler bound size mismatch");
+    return MinMaxScaler::fromBounds(std::move(lo), std::move(hi));
+}
+
+} // namespace dhdl::ml

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text serialization for the ML substrate. Calibrating the
+ * estimators (template characterization + ANN training) is a one-off
+ * per device + toolchain; persisting the fitted models lets tools
+ * skip recalibration across processes. The format is line-oriented
+ * and versioned: `<tag> <count> v1` headers followed by whitespace-
+ * separated doubles, written with max_digits10 so round-trips are
+ * bit-exact.
+ */
+
+#ifndef DHDL_ML_SERIALIZE_HH
+#define DHDL_ML_SERIALIZE_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ml/linreg.hh"
+#include "ml/mlp.hh"
+#include "ml/scaler.hh"
+
+namespace dhdl::ml {
+
+/** Write a tagged vector of doubles. */
+void writeDoubles(std::ostream& os, const std::string& tag,
+                  const std::vector<double>& v);
+
+/** Read a tagged vector of doubles; throws FatalError on mismatch. */
+std::vector<double> readDoubles(std::istream& is,
+                                const std::string& tag);
+
+void saveLinear(std::ostream& os, const LinearModel& m);
+LinearModel loadLinear(std::istream& is);
+
+void saveMlp(std::ostream& os, const Mlp& net);
+Mlp loadMlp(std::istream& is);
+
+void saveScaler(std::ostream& os, const MinMaxScaler& s);
+MinMaxScaler loadScaler(std::istream& is);
+
+} // namespace dhdl::ml
+
+#endif // DHDL_ML_SERIALIZE_HH

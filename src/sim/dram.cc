@@ -1,0 +1,130 @@
+#include "sim/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hh"
+
+namespace dhdl::sim {
+
+namespace {
+
+/** Extra cycles per row activation (precharge + activate + CAS). */
+constexpr double kRowOverheadCycles = 6.0;
+
+/** Refresh derating: fraction of time the DRAM is unavailable. */
+constexpr double kRefreshDerate = 0.015;
+
+} // namespace
+
+DramModel::DramModel(fpga::Device dev) : dev_(std::move(dev))
+{
+}
+
+double
+DramModel::effectiveRate(const StreamReq& s) const
+{
+    double peak = dev_.bytesPerCycle() * (1.0 - kRefreshDerate);
+    double row = std::max(1.0, s.rowBytes);
+    // Each row run costs its payload time plus a fixed activation
+    // overhead; bursts are quantized to the board's burst size.
+    double bursts_per_row = std::ceil(row / double(dev_.burstBytes));
+    double row_cycles =
+        bursts_per_row * double(dev_.burstBytes) / peak +
+        kRowOverheadCycles;
+    double rate = row / row_cycles;
+    return std::min({rate, peak, s.onchipBytesPerCycle});
+}
+
+double
+DramModel::streamCycles(const StreamReq& s, double share) const
+{
+    require(share > 0.0 && share <= 1.0, "bad bandwidth share");
+    if (s.bytes <= 0)
+        return latency();
+    double rate = effectiveRate(s) * share;
+    return latency() + s.bytes / std::max(1e-9, rate);
+}
+
+std::vector<double>
+DramModel::concurrentCycles(const std::vector<StreamReq>& streams) const
+{
+    size_t n = streams.size();
+    std::vector<double> finish(n, 0.0);
+    if (n == 0)
+        return finish;
+    if (n == 1) {
+        finish[0] = streamCycles(streams[0]);
+        return finish;
+    }
+
+    // Fluid max-min fair sharing: all streams start at cycle 0; each
+    // round, active streams split the controller bandwidth, capped by
+    // their own effective rate; the next completion defines the round.
+    std::vector<double> remaining(n);
+    std::vector<double> cap(n);
+    for (size_t i = 0; i < n; ++i) {
+        remaining[i] = std::max(0.0, streams[i].bytes);
+        cap[i] = effectiveRate(streams[i]);
+    }
+    double total_bw = dev_.bytesPerCycle() * (1.0 - kRefreshDerate);
+    double now = 0.0;
+    size_t active = n;
+
+    while (active > 0) {
+        // Max-min allocation: water-fill bandwidth across streams that
+        // still have data, honoring per-stream caps.
+        std::vector<double> rate(n, 0.0);
+        double bw_left = total_bw;
+        size_t uncapped = 0;
+        for (size_t i = 0; i < n; ++i)
+            if (remaining[i] > 0)
+                ++uncapped;
+        // Iterative water-filling.
+        std::vector<bool> frozen(n, false);
+        while (uncapped > 0) {
+            double fair = bw_left / double(uncapped);
+            bool changed = false;
+            for (size_t i = 0; i < n; ++i) {
+                if (remaining[i] <= 0 || frozen[i])
+                    continue;
+                if (cap[i] <= fair) {
+                    rate[i] = cap[i];
+                    bw_left -= cap[i];
+                    frozen[i] = true;
+                    --uncapped;
+                    changed = true;
+                }
+            }
+            if (!changed) {
+                for (size_t i = 0; i < n; ++i) {
+                    if (remaining[i] > 0 && !frozen[i])
+                        rate[i] = fair;
+                }
+                break;
+            }
+        }
+
+        // Advance to the next completion.
+        double dt = 1e300;
+        for (size_t i = 0; i < n; ++i) {
+            if (remaining[i] > 0 && rate[i] > 0)
+                dt = std::min(dt, remaining[i] / rate[i]);
+        }
+        invariant(dt < 1e299, "DRAM fluid simulation stalled");
+        now += dt;
+        for (size_t i = 0; i < n; ++i) {
+            if (remaining[i] <= 0)
+                continue;
+            remaining[i] -= rate[i] * dt;
+            if (remaining[i] <= 1e-6) {
+                remaining[i] = 0;
+                finish[i] = now + latency();
+                --active;
+            }
+        }
+    }
+    return finish;
+}
+
+} // namespace dhdl::sim

@@ -1,0 +1,462 @@
+#include "sim/functional.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dhdl::sim {
+
+namespace {
+
+/** Identity element of a combine operator. */
+double
+reduceIdentity(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Or:
+        return 0.0;
+      case Op::Mul:
+      case Op::And:
+        return 1.0;
+      case Op::Min:
+        return std::numeric_limits<double>::infinity();
+      case Op::Max:
+        return -std::numeric_limits<double>::infinity();
+      default:
+        return 0.0;
+    }
+}
+
+} // namespace
+
+FunctionalSim::FunctionalSim(const Inst& inst)
+    : inst_(inst), g_(inst.graph())
+{
+    size_t n = g_.numNodes();
+    iterVal_.assign(n, 0.0);
+    value_.assign(n, 0.0);
+    valueEpoch_.assign(n, 0);
+
+    for (NodeId id : g_.offchipMems)
+        mem_[id].assign(size_t(inst_.memElems(id)), 0.0);
+    for (NodeId id : inst_.onchipMems()) {
+        if (g_.node(id).kind() == NodeKind::Reg)
+            mem_[id].assign(1, g_.nodeAs<RegNode>(id).init);
+        else if (g_.node(id).kind() == NodeKind::Queue)
+            mem_[id].clear(); // queues start empty
+        else
+            mem_[id].assign(size_t(inst_.memElems(id)), 0.0);
+    }
+}
+
+NodeId
+FunctionalSim::memByName(const std::string& name) const
+{
+    for (const auto& [id, data] : mem_) {
+        if (g_.node(id).name() == name)
+            return id;
+    }
+    fatal("no memory named '" + name + "'");
+}
+
+void
+FunctionalSim::setOffchip(const std::string& name,
+                          std::vector<double> data)
+{
+    NodeId id = memByName(name);
+    require(g_.node(id).kind() == NodeKind::OffChipMem,
+            "'" + name + "' is not an off-chip memory");
+    require(data.size() == mem_[id].size(),
+            "data size mismatch for '" + name + "'");
+    mem_[id] = std::move(data);
+}
+
+const std::vector<double>&
+FunctionalSim::offchip(const std::string& name) const
+{
+    NodeId id = memByName(name);
+    require(g_.node(id).kind() == NodeKind::OffChipMem,
+            "'" + name + "' is not an off-chip memory");
+    return mem_.at(id);
+}
+
+double
+FunctionalSim::regValue(const std::string& name) const
+{
+    NodeId id = memByName(name);
+    require(g_.node(id).kind() == NodeKind::Reg,
+            "'" + name + "' is not a register");
+    return mem_.at(id).front();
+}
+
+const std::vector<double>&
+FunctionalSim::onchip(const std::string& name) const
+{
+    return mem_.at(memByName(name));
+}
+
+void
+FunctionalSim::run()
+{
+    require(g_.root != kNoNode, "design has no accel body");
+    execCtrl(g_.root);
+}
+
+double
+FunctionalSim::quantize(const DType& t, double v) const
+{
+    switch (t.kind) {
+      case TypeKind::Float:
+        if (t.bits() <= 32)
+            return double(float(v));
+        return v;
+      case TypeKind::Fixed: {
+        if (t.fieldB == 0)
+            return std::nearbyint(v);
+        double scale = double(int64_t(1) << t.fieldB);
+        return std::nearbyint(v * scale) / scale;
+      }
+      case TypeKind::Bit:
+        return v != 0.0 ? 1.0 : 0.0;
+    }
+    return v;
+}
+
+double
+FunctionalSim::combineVals(Op op, const DType& t, double a,
+                           double b) const
+{
+    double r = 0.0;
+    switch (op) {
+      case Op::Add: r = a + b; break;
+      case Op::Sub: r = a - b; break;
+      case Op::Mul: r = a * b; break;
+      case Op::Div: r = a / b; break;
+      case Op::Mod: r = std::fmod(a, b); break;
+      case Op::Min: r = std::min(a, b); break;
+      case Op::Max: r = std::max(a, b); break;
+      case Op::And: r = (a != 0 && b != 0) ? 1.0 : 0.0; break;
+      case Op::Or: r = (a != 0 || b != 0) ? 1.0 : 0.0; break;
+      default:
+        panic("combineVals: unsupported combine operator");
+    }
+    return quantize(t, r);
+}
+
+int64_t
+FunctionalSim::flatAddr(const MemNode& m,
+                        const std::vector<int64_t>& idx) const
+{
+    invariant(idx.size() == m.dims.size(), "address rank mismatch");
+    int64_t flat = 0;
+    for (size_t d = 0; d < idx.size(); ++d) {
+        int64_t extent = inst_.val(m.dims[d]);
+        require(idx[d] >= 0 && idx[d] < extent,
+                "out-of-bounds access to '" + m.name() + "'");
+        flat = flat * extent + idx[d];
+    }
+    return flat;
+}
+
+double
+FunctionalSim::eval(NodeId n)
+{
+    if (valueEpoch_[size_t(n)] == epoch_)
+        return value_[size_t(n)];
+
+    const Node& node = g_.node(n);
+    double v = 0.0;
+    switch (node.kind()) {
+      case NodeKind::Prim: {
+        const auto& p = g_.nodeAs<PrimNode>(n);
+        switch (p.op) {
+          case Op::Const:
+            v = quantize(p.type, p.constValue);
+            break;
+          case Op::Iter:
+            v = iterVal_[size_t(n)];
+            break;
+          case Op::Mux: {
+            double sel = eval(p.inputs[0]);
+            v = sel != 0.0 ? eval(p.inputs[1]) : eval(p.inputs[2]);
+            v = quantize(p.type, v);
+            break;
+          }
+          case Op::Not:
+            v = eval(p.inputs[0]) != 0.0 ? 0.0 : 1.0;
+            break;
+          case Op::Abs:
+            v = quantize(p.type, std::fabs(eval(p.inputs[0])));
+            break;
+          case Op::Neg:
+            v = quantize(p.type, -eval(p.inputs[0]));
+            break;
+          case Op::Sqrt:
+            v = quantize(p.type, std::sqrt(eval(p.inputs[0])));
+            break;
+          case Op::Exp:
+            v = quantize(p.type, std::exp(eval(p.inputs[0])));
+            break;
+          case Op::Log:
+            v = quantize(p.type, std::log(eval(p.inputs[0])));
+            break;
+          case Op::ToFloat:
+          case Op::ToFixed:
+            v = quantize(p.type, eval(p.inputs[0]));
+            break;
+          case Op::Lt:
+            v = eval(p.inputs[0]) < eval(p.inputs[1]) ? 1.0 : 0.0;
+            break;
+          case Op::Le:
+            v = eval(p.inputs[0]) <= eval(p.inputs[1]) ? 1.0 : 0.0;
+            break;
+          case Op::Gt:
+            v = eval(p.inputs[0]) > eval(p.inputs[1]) ? 1.0 : 0.0;
+            break;
+          case Op::Ge:
+            v = eval(p.inputs[0]) >= eval(p.inputs[1]) ? 1.0 : 0.0;
+            break;
+          case Op::Eq:
+            v = eval(p.inputs[0]) == eval(p.inputs[1]) ? 1.0 : 0.0;
+            break;
+          case Op::Neq:
+            v = eval(p.inputs[0]) != eval(p.inputs[1]) ? 1.0 : 0.0;
+            break;
+          default:
+            v = combineVals(p.op, p.type, eval(p.inputs[0]),
+                            eval(p.inputs[1]));
+            break;
+        }
+        break;
+      }
+      case NodeKind::Load: {
+        const auto& l = g_.nodeAs<LoadNode>(n);
+        const auto& m = g_.nodeAs<MemNode>(l.mem);
+        // Priority queues: address i reads the i-th smallest pushed
+        // value; unfilled slots read +infinity.
+        if (m.kind() == NodeKind::Queue) {
+            int64_t i = int64_t(std::llround(eval(l.addr.front())));
+            const auto& q = mem_.at(l.mem);
+            require(i >= 0 && i < inst_.memElems(l.mem),
+                    "queue peek index out of range");
+            v = size_t(i) < q.size()
+                    ? q[size_t(i)]
+                    : std::numeric_limits<double>::infinity();
+            break;
+        }
+        std::vector<int64_t> idx;
+        idx.reserve(l.addr.size());
+        for (NodeId a : l.addr)
+            idx.push_back(int64_t(std::llround(eval(a))));
+        v = mem_.at(l.mem)[size_t(flatAddr(m, idx))];
+        break;
+      }
+      default:
+        panic("eval on non-value node");
+    }
+    value_[size_t(n)] = v;
+    valueEpoch_[size_t(n)] = epoch_;
+    return v;
+}
+
+void
+FunctionalSim::execPipeIteration(NodeId pipe)
+{
+    ++epoch_;
+    const auto& c = g_.nodeAs<ControllerNode>(pipe);
+    for (NodeId ch : c.children) {
+        if (g_.node(ch).kind() != NodeKind::Store)
+            continue;
+        const auto& s = g_.nodeAs<StoreNode>(ch);
+        const auto& m = g_.nodeAs<MemNode>(s.mem);
+
+        // Priority queues: a store is a push (the address is
+        // ignored); the queue keeps the `depth` smallest values in
+        // sorted order, evicting the largest on overflow.
+        if (m.kind() == NodeKind::Queue) {
+            double v = quantize(m.type, eval(s.value));
+            auto& q = mem_.at(s.mem);
+            auto pos = std::upper_bound(q.begin(), q.end(), v);
+            size_t depth = size_t(inst_.memElems(s.mem));
+            if (q.size() < depth) {
+                q.insert(pos, v);
+            } else if (pos != q.end()) {
+                q.insert(pos, v);
+                q.pop_back();
+            }
+            continue;
+        }
+
+        std::vector<int64_t> idx;
+        idx.reserve(s.addr.size());
+        for (NodeId a : s.addr)
+            idx.push_back(int64_t(std::llround(eval(a))));
+        mem_.at(s.mem)[size_t(flatAddr(m, idx))] =
+            quantize(m.type, eval(s.value));
+    }
+}
+
+void
+FunctionalSim::execTransfer(NodeId xfer)
+{
+    ++epoch_;
+    const Node& n = g_.node(xfer);
+    bool is_load = n.kind() == NodeKind::TileLd;
+    NodeId off_id, on_id;
+    const std::vector<NodeId>* base;
+    const std::vector<Sym>* extent;
+    if (is_load) {
+        const auto& t = g_.nodeAs<TileLdNode>(xfer);
+        off_id = t.offchip;
+        on_id = t.onchip;
+        base = &t.base;
+        extent = &t.extent;
+    } else {
+        const auto& t = g_.nodeAs<TileStNode>(xfer);
+        off_id = t.offchip;
+        on_id = t.onchip;
+        base = &t.base;
+        extent = &t.extent;
+    }
+    const auto& off = g_.nodeAs<MemNode>(off_id);
+    const auto& on = g_.nodeAs<MemNode>(on_id);
+
+    size_t rank = extent->size();
+    std::vector<int64_t> base_idx(rank, 0), ext(rank, 1);
+    for (size_t d = 0; d < rank; ++d) {
+        if ((*base)[d] != kNoNode)
+            base_idx[d] = int64_t(std::llround(eval((*base)[d])));
+        ext[d] = inst_.val((*extent)[d]);
+    }
+
+    // Iterate the tile region in row-major order.
+    std::vector<int64_t> idx(rank, 0);
+    while (true) {
+        std::vector<int64_t> off_idx(rank);
+        for (size_t d = 0; d < rank; ++d)
+            off_idx[d] = base_idx[d] + idx[d];
+        int64_t o = flatAddr(off, off_idx);
+        int64_t c = flatAddr(on, idx);
+        if (is_load)
+            mem_.at(on_id)[size_t(c)] = mem_.at(off_id)[size_t(o)];
+        else
+            mem_.at(off_id)[size_t(o)] = mem_.at(on_id)[size_t(c)];
+
+        // Advance the index vector.
+        size_t d = rank;
+        while (d-- > 0) {
+            if (++idx[d] < ext[d])
+                break;
+            idx[d] = 0;
+            if (d == 0)
+                return;
+        }
+    }
+}
+
+void
+FunctionalSim::resetAccum(const ControllerNode& c)
+{
+    if (c.pattern != Pattern::Reduce || c.accum == kNoNode)
+        return;
+    double id_val = reduceIdentity(c.combine);
+    auto& data = mem_.at(c.accum);
+    std::fill(data.begin(), data.end(), id_val);
+}
+
+void
+FunctionalSim::foldReduce(const ControllerNode& c)
+{
+    if (c.pattern != Pattern::Reduce || c.accum == kNoNode)
+        return;
+    const auto& acc = g_.nodeAs<MemNode>(c.accum);
+    auto& dst = mem_.at(c.accum);
+    if (c.kind() == NodeKind::Pipe) {
+        // Scalar fold of the body's value into a register.
+        double v = eval(c.bodyResult);
+        dst[0] = combineVals(c.combine, acc.type, dst[0], v);
+        return;
+    }
+    // Tile fold: elementwise combine of the body-result memory.
+    const auto& src = mem_.at(c.bodyResult);
+    require(src.size() == dst.size(),
+            "reduce tile size mismatch for '" + acc.name() + "'");
+    for (size_t i = 0; i < dst.size(); ++i)
+        dst[i] = combineVals(c.combine, acc.type, dst[i], src[i]);
+}
+
+void
+FunctionalSim::execBody(NodeId ctrl)
+{
+    const auto& c = g_.nodeAs<ControllerNode>(ctrl);
+    if (c.kind() == NodeKind::Pipe) {
+        execPipeIteration(ctrl);
+        return;
+    }
+    for (NodeId ch : c.children) {
+        const Node& n = g_.node(ch);
+        if (n.isController())
+            execCtrl(ch);
+        else if (n.isTileTransfer())
+            execTransfer(ch);
+    }
+}
+
+void
+FunctionalSim::execCtrl(NodeId ctrl)
+{
+    const auto& c = g_.nodeAs<ControllerNode>(ctrl);
+    resetAccum(c);
+
+    if (c.counter == kNoNode) {
+        execBody(ctrl);
+        foldReduce(c);
+        return;
+    }
+
+    const auto& ctr = g_.nodeAs<CounterNode>(c.counter);
+    size_t rank = ctr.dims.size();
+
+    // Iterator nodes of this controller, by dimension.
+    std::vector<NodeId> iters(rank, kNoNode);
+    for (NodeId ch : c.children) {
+        const auto* p = g_.tryAs<PrimNode>(ch);
+        if (p && p->op == Op::Iter && p->counter == c.counter)
+            iters[size_t(p->ctrDim)] = ch;
+    }
+
+    std::vector<int64_t> lo(rank), hi(rank), st(rank);
+    for (size_t d = 0; d < rank; ++d) {
+        lo[d] = inst_.val(ctr.dims[d].min);
+        hi[d] = inst_.val(ctr.dims[d].max);
+        st[d] = inst_.val(ctr.dims[d].step);
+        require(st[d] > 0, "non-positive counter step");
+    }
+
+    std::vector<int64_t> idx = lo;
+    if (rank == 0)
+        return;
+    while (idx[0] < hi[0]) {
+        for (size_t d = 0; d < rank; ++d) {
+            if (iters[d] != kNoNode)
+                iterVal_[size_t(iters[d])] = double(idx[d]);
+        }
+        execBody(ctrl);
+        foldReduce(c);
+
+        // Advance odometer.
+        size_t d = rank;
+        while (d-- > 0) {
+            idx[d] += st[d];
+            if (idx[d] < hi[d] || d == 0)
+                break;
+            idx[d] = lo[d];
+        }
+        if (idx[0] >= hi[0])
+            break;
+    }
+}
+
+} // namespace dhdl::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Functional simulation of DHDL designs: executes the dataflow graph
+ * on real data, element by element, with per-type value quantization
+ * (float32 rounding, fixed-point quantization). This is the oracle
+ * used to check that generated accelerator designs compute the same
+ * results as the reference CPU implementations, and it feeds the
+ * data-dependent aspects of benchmarks like TPC-H Q6.
+ */
+
+#ifndef DHDL_SIM_FUNCTIONAL_HH
+#define DHDL_SIM_FUNCTIONAL_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/instance.hh"
+
+namespace dhdl::sim {
+
+/** Interpreter over a concrete design instance. */
+class FunctionalSim
+{
+  public:
+    explicit FunctionalSim(const Inst& inst);
+
+    /** Bind host data (row-major) to an off-chip memory by name. */
+    void setOffchip(const std::string& name, std::vector<double> data);
+
+    /** Read back an off-chip memory after run(). */
+    const std::vector<double>& offchip(const std::string& name) const;
+
+    /** Read a register's final value after run(). */
+    double regValue(const std::string& name) const;
+
+    /** Read an on-chip memory's contents (tests). */
+    const std::vector<double>& onchip(const std::string& name) const;
+
+    /** Execute the design once. */
+    void run();
+
+  private:
+    NodeId memByName(const std::string& name) const;
+
+    void execCtrl(NodeId ctrl);
+    void execBody(NodeId ctrl);
+    void execPipeIteration(NodeId pipe);
+    void execTransfer(NodeId xfer);
+    void resetAccum(const ControllerNode& c);
+    void foldReduce(const ControllerNode& c);
+
+    double eval(NodeId n);
+    double quantize(const DType& t, double v) const;
+    double combineVals(Op op, const DType& t, double a, double b) const;
+
+    int64_t flatAddr(const MemNode& m, const std::vector<int64_t>& idx)
+        const;
+
+    const Inst& inst_;
+    const Graph& g_;
+
+    std::unordered_map<NodeId, std::vector<double>> mem_;
+    std::vector<double> iterVal_;   //!< per Iter-node current value
+    std::vector<double> value_;     //!< per-node evaluated value
+    std::vector<uint64_t> valueEpoch_;
+    uint64_t epoch_ = 0;
+};
+
+} // namespace dhdl::sim
+
+#endif // DHDL_SIM_FUNCTIONAL_HH

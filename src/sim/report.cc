@@ -1,0 +1,62 @@
+#include "sim/report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dhdl::sim {
+
+namespace {
+
+void
+walk(const Inst& inst, TimingSim& sim, NodeId node, int depth,
+     double total, std::vector<BottleneckEntry>& out)
+{
+    const Graph& g = inst.graph();
+    BottleneckEntry e;
+    e.node = node;
+    e.name = g.node(node).name();
+    e.kind = kindName(g.node(node).kind());
+    e.depth = depth;
+    e.cycles = g.node(node).isTileTransfer()
+                   ? sim.transferCycles(node)
+                   : sim.ctrlCycles(node);
+    e.fraction = total > 0 ? e.cycles / total : 1.0;
+    out.push_back(e);
+
+    if (g.node(node).isTileTransfer())
+        return;
+    for (NodeId s : inst.stagesOf(node))
+        walk(inst, sim, s, depth + 1, total, out);
+}
+
+} // namespace
+
+std::vector<BottleneckEntry>
+collectBottlenecks(const Inst& inst, fpga::Device dev)
+{
+    std::vector<BottleneckEntry> out;
+    if (inst.graph().root == kNoNode)
+        return out;
+    TimingSim sim(inst, std::move(dev));
+    double total = sim.ctrlCycles(inst.graph().root);
+    walk(inst, sim, inst.graph().root, 0, total, out);
+    return out;
+}
+
+std::string
+timingReport(const Inst& inst, fpga::Device dev)
+{
+    auto entries = collectBottlenecks(inst, std::move(dev));
+    std::ostringstream os;
+    os << "timing breakdown (cycles, share of total):\n";
+    for (const auto& e : entries) {
+        for (int i = 0; i < e.depth; ++i)
+            os << "  ";
+        os << e.kind << " " << e.name << ": "
+           << int64_t(e.cycles) << " (" << std::fixed
+           << std::setprecision(1) << e.fraction * 100.0 << "%)\n";
+    }
+    return os.str();
+}
+
+} // namespace dhdl::sim

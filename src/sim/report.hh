@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Bottleneck reporting: renders the simulated cycle budget of a
+ * design instance as an indented controller tree with per-stage
+ * shares, so a user can see which stage dominates (the analysis the
+ * paper does by hand in Section V-C1, e.g. "the dominant stage
+ * becomes the dot product reduction tree").
+ */
+
+#ifndef DHDL_SIM_REPORT_HH
+#define DHDL_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/timing.hh"
+
+namespace dhdl::sim {
+
+/** One line of the bottleneck report. */
+struct BottleneckEntry {
+    NodeId node = kNoNode;
+    std::string name;
+    std::string kind;
+    int depth = 0;        //!< Nesting level (root = 0).
+    double cycles = 0;    //!< Simulated cycles of this subtree/stage.
+    double fraction = 0;  //!< Share of the root's total cycles.
+};
+
+/** Collect the per-controller/transfer timing breakdown. */
+std::vector<BottleneckEntry>
+collectBottlenecks(const Inst& inst,
+                   fpga::Device dev = fpga::Device::maia());
+
+/** Render the breakdown as an indented text report. */
+std::string timingReport(const Inst& inst,
+                         fpga::Device dev = fpga::Device::maia());
+
+} // namespace dhdl::sim
+
+#endif // DHDL_SIM_REPORT_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Timing simulation of DHDL designs: the reproduction's stand-in for
+ * executing a generated bitstream on the MAIA board. Unlike the
+ * static runtime estimator (Section IV-B1), the timing simulator
+ * models burst-level DRAM behaviour (row overheads, refresh, max-min
+ * fair arbitration between concurrent streams), per-controller
+ * handshake overheads, and exact pipeline fill/drain recurrences, so
+ * estimator error against it has the same causes as in the paper.
+ */
+
+#ifndef DHDL_SIM_TIMING_HH
+#define DHDL_SIM_TIMING_HH
+
+#include <unordered_map>
+
+#include "sim/dram.hh"
+#include "analysis/instance.hh"
+
+namespace dhdl::sim {
+
+/** Timing result for one design instance. */
+struct TimingResult {
+    double cycles = 0;
+    double seconds = 0;
+};
+
+/** Cycle-level timing model over a concrete design instance. */
+class TimingSim
+{
+  public:
+    explicit TimingSim(const Inst& inst,
+                       fpga::Device dev = fpga::Device::maia());
+
+    /** Simulate the whole design. */
+    TimingResult run();
+
+    /** Simulated cycles for one controller subtree (tests). */
+    double ctrlCycles(NodeId ctrl);
+
+    /** Simulated cycles for one tile transfer, with contention. */
+    double transferCycles(NodeId xfer);
+
+  private:
+    double stageCycles(NodeId stage);
+    StreamReq streamOf(NodeId xfer) const;
+    double handshake(NodeId ctrl) const;
+
+    const Inst& inst_;
+    const Graph& g_;
+    DramModel dram_;
+    std::unordered_map<NodeId, double> cache_;
+};
+
+} // namespace dhdl::sim
+
+#endif // DHDL_SIM_TIMING_HH

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "analysis/banking.hh"
+#include "core/builder.hh"
+
+namespace dhdl {
+namespace {
+
+/** Design with one BRAM read by a pipe of parameterized par. */
+struct BankFixture {
+    Design d{"bank"};
+    ParamId ipar;
+    NodeId bram = kNoNode;
+
+    explicit BankFixture(int forced_banks = 0)
+    {
+        ipar = d.parParam("ipar", 32, 8);
+        d.accel([&](Scope& s) {
+            Mem m = s.bram("m", DType::f32(), {Sym::c(32)});
+            if (forced_banks > 0)
+                d.graph().nodeAs<BramNode>(m.id).forcedBanks =
+                    forced_banks;
+            s.pipe("P", {ctr(32)}, Sym::p(ipar),
+                   [&](Scope& p, std::vector<Val> ii) {
+                       Val v = p.load(m, {ii[0]});
+                       p.store(m, {ii[0]}, v + 1.0);
+                   });
+            bram = m.id;
+        });
+    }
+};
+
+TEST(BankingTest, BanksMatchAccessParallelism)
+{
+    // The fixture's pipe both loads and stores the memory every
+    // cycle, so the per-pipe demand is 2x the vector width.
+    BankFixture f;
+    auto b = f.d.params().defaults(); // ipar = 8
+    EXPECT_EQ(inferBanks(Inst(f.d.graph(), b), f.bram), 16);
+    b[f.ipar] = 16;
+    EXPECT_EQ(inferBanks(Inst(f.d.graph(), b), f.bram), 32);
+    b[f.ipar] = 1;
+    EXPECT_EQ(inferBanks(Inst(f.d.graph(), b), f.bram), 2);
+}
+
+TEST(BankingTest, ForcedBanksOverride)
+{
+    BankFixture f(4);
+    auto b = f.d.params().defaults();
+    b[f.ipar] = 16;
+    EXPECT_EQ(inferBanks(Inst(f.d.graph(), b), f.bram), 4);
+}
+
+TEST(BankingTest, BankDepthIsCeilDiv)
+{
+    BankFixture f;
+    auto b = f.d.params().defaults(); // 32 elems, 16 banks (2 x 8)
+    Inst inst(f.d.graph(), b);
+    EXPECT_EQ(bankDepth(inst, f.bram), 2);
+    b[f.ipar] = 3; // banks = 6; direct ceil-division check
+    Inst inst2(f.d.graph(), b);
+    EXPECT_EQ(bankDepth(inst2, f.bram), (32 + 5) / 6);
+}
+
+TEST(BankingTest, TileTransferParDemandsBanks)
+{
+    Design d("tb");
+    ParamId tp = d.parParam("tp", 16, 4);
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(64)});
+    NodeId bram = kNoNode;
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(64)});
+        s.tileLoad(a, at, {}, {Sym::c(64)}, Sym::p(tp));
+        bram = at.id;
+    });
+    auto b = d.params().defaults();
+    EXPECT_EQ(inferBanks(Inst(d.graph(), b), bram), 4);
+}
+
+TEST(BankingTest, MaxOverAccessors)
+{
+    // One narrow accessor and one wide accessor: banks follow the
+    // wide one (a load + store pair inside one pipe, so 2x its par).
+    Design d("two");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(64)});
+    NodeId bram = kNoNode;
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(64)});
+        bram = at.id;
+        s.tileLoad(a, at, {}, {Sym::c(64)}, Sym::c(2));
+        s.pipe("P", {ctr(64)}, Sym::c(8),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val v = p.load(at, {ii[0]});
+                   p.store(at, {ii[0]}, v);
+               });
+    });
+    auto b = d.params().defaults();
+    EXPECT_EQ(inferBanks(Inst(d.graph(), b), bram), 16);
+}
+
+} // namespace
+} // namespace dhdl

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "analysis/instance.hh"
+#include "core/builder.hh"
+
+namespace dhdl {
+namespace {
+
+/** Two-level design with parameterized par factors and a toggle. */
+struct Fixture {
+    Design d{"fx"};
+    ParamId ts, opar, ipar, tog;
+    NodeId meta = kNoNode, pipe = kNoNode, bram = kNoNode;
+
+    Fixture()
+    {
+        ts = d.tileParam("ts", 64, 16);
+        opar = d.parParam("opar", 4, 2);
+        ipar = d.parParam("ipar", 16, 4);
+        tog = d.toggleParam("m1", 1);
+        Mem a = d.offchip("a", DType::f32(), {Sym::c(64)});
+        d.accel([&](Scope& s) {
+            s.metaPipe(
+                "M1", {ctr(64, Sym::p(ts))}, Sym::p(opar), Sym::p(tog),
+                [&](Scope& m, std::vector<Val> rv) {
+                    Mem at = m.bram("at", DType::f32(), {Sym::p(ts)});
+                    m.tileLoad(a, at, {rv[0]}, {Sym::p(ts)});
+                    m.pipe("P1", {ctr(Sym::p(ts))}, Sym::p(ipar),
+                           [&](Scope& p, std::vector<Val> ii) {
+                               Val v = p.load(at, {ii[0]});
+                               p.store(at, {ii[0]}, v + v);
+                           });
+                });
+        });
+        const Graph& g = d.graph();
+        for (NodeId i = 0; i < NodeId(g.numNodes()); ++i) {
+            if (g.node(i).kind() == NodeKind::MetaPipe)
+                meta = i;
+            if (g.node(i).kind() == NodeKind::Pipe)
+                pipe = i;
+            if (g.node(i).kind() == NodeKind::Bram)
+                bram = i;
+        }
+    }
+};
+
+TEST(InstanceTest, BindingSizeMismatchIsFatal)
+{
+    Fixture f;
+    ParamBinding b{{16, 2}};
+    EXPECT_THROW(Inst(f.d.graph(), b), FatalError);
+}
+
+TEST(InstanceTest, TripCountFollowsTileSize)
+{
+    Fixture f;
+    auto b = f.d.params().defaults();
+    Inst inst(f.d.graph(), b);
+    EXPECT_EQ(inst.trip(f.meta), 64 / 16);
+    EXPECT_EQ(inst.trip(f.pipe), 16);
+
+    b[f.ts] = 32;
+    Inst inst2(f.d.graph(), b);
+    EXPECT_EQ(inst2.trip(f.meta), 2);
+    EXPECT_EQ(inst2.trip(f.pipe), 32);
+}
+
+TEST(InstanceTest, LanesMultiplyThroughHierarchy)
+{
+    Fixture f;
+    auto b = f.d.params().defaults(); // opar=2, ipar=4
+    Inst inst(f.d.graph(), b);
+    // The pipe node itself is replicated by the MetaPipe's par.
+    EXPECT_EQ(inst.lanes(f.pipe), 2);
+    // The BRAM inside the MetaPipe is replicated likewise.
+    EXPECT_EQ(inst.lanes(f.bram), 2);
+    // Primitives inside the pipe see opar * ipar lanes.
+    const Graph& g = f.d.graph();
+    for (NodeId i = 0; i < NodeId(g.numNodes()); ++i) {
+        if (g.node(i).kind() == NodeKind::Load)
+            EXPECT_EQ(inst.lanes(i), 2 * 4);
+    }
+}
+
+TEST(InstanceTest, MetaActiveFollowsToggle)
+{
+    Fixture f;
+    auto b = f.d.params().defaults();
+    EXPECT_TRUE(Inst(f.d.graph(), b).metaActive(f.meta));
+    b[f.tog] = 0;
+    EXPECT_FALSE(Inst(f.d.graph(), b).metaActive(f.meta));
+}
+
+TEST(InstanceTest, DoubleBufferingTracksMetaPipe)
+{
+    Fixture f;
+    auto b = f.d.params().defaults();
+    EXPECT_TRUE(Inst(f.d.graph(), b).doubleBuffered(f.bram));
+    b[f.tog] = 0;
+    EXPECT_FALSE(Inst(f.d.graph(), b).doubleBuffered(f.bram));
+}
+
+TEST(InstanceTest, AccessorsIndexed)
+{
+    Fixture f;
+    auto b = f.d.params().defaults();
+    Inst inst(f.d.graph(), b);
+    // at is touched by one TileLd, one Ld and one St.
+    EXPECT_EQ(inst.accessors(f.bram).size(), 3u);
+}
+
+TEST(InstanceTest, ControllersPreorder)
+{
+    Fixture f;
+    auto b = f.d.params().defaults();
+    Inst inst(f.d.graph(), b);
+    ASSERT_EQ(inst.controllers().size(), 3u);
+    EXPECT_EQ(inst.controllers()[0], f.d.graph().root);
+    EXPECT_EQ(inst.controllers()[1], f.meta);
+    EXPECT_EQ(inst.controllers()[2], f.pipe);
+}
+
+TEST(InstanceTest, StagesOfIncludesTransfers)
+{
+    Fixture f;
+    auto b = f.d.params().defaults();
+    Inst inst(f.d.graph(), b);
+    auto stages = inst.stagesOf(f.meta);
+    ASSERT_EQ(stages.size(), 2u); // TileLd + Pipe
+    EXPECT_TRUE(f.d.graph().node(stages[0]).isTileTransfer());
+    EXPECT_EQ(stages[1], f.pipe);
+}
+
+TEST(InstanceTest, MemElemsEvaluatesSymbolicDims)
+{
+    Fixture f;
+    auto b = f.d.params().defaults();
+    EXPECT_EQ(Inst(f.d.graph(), b).memElems(f.bram), 16);
+    b[f.ts] = 64;
+    EXPECT_EQ(Inst(f.d.graph(), b).memElems(f.bram), 64);
+}
+
+} // namespace
+} // namespace dhdl

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "analysis/resources.hh"
+#include "core/builder.hh"
+
+namespace dhdl {
+namespace {
+
+TEST(ResourcesTest, ArithmeticOnBundles)
+{
+    Resources a{10, 5, 20, 1, 2};
+    Resources b{1, 1, 1, 1, 1};
+    Resources c = a + b;
+    EXPECT_DOUBLE_EQ(c.lutsPack, 11);
+    EXPECT_DOUBLE_EQ(c.totalLuts(), 17);
+    Resources d = a * 2.0;
+    EXPECT_DOUBLE_EQ(d.regs, 40);
+    EXPECT_DOUBLE_EQ(d.brams, 4);
+}
+
+TEST(ResourcesTest, OpLatencyFloatVsFixed)
+{
+    EXPECT_GT(opLatency(Op::Add, DType::f32()),
+              opLatency(Op::Add, DType::i32()));
+    EXPECT_GT(opLatency(Op::Div, DType::f32()),
+              opLatency(Op::Mul, DType::f32()));
+    EXPECT_EQ(opLatency(Op::Const, DType::f32()), 0);
+    EXPECT_EQ(opLatency(Op::Iter, DType::i32()), 0);
+}
+
+/** Simple parameterized design exercised by several expansion tests. */
+struct ExpandFixture {
+    Design d{"ex"};
+    ParamId ipar, tog;
+
+    ExpandFixture()
+    {
+        ipar = d.parParam("ipar", 16, 2);
+        tog = d.toggleParam("m1", 1);
+        Mem a = d.offchip("a", DType::f32(), {Sym::c(64)});
+        Mem out = d.reg("out", DType::f32());
+        d.accel([&](Scope& s) {
+            s.metaPipeReduce(
+                "M1", {ctr(64, Sym::c(16))}, Sym::c(1), Sym::p(tog),
+                out, Op::Add,
+                [&](Scope& m, std::vector<Val> rv) -> Mem {
+                    Mem at = m.bram("at", DType::f32(), {Sym::c(16)});
+                    m.tileLoad(a, at, {rv[0]}, {Sym::c(16)});
+                    Mem acc = m.reg("acc", DType::f32());
+                    m.pipeReduce(
+                        "P1", {ctr(16)}, Sym::p(ipar), acc, Op::Add,
+                        [&](Scope& p, std::vector<Val> ii) {
+                            Val v = p.load(at, {ii[0]});
+                            return v * v;
+                        });
+                    return acc;
+                });
+        });
+    }
+
+    std::vector<TemplateInst>
+    expanded(int64_t par, int64_t toggle)
+    {
+        auto b = d.params().defaults();
+        b[ipar] = par;
+        b[tog] = toggle;
+        Inst inst(d.graph(), b);
+        return expandTemplates(inst);
+    }
+
+    int
+    count(const std::vector<TemplateInst>& ts, TemplateKind k)
+    {
+        int n = 0;
+        for (const auto& t : ts)
+            if (t.tkind == k)
+                ++n;
+        return n;
+    }
+};
+
+TEST(ExpandTest, TemplateInventory)
+{
+    ExpandFixture f;
+    auto ts = f.expanded(2, 1);
+    EXPECT_EQ(f.count(ts, TemplateKind::MetaPipeCtrl), 1);
+    EXPECT_EQ(f.count(ts, TemplateKind::SeqCtrl), 1); // accel root
+    EXPECT_EQ(f.count(ts, TemplateKind::PipeCtrl), 1);
+    EXPECT_EQ(f.count(ts, TemplateKind::TileTransfer), 1);
+    EXPECT_EQ(f.count(ts, TemplateKind::BramInst), 1);
+    EXPECT_EQ(f.count(ts, TemplateKind::RegInst), 2); // out + acc
+    EXPECT_EQ(f.count(ts, TemplateKind::CounterInst), 2);
+    // Mul in the body; reduce trees for both reduce controllers.
+    EXPECT_EQ(f.count(ts, TemplateKind::PrimOp), 1);
+    EXPECT_EQ(f.count(ts, TemplateKind::ReduceTree), 2);
+    EXPECT_EQ(f.count(ts, TemplateKind::LoadStore), 1);
+}
+
+TEST(ExpandTest, ToggleOffMakesSequential)
+{
+    ExpandFixture f;
+    auto ts = f.expanded(2, 0);
+    EXPECT_EQ(f.count(ts, TemplateKind::MetaPipeCtrl), 0);
+    EXPECT_EQ(f.count(ts, TemplateKind::SeqCtrl), 2);
+    // Double buffering disappears with the toggle.
+    for (const auto& t : ts) {
+        if (t.tkind == TemplateKind::BramInst)
+            EXPECT_FALSE(t.doubleBuf);
+    }
+}
+
+TEST(ExpandTest, DoubleBufferingUnderActiveMetaPipe)
+{
+    ExpandFixture f;
+    auto ts = f.expanded(2, 1);
+    for (const auto& t : ts) {
+        if (t.tkind == TemplateKind::BramInst)
+            EXPECT_TRUE(t.doubleBuf);
+    }
+}
+
+TEST(ExpandTest, LanesScaleWithPar)
+{
+    ExpandFixture f;
+    auto ts2 = f.expanded(2, 1);
+    auto ts8 = f.expanded(8, 1);
+    auto lanes_of = [&](const std::vector<TemplateInst>& ts) {
+        for (const auto& t : ts)
+            if (t.tkind == TemplateKind::PrimOp)
+                return t.lanes;
+        return int64_t(-1);
+    };
+    EXPECT_EQ(lanes_of(ts2), 2);
+    EXPECT_EQ(lanes_of(ts8), 8);
+}
+
+TEST(ExpandTest, BanksFollowParallelism)
+{
+    ExpandFixture f;
+    auto ts = f.expanded(8, 1);
+    for (const auto& t : ts) {
+        if (t.tkind == TemplateKind::BramInst)
+            EXPECT_EQ(t.banks, 8);
+    }
+}
+
+TEST(ExpandTest, ConstAndIterNodesAreFree)
+{
+    Design d("free");
+    d.accel([&](Scope& s) {
+        s.pipe("P", {ctr(4)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val>) {
+                   p.constant(1.0);
+               });
+    });
+    auto b = d.params().defaults();
+    auto ts = expandTemplates(Inst(d.graph(), b));
+    for (const auto& t : ts)
+        EXPECT_NE(t.tkind, TemplateKind::PrimOp);
+}
+
+TEST(ExpandTest, ValueBitsOfLoadsAndPrims)
+{
+    ExpandFixture f;
+    const Graph& g = f.d.graph();
+    for (NodeId i = 0; i < NodeId(g.numNodes()); ++i) {
+        if (g.node(i).kind() == NodeKind::Load)
+            EXPECT_EQ(valueBits(g, i), 32);
+    }
+}
+
+} // namespace
+} // namespace dhdl

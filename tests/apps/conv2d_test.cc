@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hh"
+#include "core/printer.hh"
+#include "core/validate.hh"
+#include "cpu/kernels.hh"
+#include "dse/explorer.hh"
+#include "sim/functional.hh"
+
+namespace dhdl::apps {
+namespace {
+
+TEST(Conv2dTest, Validates)
+{
+    Design d = buildConv2d({64, 64, 5});
+    auto errs = validate(d.graph());
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0]);
+}
+
+TEST(Conv2dTest, HaloSymRendersInPrinter)
+{
+    Design d = buildConv2d({64, 64, 5});
+    std::string ir = printGraph(d.graph());
+    EXPECT_NE(ir.find("$tileRows+4"), std::string::npos);
+}
+
+TEST(Conv2dTest, MatchesCpuReference)
+{
+    const int64_t h = 36, w = 36, k = 5;
+    Design d = buildConv2d({h, w, k});
+    Inst inst(d.graph(), d.params().defaults());
+    sim::FunctionalSim sim(inst);
+    auto img = randomVector(h * w, 1);
+    auto ker = randomVector(k * k, 2);
+    sim.setOffchip("image", toDouble(img));
+    sim.setOffchip("kernel", toDouble(ker));
+    sim.run();
+
+    cpu::ThreadPool pool(2);
+    std::vector<float> expect(size_t((h - k + 1) * (w - k + 1)));
+    cpu::conv2d(pool, img, ker, expect, h, w, k);
+    const auto& got = sim.offchip("out");
+    for (size_t i = 0; i < expect.size(); i += 7)
+        EXPECT_NEAR(got[i], expect[i],
+                    1e-3 * std::max(1.0f, std::fabs(expect[i])));
+}
+
+TEST(Conv2dTest, TiledTilesMatchSingleTile)
+{
+    // Multiple row tiles with halos must agree with one big tile.
+    const int64_t h = 68, w = 20, k = 5;
+    Design d = buildConv2d({h, w, k});
+    ParamId th = kNoParam;
+    for (size_t i = 0; i < d.params().size(); ++i)
+        if (d.params()[ParamId(i)].name == "tileRows")
+            th = ParamId(i);
+    auto img = randomVector(h * w, 3);
+    auto ker = randomVector(k * k, 4);
+
+    auto run = [&](int64_t tile) {
+        auto b = d.params().defaults();
+        b[th] = tile;
+        Inst inst(d.graph(), b);
+        sim::FunctionalSim sim(inst);
+        sim.setOffchip("image", toDouble(img));
+        sim.setOffchip("kernel", toDouble(ker));
+        sim.run();
+        return sim.offchip("out");
+    };
+    auto whole = run(64);
+    auto tiled = run(16);
+    ASSERT_EQ(whole.size(), tiled.size());
+    for (size_t i = 0; i < whole.size(); i += 11)
+        EXPECT_NEAR(whole[i], tiled[i], 1e-9);
+}
+
+TEST(Conv2dTest, KernelMajorOrderKeepsIIOne)
+{
+    Design d = buildConv2d({64, 64, 3});
+    Inst inst(d.graph(), d.params().defaults());
+    NodeId pipe = kNoNode;
+    for (NodeId i = 0; i < NodeId(d.graph().numNodes()); ++i) {
+        if (d.graph().node(i).kind() == NodeKind::Pipe &&
+            d.graph().node(i).name() == "PConv")
+            pipe = i;
+    }
+    ASSERT_NE(pipe, kNoNode);
+    EXPECT_EQ(analyzePipe(inst, pipe).ii, 1);
+}
+
+TEST(Conv2dTest, Explorable)
+{
+    Design d = buildConv2d({256, 256, 5});
+    static est::RuntimeEstimator rt;
+    dse::Explorer ex(est::calibratedEstimator(), rt);
+    dse::ExploreConfig cfg;
+    cfg.maxPoints = 100;
+    auto res = ex.explore(d.graph(), cfg);
+    EXPECT_NE(res.bestIndex(), SIZE_MAX);
+}
+
+} // namespace
+} // namespace dhdl::apps

@@ -1,0 +1,174 @@
+/**
+ * Functional equivalence: every benchmark's DHDL design, executed by
+ * the functional simulator, must compute the same results as the
+ * optimized multithreaded CPU reference kernel (the paper's implicit
+ * correctness requirement for the generated accelerators).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hh"
+#include "cpu/kernels.hh"
+#include "sim/functional.hh"
+
+namespace dhdl::apps {
+namespace {
+
+cpu::ThreadPool&
+pool()
+{
+    static cpu::ThreadPool p(4);
+    return p;
+}
+
+sim::FunctionalSim
+makeSim(Design& d)
+{
+    static std::vector<std::unique_ptr<Inst>> keep_alive;
+    auto b = d.params().defaults();
+    keep_alive.push_back(std::make_unique<Inst>(d.graph(), b));
+    return sim::FunctionalSim(*keep_alive.back());
+}
+
+TEST(EquivalenceTest, Dotproduct)
+{
+    const int64_t n = 192;
+    Design d = buildDotproduct({n});
+    auto a = randomVector(n, 1);
+    auto b = randomVector(n, 2);
+    auto sim = makeSim(d);
+    sim.setOffchip("a", toDouble(a));
+    sim.setOffchip("b", toDouble(b));
+    sim.run();
+    float cpu_val = cpu::dotproduct(pool(), a, b);
+    EXPECT_NEAR(sim.regValue("out"), cpu_val,
+                1e-3 * std::fabs(cpu_val));
+}
+
+TEST(EquivalenceTest, Outerprod)
+{
+    const int64_t n = 96, m = 96;
+    Design d = buildOuterprod({n, m});
+    auto a = randomVector(n, 3);
+    auto b = randomVector(m, 4);
+    auto sim = makeSim(d);
+    sim.setOffchip("a", toDouble(a));
+    sim.setOffchip("b", toDouble(b));
+    sim.run();
+    std::vector<float> expect(size_t(n * m));
+    cpu::outerprod(pool(), a, b, expect);
+    const auto& got = sim.offchip("out");
+    for (size_t i = 0; i < expect.size(); i += 97)
+        EXPECT_NEAR(got[i], expect[i], 1e-5);
+}
+
+TEST(EquivalenceTest, Gemm)
+{
+    const int64_t n = 96;
+    Design d = buildGemm({n, n, n});
+    auto a = randomVector(n * n, 5);
+    auto b = randomVector(n * n, 6);
+    auto sim = makeSim(d);
+    sim.setOffchip("a", toDouble(a));
+    sim.setOffchip("b", toDouble(b));
+    sim.run();
+    std::vector<float> expect(size_t(n * n));
+    cpu::gemm(pool(), a, b, expect, n, n, n);
+    const auto& got = sim.offchip("c");
+    for (size_t i = 0; i < expect.size(); i += 89)
+        EXPECT_NEAR(got[i], expect[i],
+                    1e-3 * std::max(1.0f, std::fabs(expect[i])));
+}
+
+TEST(EquivalenceTest, Tpchq6)
+{
+    const int64_t n = 9600;
+    Design d = buildTpchq6({n});
+    auto dates = randomVector(n, 7, 19930101.0f, 19960101.0f);
+    auto qty = randomVector(n, 8, 0.0f, 50.0f);
+    auto disc = randomVector(n, 9, 0.0f, 0.11f);
+    auto price = randomVector(n, 10, 10.0f, 1000.0f);
+    auto sim = makeSim(d);
+    sim.setOffchip("dates", toDouble(dates));
+    sim.setOffchip("quantities", toDouble(qty));
+    sim.setOffchip("discounts", toDouble(disc));
+    sim.setOffchip("prices", toDouble(price));
+    sim.run();
+    float cpu_val = cpu::tpchq6(
+        pool(), dates, qty, disc, price, Tpchq6Filter::dateLo,
+        Tpchq6Filter::dateHi, Tpchq6Filter::discLo,
+        Tpchq6Filter::discHi, Tpchq6Filter::qtyMax);
+    EXPECT_NEAR(sim.regValue("revenue"), cpu_val,
+                1e-3 * std::fabs(cpu_val));
+}
+
+TEST(EquivalenceTest, Blackscholes)
+{
+    const int64_t n = 9216;
+    Design d = buildBlackscholes({n});
+    auto ot = randomLabels(n, 11);
+    auto sp = randomVector(n, 12, 50, 150);
+    auto st = randomVector(n, 13, 50, 150);
+    auto ra = randomVector(n, 14, 0.01f, 0.1f);
+    auto vo = randomVector(n, 15, 0.1f, 0.6f);
+    auto ti = randomVector(n, 16, 0.2f, 2.0f);
+    auto sim = makeSim(d);
+    sim.setOffchip("otype", toDouble(ot));
+    sim.setOffchip("sptprice", toDouble(sp));
+    sim.setOffchip("strike", toDouble(st));
+    sim.setOffchip("rate", toDouble(ra));
+    sim.setOffchip("volatility", toDouble(vo));
+    sim.setOffchip("otime", toDouble(ti));
+    sim.run();
+    std::vector<float> expect(static_cast<size_t>(n));
+    cpu::blackscholes(pool(), ot, sp, st, ra, vo, ti, expect);
+    const auto& got = sim.offchip("prices");
+    for (size_t i = 0; i < expect.size(); i += 411)
+        EXPECT_NEAR(got[i], expect[i],
+                    1e-3 * std::max(1.0f, std::fabs(expect[i])));
+}
+
+TEST(EquivalenceTest, Gda)
+{
+    const int64_t rows = 192, cols = 96;
+    Design d = buildGda({rows, cols});
+    auto x = randomVector(rows * cols, 17);
+    auto y = randomLabels(rows, 18);
+    auto mu0 = randomVector(cols, 19);
+    auto mu1 = randomVector(cols, 20);
+    auto sim = makeSim(d);
+    sim.setOffchip("x", toDouble(x));
+    sim.setOffchip("y", toDouble(y));
+    sim.setOffchip("mu0", toDouble(mu0));
+    sim.setOffchip("mu1", toDouble(mu1));
+    sim.run();
+    std::vector<float> expect(size_t(cols * cols));
+    cpu::gda(pool(), x, y, mu0, mu1, expect, rows, cols);
+    const auto& got = sim.offchip("sigma");
+    for (size_t i = 0; i < expect.size(); i += 173)
+        EXPECT_NEAR(got[i], expect[i],
+                    1e-3 * std::max(1.0f, std::fabs(expect[i])));
+}
+
+TEST(EquivalenceTest, Kmeans)
+{
+    const int64_t n = 96, k = 4, dim = 12;
+    Design d = buildKmeans({n, k, dim});
+    auto pts = randomVector(n * dim, 21);
+    auto cents = randomVector(k * dim, 22);
+    auto sim = makeSim(d);
+    sim.setOffchip("points", toDouble(pts));
+    sim.setOffchip("centroids", toDouble(cents));
+    sim.run();
+    std::vector<float> expect(size_t(k * dim));
+    cpu::kmeans(pool(), pts, cents, expect, n, k, dim);
+    const auto& got = sim.offchip("newCentroids");
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_NEAR(got[i], expect[i], 1e-3)
+            << "centroid element " << i;
+}
+
+} // namespace
+} // namespace dhdl::apps

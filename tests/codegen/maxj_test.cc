@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "codegen/maxj.hh"
+
+namespace dhdl::codegen {
+namespace {
+
+TEST(MaxjTest, KernelSkeleton)
+{
+    Design d = apps::buildDotproduct({9600});
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    std::string src = emitMaxj(inst);
+    EXPECT_NE(src.find("class DotproductKernel extends Kernel"),
+              std::string::npos);
+    EXPECT_NE(src.find("super(parameters);"), std::string::npos);
+    EXPECT_NE(src.find("CounterChain"), std::string::npos);
+    EXPECT_NE(src.find("mem.alloc"), std::string::npos);
+}
+
+TEST(MaxjTest, BalancedBraces)
+{
+    for (const auto& app : apps::allApps()) {
+        Design d = app.build(0.02);
+        auto b = d.params().defaults();
+        Inst inst(d.graph(), b);
+        std::string src = emitMaxj(inst);
+        int depth = 0;
+        for (char c : src) {
+            if (c == '{')
+                ++depth;
+            if (c == '}')
+                --depth;
+            EXPECT_GE(depth, 0) << app.name;
+        }
+        EXPECT_EQ(depth, 0) << app.name;
+    }
+}
+
+TEST(MaxjTest, ParametersReflectBinding)
+{
+    Design d = apps::buildDotproduct({9600});
+    auto b = d.params().defaults();
+    // innerPar is the second declared param.
+    b.values[2] = 8;
+    Inst inst(d.graph(), b);
+    std::string src = emitMaxj(inst);
+    EXPECT_NE(src.find("par=8"), std::string::npos);
+}
+
+TEST(MaxjTest, DoubleBufferAnnotationFollowsToggle)
+{
+    Design d = apps::buildBlackscholes({9216});
+    auto b = d.params().defaults();
+    // M1toggle is the last declared param.
+    b.values[2] = 1;
+    EXPECT_NE(emitMaxj(Inst(d.graph(), b)).find("doubleBuffered"),
+              std::string::npos);
+    b.values[2] = 0;
+    EXPECT_EQ(emitMaxj(Inst(d.graph(), b)).find("doubleBuffered"),
+              std::string::npos);
+}
+
+TEST(MaxjTest, FloatTypesMapped)
+{
+    Design d = apps::buildBlackscholes({9216});
+    auto b = d.params().defaults();
+    std::string src = emitMaxj(Inst(d.graph(), b));
+    EXPECT_NE(src.find("dfeFloat(8, 24)"), std::string::npos);
+    EXPECT_NE(src.find("KernelMath.exp"), std::string::npos);
+    EXPECT_NE(src.find("KernelMath.sqrt"), std::string::npos);
+}
+
+TEST(MaxjTest, ManagerWiresEveryOffchipArray)
+{
+    Design d = apps::buildTpchq6({9600});
+    auto b = d.params().defaults();
+    std::string src = emitMaxjManager(Inst(d.graph(), b));
+    EXPECT_NE(src.find("extends CustomManager"), std::string::npos);
+    for (const char* name :
+         {"dates", "quantities", "discounts", "prices"})
+        EXPECT_NE(src.find(std::string("\"") + name + "\""),
+                  std::string::npos)
+            << name;
+}
+
+TEST(MaxjTest, TileTransfersEmitCommandStreams)
+{
+    Design d = apps::buildGda({9600, 96});
+    auto b = d.params().defaults();
+    std::string src = emitMaxj(Inst(d.graph(), b));
+    EXPECT_NE(src.find("LMemCommandStream"), std::string::npos);
+    EXPECT_NE(src.find("TileLd"), std::string::npos);
+    EXPECT_NE(src.find("TileSt"), std::string::npos);
+}
+
+TEST(MaxjTest, DeterministicOutput)
+{
+    Design d = apps::buildGemm({96, 96, 96});
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    EXPECT_EQ(emitMaxj(inst), emitMaxj(inst));
+}
+
+} // namespace
+} // namespace dhdl::codegen

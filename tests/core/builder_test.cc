@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "core/builder.hh"
+#include "core/validate.hh"
+
+namespace dhdl {
+namespace {
+
+/** Minimal design: one pipe squaring a vector tile. */
+Design
+tinyDesign()
+{
+    Design d("tiny");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(64)});
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(64)});
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(64)});
+        Mem ot = s.bram("ot", DType::f32(), {Sym::c(64)});
+        s.tileLoad(a, at, {}, {Sym::c(64)});
+        s.pipe("P", {ctr(64)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val v = p.load(at, {ii[0]});
+                   p.store(ot, {ii[0]}, v * v);
+               });
+        s.tileStore(o, ot, {}, {Sym::c(64)});
+    });
+    return d;
+}
+
+TEST(BuilderTest, AccelCreatesRootSequential)
+{
+    Design d = tinyDesign();
+    ASSERT_NE(d.graph().root, kNoNode);
+    EXPECT_EQ(d.graph().node(d.graph().root).kind(),
+              NodeKind::Sequential);
+}
+
+TEST(BuilderTest, AccelTwiceIsFatal)
+{
+    Design d("x");
+    d.accel([](Scope&) {});
+    EXPECT_THROW(d.accel([](Scope&) {}), FatalError);
+}
+
+TEST(BuilderTest, OffchipRegistered)
+{
+    Design d = tinyDesign();
+    EXPECT_EQ(d.graph().offchipMems.size(), 2u);
+}
+
+TEST(BuilderTest, TinyDesignValidates)
+{
+    Design d = tinyDesign();
+    EXPECT_TRUE(validate(d.graph()).empty());
+}
+
+TEST(BuilderTest, ChildrenBelongToParents)
+{
+    Design d = tinyDesign();
+    const Graph& g = d.graph();
+    const auto& root = g.nodeAs<ControllerNode>(g.root);
+    for (NodeId ch : root.children)
+        EXPECT_EQ(g.node(ch).parent, g.root);
+}
+
+TEST(BuilderTest, PipeIteratorBelongsToPipeCounter)
+{
+    Design d("it");
+    d.accel([&](Scope& s) {
+        s.pipe("P", {ctr(8), ctr(4)}, Sym::c(1),
+               [&](Scope&, std::vector<Val> ii) {
+                   ASSERT_EQ(ii.size(), 2u);
+               });
+    });
+    const Graph& g = d.graph();
+    int iters = 0;
+    for (NodeId i = 0; i < NodeId(g.numNodes()); ++i) {
+        const auto* p = g.tryAs<PrimNode>(i);
+        if (p && p->op == Op::Iter) {
+            ++iters;
+            EXPECT_NE(p->counter, kNoNode);
+        }
+    }
+    EXPECT_EQ(iters, 2);
+}
+
+TEST(BuilderTest, OperatorTypesPropagate)
+{
+    Design d("ops");
+    d.accel([&](Scope& s) {
+        Mem m = s.bram("m", DType::f32(), {Sym::c(4)});
+        s.pipe("P", {ctr(4)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val a = p.load(m, {ii[0]});
+                   Val sum = a + a;
+                   Val cmp = a < sum;
+                   const Graph& g = p.graph();
+                   EXPECT_EQ(g.nodeAs<PrimNode>(sum.id).type,
+                             DType::f32());
+                   EXPECT_EQ(g.nodeAs<PrimNode>(cmp.id).type,
+                             DType::bit());
+                   p.store(m, {ii[0]}, sum);
+               });
+    });
+}
+
+TEST(BuilderTest, LiteralOperandCreatesConst)
+{
+    Design d("lit");
+    d.accel([&](Scope& s) {
+        Mem m = s.bram("m", DType::f32(), {Sym::c(4)});
+        s.pipe("P", {ctr(4)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val a = p.load(m, {ii[0]});
+                   Val b = a * 2.5;
+                   p.store(m, {ii[0]}, b);
+               });
+    });
+    const Graph& g = d.graph();
+    bool found = false;
+    for (NodeId i = 0; i < NodeId(g.numNodes()); ++i) {
+        const auto* p = g.tryAs<PrimNode>(i);
+        if (p && p->op == Op::Const && p->constValue == 2.5)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(BuilderTest, PipeReduceWiresAccumulator)
+{
+    Design d("red");
+    Mem out = d.reg("out", DType::f32());
+    d.accel([&](Scope& s) {
+        Mem m = s.bram("m", DType::f32(), {Sym::c(16)});
+        s.pipeReduce("P", {ctr(16)}, Sym::c(1), out, Op::Add,
+                     [&](Scope& p, std::vector<Val> ii) {
+                         return p.load(m, {ii[0]});
+                     });
+    });
+    const Graph& g = d.graph();
+    bool found = false;
+    for (NodeId i = 0; i < NodeId(g.numNodes()); ++i) {
+        const auto* c = g.tryAs<PipeNode>(i);
+        if (c) {
+            EXPECT_EQ(c->pattern, Pattern::Reduce);
+            EXPECT_EQ(c->accum, out.id);
+            EXPECT_NE(c->bodyResult, kNoNode);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(BuilderTest, MetaPipeTogglePropagates)
+{
+    Design d("mp");
+    ParamId t = d.toggleParam("M1toggle");
+    d.accel([&](Scope& s) {
+        s.metaPipe("M1", {ctr(32, Sym::c(8))}, Sym::c(1), Sym::p(t),
+                   [&](Scope&, std::vector<Val>) {});
+    });
+    const Graph& g = d.graph();
+    for (NodeId i = 0; i < NodeId(g.numNodes()); ++i) {
+        const auto* m = g.tryAs<MetaPipeNode>(i);
+        if (m) {
+            EXPECT_TRUE(m->toggle.isParam());
+            EXPECT_EQ(m->toggle.param(), t);
+        }
+    }
+}
+
+TEST(BuilderTest, TileParamDefaultDividesDataSize)
+{
+    Design d("tp");
+    ParamId p = d.tileParam("ts", 187'200'000);
+    const auto& def = d.params()[p];
+    EXPECT_EQ(187'200'000 % def.defaultValue, 0);
+    EXPECT_LE(def.defaultValue, 1024);
+}
+
+TEST(BuilderTest, TileLoadBasePadding)
+{
+    Design d("pad");
+    Mem x = d.offchip("x", DType::f32(), {Sym::c(8), Sym::c(8)});
+    d.accel([&](Scope& s) {
+        Mem t = s.bram("t", DType::f32(), {Sym::c(4), Sym::c(8)});
+        s.sequential("L", {ctr(8, Sym::c(4))},
+                     [&](Scope& b, std::vector<Val> iv) {
+                         b.tileLoad(x, t, {iv[0]},
+                                    {Sym::c(4), Sym::c(8)});
+                     });
+    });
+    const Graph& g = d.graph();
+    for (NodeId i = 0; i < NodeId(g.numNodes()); ++i) {
+        const auto* t = g.tryAs<TileLdNode>(i);
+        if (t) {
+            ASSERT_EQ(t->base.size(), 2u);
+            EXPECT_NE(t->base[0], kNoNode);
+            EXPECT_EQ(t->base[1], kNoNode); // padded with "offset 0"
+        }
+    }
+}
+
+} // namespace
+} // namespace dhdl

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/param.hh"
+
+namespace dhdl {
+namespace {
+
+TEST(DivisorsTest, SmallNumbers)
+{
+    EXPECT_EQ(divisorsOf(1), (std::vector<int64_t>{1}));
+    EXPECT_EQ(divisorsOf(12), (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisorsOf(17), (std::vector<int64_t>{1, 17}));
+}
+
+TEST(DivisorsTest, PerfectSquare)
+{
+    EXPECT_EQ(divisorsOf(36),
+              (std::vector<int64_t>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+}
+
+TEST(DivisorsTest, NonPositive)
+{
+    EXPECT_TRUE(divisorsOf(0).empty());
+    EXPECT_TRUE(divisorsOf(-4).empty());
+}
+
+TEST(ParamTableTest, TileSizeLegalValuesAreDivisors)
+{
+    ParamTable t;
+    ParamDef d;
+    d.name = "tile";
+    d.kind = ParamKind::TileSize;
+    d.divisorOf = 96;
+    d.defaultValue = 96;
+    ParamId p = t.add(d);
+    auto legal = t.legalValues(p);
+    for (int64_t v : legal)
+        EXPECT_EQ(96 % v, 0) << v;
+    EXPECT_EQ(legal.size(), divisorsOf(96).size());
+}
+
+TEST(ParamTableTest, MaxValueCapsLegalValues)
+{
+    ParamTable t;
+    ParamDef d;
+    d.name = "tile";
+    d.kind = ParamKind::TileSize;
+    d.divisorOf = 96;
+    d.maxValue = 16;
+    d.defaultValue = 16;
+    ParamId p = t.add(d);
+    for (int64_t v : t.legalValues(p))
+        EXPECT_LE(v, 16);
+}
+
+TEST(ParamTableTest, ToggleValues)
+{
+    ParamTable t;
+    ParamDef d;
+    d.name = "m1";
+    d.kind = ParamKind::Toggle;
+    d.minValue = 0;
+    ParamId p = t.add(d);
+    EXPECT_EQ(t.legalValues(p), (std::vector<int64_t>{0, 1}));
+}
+
+TEST(ParamTableTest, FixedParamHasSingleValue)
+{
+    ParamTable t;
+    ParamDef d;
+    d.name = "k";
+    d.kind = ParamKind::Fixed;
+    d.defaultValue = 7;
+    ParamId p = t.add(d);
+    EXPECT_EQ(t.legalValues(p), (std::vector<int64_t>{7}));
+}
+
+TEST(ParamTableTest, DefaultsBinding)
+{
+    ParamTable t;
+    ParamDef a;
+    a.name = "a";
+    a.defaultValue = 3;
+    ParamDef b;
+    b.name = "b";
+    b.defaultValue = 5;
+    t.add(a);
+    t.add(b);
+    auto bind = t.defaults();
+    EXPECT_EQ(bind.values, (std::vector<int64_t>{3, 5}));
+}
+
+TEST(ParamTableTest, IsLegalChecksEveryParam)
+{
+    ParamTable t;
+    ParamDef d;
+    d.name = "tile";
+    d.kind = ParamKind::TileSize;
+    d.divisorOf = 12;
+    d.defaultValue = 12;
+    t.add(d);
+    ParamBinding good{{6}};
+    ParamBinding bad{{5}};
+    ParamBinding wrong_size{{6, 6}};
+    EXPECT_TRUE(t.isLegal(good));
+    EXPECT_FALSE(t.isLegal(bad));
+    EXPECT_FALSE(t.isLegal(wrong_size));
+}
+
+TEST(ParamTableTest, UnnamedParamRejected)
+{
+    ParamTable t;
+    EXPECT_THROW(t.add(ParamDef{}), FatalError);
+}
+
+TEST(SymTest, ConstantEvaluation)
+{
+    ParamBinding b{{}};
+    EXPECT_EQ(Sym::c(42).eval(b), 42);
+    EXPECT_FALSE(Sym::c(42).isParam());
+    EXPECT_EQ(Sym::c(42).constant(), 42);
+}
+
+TEST(SymTest, ParamEvaluation)
+{
+    ParamBinding b{{7, 9}};
+    EXPECT_EQ(Sym::p(1).eval(b), 9);
+    EXPECT_TRUE(Sym::p(1).isParam());
+}
+
+TEST(SymTest, ConstantOnParamSymbolPanics)
+{
+    EXPECT_THROW(Sym::p(0).constant(), PanicError);
+}
+
+} // namespace
+} // namespace dhdl

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/builder.hh"
+#include "core/printer.hh"
+
+namespace dhdl {
+namespace {
+
+TEST(PrinterTest, SymRendering)
+{
+    Design d("p");
+    ParamId t = d.tileParam("ts", 96);
+    EXPECT_EQ(symStr(d.graph(), Sym::c(42)), "42");
+    EXPECT_EQ(symStr(d.graph(), Sym::p(t)), "$ts");
+}
+
+TEST(PrinterTest, HierarchyAndTemplatesAppear)
+{
+    Design d("demo");
+    ParamId ts = d.tileParam("ts", 64);
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(64)});
+    Mem out = d.reg("result", DType::f32());
+    d.accel([&](Scope& s) {
+        s.metaPipeReduce(
+            "M1", {ctr(64, Sym::p(ts))}, Sym::c(1), Sym::c(1), out,
+            Op::Add, [&](Scope& m, std::vector<Val> rv) -> Mem {
+                Mem at = m.bram("at", DType::f32(), {Sym::p(ts)});
+                m.tileLoad(a, at, {rv[0]}, {Sym::p(ts)});
+                Mem acc = m.reg("acc", DType::f32());
+                m.pipeReduce("P1", {ctr(Sym::p(ts))}, Sym::c(1), acc,
+                             Op::Add,
+                             [&](Scope& p, std::vector<Val> ii) {
+                                 return p.load(at, {ii[0]});
+                             });
+                return acc;
+            });
+    });
+
+    std::string out_str = printGraph(d.graph());
+    EXPECT_NE(out_str.find("design demo {"), std::string::npos);
+    EXPECT_NE(out_str.find("offchip a : f32[64]"), std::string::npos);
+    EXPECT_NE(out_str.find("MetaPipe M1"), std::string::npos);
+    EXPECT_NE(out_str.find("reduce(add -> result)"),
+              std::string::npos);
+    EXPECT_NE(out_str.find("bram at : f32[$ts]"), std::string::npos);
+    EXPECT_NE(out_str.find("tileLd at <- a[$ts]"), std::string::npos);
+    EXPECT_NE(out_str.find("Pipe P1"), std::string::npos);
+    EXPECT_NE(out_str.find("0..$ts by 1"), std::string::npos);
+}
+
+TEST(PrinterTest, IteratorNodesHiddenFromHierarchy)
+{
+    Design d("it");
+    d.accel([&](Scope& s) {
+        s.pipe("P", {ctr(4)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Mem m = p.reg("r", DType::f32());
+                   p.store(m, {p.constant(0.0, DType::i32())},
+                           p.binop(Op::Add, ii[0], ii[0]));
+               });
+    });
+    std::string out = printGraph(d.graph());
+    EXPECT_EQ(out.find("= iter"), std::string::npos);
+    EXPECT_NE(out.find("= add"), std::string::npos);
+}
+
+TEST(PrinterTest, StableAcrossCalls)
+{
+    Design d("stable");
+    d.accel([&](Scope& s) {
+        s.pipe("P", {ctr(4)}, Sym::c(2),
+               [&](Scope&, std::vector<Val>) {});
+    });
+    EXPECT_EQ(printGraph(d.graph()), printGraph(d.graph()));
+}
+
+TEST(PrinterTest, ParAndToggleAnnotations)
+{
+    Design d("ann");
+    ParamId par = d.parParam("p1", 8);
+    ParamId tog = d.toggleParam("m1");
+    d.accel([&](Scope& s) {
+        s.metaPipe("M", {ctr(8)}, Sym::p(par), Sym::p(tog),
+                   [&](Scope&, std::vector<Val>) {});
+    });
+    std::string out = printGraph(d.graph());
+    EXPECT_NE(out.find("par=$p1"), std::string::npos);
+    EXPECT_NE(out.find("toggle=$m1"), std::string::npos);
+}
+
+} // namespace
+} // namespace dhdl

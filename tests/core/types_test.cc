@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/types.hh"
+
+namespace dhdl {
+namespace {
+
+TEST(DTypeTest, Float32Bits)
+{
+    EXPECT_EQ(DType::f32().bits(), 32);
+    EXPECT_TRUE(DType::f32().isFloat());
+    EXPECT_FALSE(DType::f32().isFixed());
+}
+
+TEST(DTypeTest, Float64Bits)
+{
+    EXPECT_EQ(DType::f64().bits(), 64);
+}
+
+TEST(DTypeTest, VariablePrecisionFloat)
+{
+    DType t(TypeKind::Float, 5, 10, true); // half-like
+    EXPECT_EQ(t.bits(), 16);
+    EXPECT_EQ(t.str(), "flt<5,10>");
+}
+
+TEST(DTypeTest, FixedPointBits)
+{
+    EXPECT_EQ(DType::i32().bits(), 32);
+    EXPECT_EQ(DType::i16().bits(), 16);
+    EXPECT_EQ(DType::fix(16, 16).bits(), 32);
+}
+
+TEST(DTypeTest, BitType)
+{
+    EXPECT_EQ(DType::bit().bits(), 1);
+    EXPECT_TRUE(DType::bit().isBit());
+    EXPECT_EQ(DType::bit().str(), "bit");
+}
+
+TEST(DTypeTest, Names)
+{
+    EXPECT_EQ(DType::f32().str(), "f32");
+    EXPECT_EQ(DType::f64().str(), "f64");
+    EXPECT_EQ(DType::i32().str(), "i32");
+    EXPECT_EQ(DType::fix(16, 16).str(), "fix<16,16>");
+}
+
+TEST(DTypeTest, Equality)
+{
+    EXPECT_EQ(DType::f32(), DType::f32());
+    EXPECT_NE(DType::f32(), DType::f64());
+    EXPECT_NE(DType::i32(), DType::fix(16, 16));
+    EXPECT_NE(DType::i32(), DType::bit());
+}
+
+TEST(DTypeTest, DefaultIsInt32)
+{
+    DType t;
+    EXPECT_TRUE(t.isFixed());
+    EXPECT_EQ(t.bits(), 32);
+}
+
+} // namespace
+} // namespace dhdl

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/builder.hh"
+#include "core/validate.hh"
+
+namespace dhdl {
+namespace {
+
+TEST(ValidateTest, EmptyDesignIsInvalid)
+{
+    Graph g("empty");
+    auto errs = validate(g);
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_NE(errs[0].find("no accel"), std::string::npos);
+}
+
+TEST(ValidateTest, DatapathPrimOutsidePipeFlagged)
+{
+    Design d("bad");
+    d.accel([&](Scope& s) {
+        // Arithmetic directly inside a Sequential: not allowed.
+        Val a = s.constant(1.0);
+        Val b = s.constant(2.0);
+        s.binop(Op::Add, a, b);
+    });
+    auto errs = validate(d.graph());
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("outside a Pipe"), std::string::npos);
+}
+
+TEST(ValidateTest, ConstantsAllowedInOuterControllers)
+{
+    Design d("ok");
+    d.accel([&](Scope& s) {
+        s.constant(1.0);
+    });
+    EXPECT_TRUE(validate(d.graph()).empty());
+}
+
+TEST(ValidateTest, LoadFromOffchipFlagged)
+{
+    Design d("bad");
+    Mem x = d.offchip("x", DType::f32(), {Sym::c(8)});
+    d.accel([&](Scope& s) {
+        s.pipe("P", {ctr(8)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val v = p.load(x, {ii[0]});
+                   (void)v;
+               });
+    });
+    auto errs = validate(d.graph());
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("TileLd"), std::string::npos);
+}
+
+TEST(ValidateTest, AddressArityMismatchFlagged)
+{
+    Design d("bad");
+    d.accel([&](Scope& s) {
+        Mem m = s.bram("m", DType::f32(), {Sym::c(8), Sym::c(8)});
+        s.pipe("P", {ctr(8)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   p.store(m, {ii[0]}, p.constant(0.0));
+               });
+    });
+    auto errs = validate(d.graph());
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("arity"), std::string::npos);
+}
+
+TEST(ValidateTest, BramInsidePipeFlagged)
+{
+    Design d("bad");
+    d.accel([&](Scope& s) {
+        s.pipe("P", {ctr(8)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val>) {
+                   p.bram("inner", DType::f32(), {Sym::c(4)});
+               });
+    });
+    auto errs = validate(d.graph());
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("Pipe bodies"), std::string::npos);
+}
+
+TEST(ValidateTest, TileLoadRankMismatchFlagged)
+{
+    Design d("bad");
+    Mem x = d.offchip("x", DType::f32(), {Sym::c(8), Sym::c(8)});
+    d.accel([&](Scope& s) {
+        Mem t = s.bram("t", DType::f32(), {Sym::c(8)});
+        s.tileLoad(x, t, {}, {Sym::c(8)});
+    });
+    auto errs = validate(d.graph());
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("rank"), std::string::npos);
+}
+
+TEST(ValidateTest, ValidGdaShapeAccepted)
+{
+    Design d("gda_like");
+    Mem x = d.offchip("x", DType::f32(), {Sym::c(16), Sym::c(4)});
+    Mem sig = d.offchip("sig", DType::f32(), {Sym::c(4), Sym::c(4)});
+    d.accel([&](Scope& s) {
+        Mem sig_t = s.bram("sigT", DType::f32(),
+                           {Sym::c(4), Sym::c(4)});
+        s.metaPipeReduce(
+            "M1", {ctr(16, Sym::c(4))}, Sym::c(1), Sym::c(1), sig_t,
+            Op::Add, [&](Scope& m, std::vector<Val> rv) -> Mem {
+                Mem x_t =
+                    m.bram("xT", DType::f32(), {Sym::c(4), Sym::c(4)});
+                m.tileLoad(x, x_t, {rv[0]}, {Sym::c(4), Sym::c(4)});
+                Mem blk = m.bram("blk", DType::f32(),
+                                 {Sym::c(4), Sym::c(4)});
+                m.pipe("P", {ctr(4), ctr(4)}, Sym::c(1),
+                       [&](Scope& p, std::vector<Val> ij) {
+                           Val v = p.load(x_t, {ij[0], ij[1]});
+                           p.store(blk, {ij[0], ij[1]}, v * v);
+                       });
+                return blk;
+            });
+        s.tileStore(sig, sig_t, {}, {Sym::c(4), Sym::c(4)});
+    });
+    auto errs = validate(d.graph());
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0]);
+}
+
+TEST(ValidateTest, ValidateOrThrowThrowsWithAllMessages)
+{
+    Design d("bad");
+    Mem x = d.offchip("x", DType::f32(), {Sym::c(8)});
+    d.accel([&](Scope& s) {
+        s.pipe("P", {ctr(8)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val v = p.load(x, {ii[0]});
+                   (void)v;
+               });
+    });
+    EXPECT_THROW(validateOrThrow(d.graph()), FatalError);
+}
+
+} // namespace
+} // namespace dhdl

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+
+#include <cmath>
+
+#include "apps/datasets.hh"
+#include "cpu/kernels.hh"
+
+namespace dhdl::cpu {
+namespace {
+
+ThreadPool&
+pool()
+{
+    static ThreadPool p(4);
+    return p;
+}
+
+TEST(KernelsTest, DotproductMatchesSerial)
+{
+    auto a = apps::randomVector(10000, 1);
+    auto b = apps::randomVector(10000, 2);
+    double expect = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        expect += double(a[i]) * double(b[i]);
+    EXPECT_NEAR(dotproduct(pool(), a, b), expect, 1e-2);
+}
+
+TEST(KernelsTest, OuterprodValues)
+{
+    std::vector<float> a{1, 2, 3}, b{4, 5};
+    std::vector<float> out(6);
+    outerprod(pool(), a, b, out);
+    EXPECT_FLOAT_EQ(out[0], 4);
+    EXPECT_FLOAT_EQ(out[1], 5);
+    EXPECT_FLOAT_EQ(out[4], 12);
+    EXPECT_FLOAT_EQ(out[5], 15);
+}
+
+TEST(KernelsTest, GemmMatchesNaive)
+{
+    const int64_t m = 17, n = 13, k = 19;
+    auto a = apps::randomVector(m * k, 3);
+    auto b = apps::randomVector(k * n, 4);
+    std::vector<float> c(size_t(m * n));
+    gemm(pool(), a, b, c, m, n, k);
+    for (int64_t i = 0; i < m; i += 5) {
+        for (int64_t j = 0; j < n; j += 4) {
+            float expect = 0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                expect += a[size_t(i * k + kk)] *
+                          b[size_t(kk * n + j)];
+            EXPECT_NEAR(c[size_t(i * n + j)], expect, 1e-3);
+        }
+    }
+}
+
+TEST(KernelsTest, Tpchq6FiltersCorrectly)
+{
+    // Two passing rows, two failing.
+    std::vector<float> dates{19940601.0f, 19930101.0f, 19940701.0f,
+                             19941201.0f};
+    std::vector<float> qty{10, 10, 50, 5};
+    std::vector<float> disc{0.06f, 0.06f, 0.06f, 0.01f};
+    std::vector<float> price{100, 100, 100, 100};
+    float got = tpchq6(pool(), dates, qty, disc, price,
+                       apps::Tpchq6Filter::dateLo,
+                       apps::Tpchq6Filter::dateHi,
+                       apps::Tpchq6Filter::discLo,
+                       apps::Tpchq6Filter::discHi,
+                       apps::Tpchq6Filter::qtyMax);
+    // Rows 0 passes; row 1 fails date; row 2 fails qty; row 3 fails
+    // discount.
+    EXPECT_NEAR(got, 100 * 0.06f, 1e-4);
+}
+
+TEST(KernelsTest, BlackscholesCallPutParity)
+{
+    // C - P = S - K e^{-rT}.
+    float s = 100, k = 95, r = 0.05f, v = 0.3f, t = 1.0f;
+    float call = blackscholesOne(1, s, k, r, v, t);
+    float put = blackscholesOne(0, s, k, r, v, t);
+    float parity = s - k * std::exp(-r * t);
+    EXPECT_NEAR(call - put, parity, 0.05f);
+    EXPECT_GT(call, 0);
+    EXPECT_GT(put, 0);
+}
+
+TEST(KernelsTest, BlackscholesVectorMatchesScalar)
+{
+    auto ot = apps::randomLabels(100, 5);
+    auto sp = apps::randomVector(100, 6, 50, 150);
+    auto st = apps::randomVector(100, 7, 50, 150);
+    auto ra = apps::randomVector(100, 8, 0.01f, 0.1f);
+    auto vo = apps::randomVector(100, 9, 0.1f, 0.6f);
+    auto ti = apps::randomVector(100, 10, 0.2f, 2.0f);
+    std::vector<float> prices(100);
+    blackscholes(pool(), ot, sp, st, ra, vo, ti, prices);
+    for (size_t i = 0; i < 100; i += 13)
+        EXPECT_FLOAT_EQ(prices[i],
+                        blackscholesOne(ot[i], sp[i], st[i], ra[i],
+                                        vo[i], ti[i]));
+}
+
+TEST(KernelsTest, GdaMatchesNaive)
+{
+    const int64_t rows = 32, cols = 5;
+    auto x = apps::randomVector(rows * cols, 11);
+    auto y = apps::randomLabels(rows, 12);
+    auto mu0 = apps::randomVector(cols, 13);
+    auto mu1 = apps::randomVector(cols, 14);
+    std::vector<float> sigma(size_t(cols * cols));
+    gda(pool(), x, y, mu0, mu1, sigma, rows, cols);
+    for (int64_t i = 0; i < cols; ++i) {
+        for (int64_t j = 0; j < cols; ++j) {
+            double expect = 0;
+            for (int64_t r = 0; r < rows; ++r) {
+                const float* mu =
+                    y[size_t(r)] != 0 ? mu1.data() : mu0.data();
+                expect +=
+                    double(x[size_t(r * cols + i)] - mu[i]) *
+                    double(x[size_t(r * cols + j)] - mu[j]);
+            }
+            EXPECT_NEAR(sigma[size_t(i * cols + j)], expect, 1e-3);
+        }
+    }
+}
+
+TEST(KernelsTest, GdaSigmaIsSymmetric)
+{
+    const int64_t rows = 64, cols = 8;
+    auto x = apps::randomVector(rows * cols, 21);
+    auto y = apps::randomLabels(rows, 22);
+    auto mu0 = apps::randomVector(cols, 23);
+    auto mu1 = apps::randomVector(cols, 24);
+    std::vector<float> sigma(size_t(cols * cols));
+    gda(pool(), x, y, mu0, mu1, sigma, rows, cols);
+    for (int64_t i = 0; i < cols; ++i)
+        for (int64_t j = 0; j < cols; ++j)
+            EXPECT_NEAR(sigma[size_t(i * cols + j)],
+                        sigma[size_t(j * cols + i)], 1e-4);
+}
+
+TEST(KernelsTest, KmeansAssignsToNearestCentroid)
+{
+    // Two well-separated clusters in 2D.
+    std::vector<float> pts{0, 0, 0.1f, 0, 10, 10, 10.1f, 10};
+    std::vector<float> cents{0.5f, 0.5f, 9, 9};
+    std::vector<float> out(4);
+    kmeans(pool(), pts, cents, out, 4, 2, 2);
+    EXPECT_NEAR(out[0], 0.05f, 1e-4);
+    EXPECT_NEAR(out[1], 0.0f, 1e-4);
+    EXPECT_NEAR(out[2], 10.05f, 1e-4);
+    EXPECT_NEAR(out[3], 10.0f, 1e-4);
+}
+
+TEST(KernelsTest, KmeansEmptyClusterKeepsCentroid)
+{
+    std::vector<float> pts{0, 0, 1, 1};
+    std::vector<float> cents{0.5f, 0.5f, 100, 100};
+    std::vector<float> out(4);
+    kmeans(pool(), pts, cents, out, 2, 2, 2);
+    EXPECT_FLOAT_EQ(out[2], 100);
+    EXPECT_FLOAT_EQ(out[3], 100);
+}
+
+TEST(KernelsTest, Conv2dHandComputed)
+{
+    // 3x3 image, 2x2 kernel: out[i][j] = sum of the window.
+    std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<float> ker{1, 0, 0, 1}; // identity-ish: a + d
+    std::vector<float> out(4);
+    conv2d(pool(), img, ker, out, 3, 3, 2);
+    EXPECT_FLOAT_EQ(out[0], 1 + 5);
+    EXPECT_FLOAT_EQ(out[1], 2 + 6);
+    EXPECT_FLOAT_EQ(out[2], 4 + 8);
+    EXPECT_FLOAT_EQ(out[3], 5 + 9);
+}
+
+TEST(KernelsTest, SizeMismatchIsFatal)
+{
+    std::vector<float> a(4), b(5);
+    EXPECT_THROW(dotproduct(pool(), a, b), FatalError);
+}
+
+} // namespace
+} // namespace dhdl::cpu

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+
+#include "cpu/roofline.hh"
+
+namespace dhdl::cpu {
+namespace {
+
+TEST(RooflineTest, PaperPlatformPeaks)
+{
+    CpuPlatform p;
+    EXPECT_EQ(p.cores, 6);
+    EXPECT_DOUBLE_EQ(p.ghz, 2.3);
+    EXPECT_NEAR(p.peakGflops(), 220.8, 0.1);
+}
+
+TEST(RooflineTest, MemoryBoundWorkload)
+{
+    CpuPlatform p;
+    CpuWorkload w;
+    w.flops = 1e6;     // negligible compute
+    w.bytes = 42.6e9;  // exactly one second of traffic at peak
+    w.memoryEff = 1.0;
+    w.computeEff = 1.0;
+    EXPECT_NEAR(cpuTimeSeconds(p, w), 1.0, 1e-9);
+}
+
+TEST(RooflineTest, ComputeBoundWorkload)
+{
+    CpuPlatform p;
+    CpuWorkload w;
+    w.flops = p.peakGflops() * 1e9; // one second at peak
+    w.bytes = 1;
+    w.memoryEff = 1.0;
+    w.computeEff = 1.0;
+    EXPECT_NEAR(cpuTimeSeconds(p, w), 1.0, 1e-9);
+}
+
+TEST(RooflineTest, EfficiencyScalesTime)
+{
+    CpuPlatform p;
+    CpuWorkload w;
+    w.flops = 1e12;
+    w.bytes = 1;
+    w.computeEff = 0.5;
+    double t_half = cpuTimeSeconds(p, w);
+    w.computeEff = 1.0;
+    double t_full = cpuTimeSeconds(p, w);
+    EXPECT_NEAR(t_half / t_full, 2.0, 1e-9);
+}
+
+TEST(RooflineTest, MaxOfBothRoofs)
+{
+    CpuPlatform p;
+    CpuWorkload w;
+    w.flops = p.peakGflops() * 1e9; // 1s compute
+    w.bytes = p.memBwGBs * 2e9;     // 2s memory
+    w.computeEff = 1.0;
+    w.memoryEff = 1.0;
+    EXPECT_NEAR(cpuTimeSeconds(p, w), 2.0, 1e-9);
+}
+
+TEST(RooflineTest, BadEfficiencyIsFatal)
+{
+    CpuPlatform p;
+    CpuWorkload w;
+    w.computeEff = 0.0;
+    EXPECT_THROW(cpuTimeSeconds(p, w), FatalError);
+    w.computeEff = 0.5;
+    w.memoryEff = 1.5;
+    EXPECT_THROW(cpuTimeSeconds(p, w), FatalError);
+}
+
+} // namespace
+} // namespace dhdl::cpu

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+
+#include <atomic>
+#include <numeric>
+
+#include "cpu/thread_pool.hh"
+
+namespace dhdl::cpu {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++count; });
+    pool.barrier();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(6);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            ++hits[size_t(i)];
+    });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](int64_t, int64_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    std::atomic<int> total{0};
+    pool.parallelFor(3, [&](int64_t lo, int64_t hi) {
+        total += int(hi - lo);
+    });
+    EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPoolTest, BarrierWaitsForAll)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&] {
+            for (volatile int spin = 0; spin < 50000; ++spin) {
+            }
+            ++done;
+        });
+    }
+    pool.barrier();
+    EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsIsFatal)
+{
+    EXPECT_THROW(ThreadPool(0), FatalError);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossParallelFors)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<int64_t> sum{0};
+        pool.parallelFor(100, [&](int64_t lo, int64_t hi) {
+            int64_t s = 0;
+            for (int64_t i = lo; i < hi; ++i)
+                s += i;
+            sum += s;
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+} // namespace
+} // namespace dhdl::cpu

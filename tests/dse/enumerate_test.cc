@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/builder.hh"
+#include "dse/explorer.hh"
+
+namespace dhdl::dse {
+namespace {
+
+Design
+smallDesign()
+{
+    Design d("small");
+    ParamId ts = d.tileParam("ts", 24); // 8 divisors
+    ParamId par = d.parParam("par", 4); // 3 divisors
+    d.toggleParam("m1");                // 2 values
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        return b[ts] % b[par] == 0;
+    });
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(24)});
+    d.accel([&](Scope& s) {
+        s.metaPipe("M", {ctr(24, Sym::p(ts))}, Sym::c(1), Sym::c(1),
+                   [&](Scope& m, std::vector<Val> rv) {
+                       Mem t = m.bram("t", DType::f32(), {Sym::p(ts)});
+                       m.tileLoad(a, t, {rv[0]}, {Sym::p(ts)},
+                                  Sym::p(par));
+                   });
+    });
+    return d;
+}
+
+TEST(EnumerateTest, WalksExactlyTheLegalSubspace)
+{
+    Design d = smallDesign();
+    ParamSpace sp(d.graph());
+    auto all = sp.enumerate(1'000'000);
+    // Brute-force count: ts in divisors(24), par in divisors(4),
+    // toggle in {0,1}, with par | ts.
+    int expect = 0;
+    for (int64_t ts : divisorsOf(24))
+        for (int64_t par : divisorsOf(4))
+            for (int tog : {0, 1}) {
+                (void)tog;
+                if (ts % par == 0)
+                    ++expect;
+            }
+    EXPECT_EQ(int(all.size()), expect);
+    for (const auto& b : all)
+        EXPECT_TRUE(sp.isLegal(b));
+    // No duplicates.
+    std::set<std::vector<int64_t>> seen;
+    for (const auto& b : all)
+        EXPECT_TRUE(seen.insert(b.values).second);
+}
+
+TEST(EnumerateTest, CapTruncates)
+{
+    Design d = smallDesign();
+    ParamSpace sp(d.graph());
+    auto some = sp.enumerate(5);
+    EXPECT_EQ(some.size(), 5u);
+}
+
+TEST(EnumerateTest, ExplorerUsesExhaustiveWalkForSmallSpaces)
+{
+    Design d = smallDesign();
+    ParamSpace sp(d.graph());
+    auto all = sp.enumerate(1'000'000);
+
+    static est::RuntimeEstimator rt;
+    Explorer ex(est::calibratedEstimator(), rt);
+    ExploreConfig cfg;
+    cfg.maxPoints = 10'000; // larger than the whole space
+    auto res = ex.explore(d.graph(), cfg);
+    EXPECT_EQ(res.points.size(), all.size());
+}
+
+TEST(EnumerateTest, NoParamsYieldsSingleton)
+{
+    Design d("none");
+    d.accel([&](Scope&) {});
+    ParamSpace sp(d.graph());
+    EXPECT_EQ(sp.enumerate(10).size(), 1u);
+}
+
+} // namespace
+} // namespace dhdl::dse

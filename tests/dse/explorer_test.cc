@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+
+namespace dhdl::dse {
+namespace {
+
+class ExplorerFixture : public ::testing::Test
+{
+  protected:
+    static Explorer&
+    explorer()
+    {
+        static est::RuntimeEstimator rt;
+        static Explorer ex(est::calibratedEstimator(), rt);
+        return ex;
+    }
+};
+
+TEST_F(ExplorerFixture, EvaluatesDefaultsOfEveryApp)
+{
+    for (const auto& app : apps::allApps()) {
+        Design d = app.build(0.02);
+        auto p = explorer().evaluate(d.graph(),
+                                     d.params().defaults());
+        EXPECT_GT(p.cycles, 0) << app.name;
+        EXPECT_GT(p.area.alms, 0) << app.name;
+    }
+}
+
+TEST_F(ExplorerFixture, ExploreFindsValidAndInvalidPoints)
+{
+    Design d = apps::buildGda({9600, 96});
+    ExploreConfig cfg;
+    cfg.maxPoints = 300;
+    auto res = explorer().explore(d.graph(), cfg);
+    ASSERT_GT(res.points.size(), 50u);
+    int valid = 0, invalid = 0;
+    for (const auto& p : res.points)
+        (p.valid ? valid : invalid)++;
+    EXPECT_GT(valid, 0);
+    // GDA at high parallelization factors overflows the device.
+    EXPECT_GT(invalid, 0);
+}
+
+TEST_F(ExplorerFixture, ParetoPointsAreValidAndNonDominated)
+{
+    Design d = apps::buildDotproduct({960000});
+    ExploreConfig cfg;
+    cfg.maxPoints = 200;
+    auto res = explorer().explore(d.graph(), cfg);
+    ASSERT_FALSE(res.pareto.empty());
+    for (size_t i : res.pareto) {
+        EXPECT_TRUE(res.points[i].valid);
+        for (const auto& q : res.points) {
+            if (!q.valid)
+                continue;
+            bool dominates =
+                q.area.alms <= res.points[i].area.alms &&
+                q.cycles <= res.points[i].cycles &&
+                (q.area.alms < res.points[i].area.alms ||
+                 q.cycles < res.points[i].cycles);
+            EXPECT_FALSE(dominates);
+        }
+    }
+}
+
+TEST_F(ExplorerFixture, BestIndexIsFastestValid)
+{
+    Design d = apps::buildDotproduct({960000});
+    ExploreConfig cfg;
+    cfg.maxPoints = 150;
+    auto res = explorer().explore(d.graph(), cfg);
+    size_t best = res.bestIndex();
+    ASSERT_NE(best, SIZE_MAX);
+    for (const auto& p : res.points) {
+        if (p.valid)
+            EXPECT_LE(res.points[best].cycles, p.cycles);
+    }
+}
+
+TEST_F(ExplorerFixture, LargerTilesReduceDotproductCycles)
+{
+    // Streaming benchmark: bigger tiles amortize the DRAM latency.
+    Design d = apps::buildDotproduct({960000});
+    auto b = d.params().defaults();
+    b[0] = 100; // tileSize (first declared param)
+    auto slow = explorer().evaluate(d.graph(), b);
+    b[0] = 12000;
+    auto fast = explorer().evaluate(d.graph(), b);
+    EXPECT_LT(fast.cycles, slow.cycles);
+}
+
+TEST_F(ExplorerFixture, MoreParallelismCostsMoreArea)
+{
+    Design d = apps::buildBlackscholes({96000});
+    auto b = d.params().defaults();
+    // params: tileSize, innerPar, M1toggle
+    b[1] = 1;
+    auto narrow = explorer().evaluate(d.graph(), b);
+    b[1] = 8;
+    auto wide = explorer().evaluate(d.graph(), b);
+    EXPECT_GT(wide.area.alms, narrow.area.alms);
+    EXPECT_LT(wide.cycles, narrow.cycles);
+}
+
+} // namespace
+} // namespace dhdl::dse

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dse/pareto.hh"
+
+namespace dhdl::dse {
+namespace {
+
+std::vector<size_t>
+front(const std::vector<std::pair<double, double>>& pts)
+{
+    return paretoFront(
+        pts.size(), [&](size_t i) { return pts[i].first; },
+        [&](size_t i) { return pts[i].second; });
+}
+
+TEST(ParetoTest, SimpleFront)
+{
+    // (1,10) (2,5) (3,1) form the front; (3,6) and (2,12) dominated.
+    auto f = front({{1, 10}, {2, 5}, {3, 1}, {3, 6}, {2, 12}});
+    EXPECT_EQ(f, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ParetoTest, SinglePoint)
+{
+    auto f = front({{5, 5}});
+    EXPECT_EQ(f, (std::vector<size_t>{0}));
+}
+
+TEST(ParetoTest, AllDominatedByOne)
+{
+    auto f = front({{1, 1}, {2, 2}, {3, 3}});
+    EXPECT_EQ(f, (std::vector<size_t>{0}));
+}
+
+TEST(ParetoTest, TiesOnXKeepBestY)
+{
+    auto f = front({{1, 5}, {1, 3}, {2, 1}});
+    // x=1 keeps only y=3; then (2,1) improves y.
+    EXPECT_EQ(f, (std::vector<size_t>{1, 2}));
+}
+
+TEST(ParetoTest, EmptyInput)
+{
+    EXPECT_TRUE(front({}).empty());
+}
+
+TEST(ParetoTest, FrontIsSortedByXAndDecreasingY)
+{
+    std::vector<std::pair<double, double>> pts;
+    // Deterministic pseudo-random points.
+    uint64_t state = 12345;
+    for (int i = 0; i < 200; ++i) {
+        state = state * 6364136223846793005ull + 13ull;
+        double x = double(state % 1000);
+        state = state * 6364136223846793005ull + 13ull;
+        double y = double(state % 1000);
+        pts.push_back({x, y});
+    }
+    auto f = front(pts);
+    for (size_t i = 1; i < f.size(); ++i) {
+        EXPECT_LE(pts[f[i - 1]].first, pts[f[i]].first);
+        EXPECT_GT(pts[f[i - 1]].second, pts[f[i]].second);
+    }
+    // No front point may be dominated by any other point.
+    for (size_t i : f) {
+        for (size_t j = 0; j < pts.size(); ++j) {
+            bool dominates = pts[j].first <= pts[i].first &&
+                             pts[j].second <= pts[i].second &&
+                             (pts[j].first < pts[i].first ||
+                              pts[j].second < pts[i].second);
+            EXPECT_FALSE(dominates)
+                << "point " << j << " dominates front point " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace dhdl::dse

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/builder.hh"
+#include "dse/space.hh"
+
+namespace dhdl::dse {
+namespace {
+
+Design
+spaceDesign(int64_t n = 1024)
+{
+    Design d("sp");
+    ParamId ts = d.tileParam("ts", n);
+    ParamId par = d.parParam("par", 96);
+    ParamId tog = d.toggleParam("m1");
+    d.graph().constraints.push_back([=](const ParamBinding& b) {
+        return b[ts] % b[par] == 0;
+    });
+    (void)tog;
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(n)});
+    d.accel([&](Scope& s) {
+        s.metaPipe("M1", {ctr(n, Sym::p(ts))}, Sym::c(1), Sym::c(1),
+                   [&](Scope& m, std::vector<Val> rv) {
+                       Mem at =
+                           m.bram("at", DType::f32(), {Sym::p(ts)});
+                       m.tileLoad(a, at, {rv[0]}, {Sym::p(ts)},
+                                  Sym::p(par));
+                   });
+    });
+    return d;
+}
+
+TEST(SpaceTest, SizeEstimateIsProductOfLegalValues)
+{
+    Design d = spaceDesign();
+    ParamSpace sp(d.graph());
+    double expect = double(divisorsOf(1024).size()) *
+                    double(divisorsOf(96).size()) * 2.0;
+    EXPECT_DOUBLE_EQ(sp.sizeEstimate(), expect);
+}
+
+TEST(SpaceTest, RandomBindingsAreWithinLegalValues)
+{
+    Design d = spaceDesign();
+    ParamSpace sp(d.graph());
+    ml::Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        auto b = sp.randomBinding(rng);
+        EXPECT_TRUE(d.params().isLegal(b));
+    }
+}
+
+TEST(SpaceTest, SampleRespectsConstraints)
+{
+    Design d = spaceDesign();
+    ParamSpace sp(d.graph());
+    auto samples = sp.sample(100, 7);
+    EXPECT_FALSE(samples.empty());
+    for (const auto& b : samples)
+        EXPECT_EQ(b.values[0] % b.values[1], 0)
+            << b.values[0] << " % " << b.values[1];
+}
+
+TEST(SpaceTest, SampleIsDeduplicated)
+{
+    Design d = spaceDesign();
+    ParamSpace sp(d.graph());
+    auto samples = sp.sample(500, 3);
+    std::set<std::vector<int64_t>> seen;
+    for (const auto& b : samples)
+        EXPECT_TRUE(seen.insert(b.values).second);
+}
+
+TEST(SpaceTest, SampleDeterministicPerSeed)
+{
+    Design d = spaceDesign();
+    ParamSpace sp(d.graph());
+    auto a = sp.sample(50, 11);
+    auto b = sp.sample(50, 11);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].values, b[i].values);
+}
+
+TEST(SpaceTest, LocalMemoryCapPrunesHugeTiles)
+{
+    // 32-bit tile of 2^20 elems = 32 Mbit > the 4 Mbit cap.
+    Design d = spaceDesign(int64_t(1) << 20);
+    ParamSpace sp(d.graph());
+    ParamBinding big{{int64_t(1) << 20, 1, 1}};
+    EXPECT_FALSE(sp.isLegal(big));
+    ParamBinding ok{{int64_t(1) << 16, 1, 1}};
+    EXPECT_TRUE(sp.isLegal(ok));
+}
+
+TEST(SpaceTest, SmallSpaceExhaustedGracefully)
+{
+    Design d("tiny");
+    d.toggleParam("t");
+    d.accel([&](Scope&) {});
+    ParamSpace sp(d.graph());
+    auto samples = sp.sample(100, 5);
+    EXPECT_EQ(samples.size(), 2u); // only toggle 0/1 exist
+}
+
+} // namespace
+} // namespace dhdl::dse

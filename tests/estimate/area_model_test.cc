@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimate/area_model.hh"
+#include "fpga/silicon.hh"
+
+namespace dhdl::est {
+namespace {
+
+class AreaModelFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        tc_ = new fpga::VendorToolchain();
+        model_ = new AreaModel();
+        model_->fit(characterizeTemplates(*tc_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete model_;
+        delete tc_;
+        model_ = nullptr;
+        tc_ = nullptr;
+    }
+
+    static fpga::VendorToolchain* tc_;
+    static AreaModel* model_;
+};
+
+fpga::VendorToolchain* AreaModelFixture::tc_ = nullptr;
+AreaModel* AreaModelFixture::model_ = nullptr;
+
+TEST_F(AreaModelFixture, ClassKeySeparatesOpsAndTypes)
+{
+    TemplateInst add;
+    add.tkind = TemplateKind::PrimOp;
+    add.op = Op::Add;
+    add.isFloat = true;
+    TemplateInst mul = add;
+    mul.op = Op::Mul;
+    TemplateInst addfix = add;
+    addfix.isFloat = false;
+    EXPECT_NE(AreaModel::classKey(add), AreaModel::classKey(mul));
+    EXPECT_NE(AreaModel::classKey(add), AreaModel::classKey(addfix));
+
+    // Memory templates ignore op/isFloat.
+    TemplateInst bram;
+    bram.tkind = TemplateKind::BramInst;
+    TemplateInst bram2 = bram;
+    bram2.op = Op::Mul;
+    EXPECT_EQ(AreaModel::classKey(bram), AreaModel::classKey(bram2));
+}
+
+TEST_F(AreaModelFixture, PredictsCharacterizedPointsClosely)
+{
+    // In-sample error should be within the measurement jitter.
+    auto samples = characterizeTemplates(*tc_);
+    double worst = 0;
+    for (const auto& s : samples) {
+        auto pred = model_->cost(s.inst);
+        double truth = s.observed.totalLuts();
+        if (truth > 100) {
+            double err =
+                std::fabs(pred.totalLuts() - truth) / truth;
+            worst = std::max(worst, err);
+        }
+    }
+    // Worst case over every characterized instance: residual from
+    // non-linear silicon terms plus the +/-1.5% measurement jitter.
+    EXPECT_LT(worst, 0.50);
+}
+
+TEST_F(AreaModelFixture, InterpolatesUnseenLaneCounts)
+{
+    // lanes=12 was never characterized (sweep has 8 and 16).
+    TemplateInst t;
+    t.tkind = TemplateKind::PrimOp;
+    t.op = Op::Add;
+    t.isFloat = true;
+    t.bits = 32;
+    t.lanes = 12;
+    auto pred = model_->cost(t);
+    auto truth = siliconCost(tc_->device(), t);
+    EXPECT_NEAR(pred.totalLuts(), truth.totalLuts(),
+                0.1 * truth.totalLuts());
+    EXPECT_NEAR(pred.regs, truth.regs, 0.1 * truth.regs);
+}
+
+TEST_F(AreaModelFixture, BramGeometryExtrapolates)
+{
+    TemplateInst t;
+    t.tkind = TemplateKind::BramInst;
+    t.bits = 32;
+    t.elems = 8192;
+    t.banks = 8;
+    t.doubleBuf = true;
+    t.lanes = 2;
+    auto pred = model_->cost(t);
+    auto truth = siliconCost(tc_->device(), t);
+    EXPECT_NEAR(pred.brams, truth.brams,
+                std::max(2.0, 0.15 * truth.brams));
+}
+
+TEST_F(AreaModelFixture, RawCountSumsTemplates)
+{
+    TemplateInst t;
+    t.tkind = TemplateKind::PrimOp;
+    t.op = Op::Add;
+    t.isFloat = true;
+    t.bits = 32;
+    t.lanes = 1;
+    auto one = model_->cost(t);
+    auto two = model_->rawCount({t, t});
+    EXPECT_NEAR(two.totalLuts(), 2 * one.totalLuts(), 1e-9);
+}
+
+TEST_F(AreaModelFixture, PredictionsNonNegative)
+{
+    TemplateInst t;
+    t.tkind = TemplateKind::DelayLine;
+    t.delayBits = 1; // tiny: raw fit could go negative without clamp
+    t.lanes = 1;
+    auto r = model_->cost(t);
+    EXPECT_GE(r.lutsPack, 0);
+    EXPECT_GE(r.regs, 0);
+    EXPECT_GE(r.brams, 0);
+}
+
+TEST(AreaModelTest, UnfitModelIsFatal)
+{
+    AreaModel m;
+    TemplateInst t;
+    t.tkind = TemplateKind::PrimOp;
+    EXPECT_THROW(m.cost(t), FatalError);
+}
+
+} // namespace
+} // namespace dhdl::est

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hh"
+#include "estimate/area_estimator.hh"
+#include "estimate/power_model.hh"
+#include "fpga/silicon.hh"
+
+namespace dhdl::est {
+namespace {
+
+TEST(PowerModelTest, SingletonReusable)
+{
+    EXPECT_EQ(&calibratedPowerEstimator(),
+              &calibratedPowerEstimator());
+}
+
+TEST(PowerModelTest, TemplatePowerMatchesSiliconClosely)
+{
+    const auto& est = calibratedPowerEstimator();
+    const auto& tc = defaultToolchain();
+    TemplateInst t;
+    t.tkind = TemplateKind::PrimOp;
+    t.op = Op::Mul;
+    t.isFloat = true;
+    t.bits = 32;
+    t.lanes = 8;
+    double truth = fpga::siliconPowerMw(tc.device(), t);
+    EXPECT_NEAR(est.templateMw(t), truth, 0.15 * truth);
+}
+
+TEST(PowerModelTest, AccuracyOnHeldOutDesigns)
+{
+    const auto& est = calibratedPowerEstimator();
+    const auto& tc = defaultToolchain();
+    double err = 0;
+    int n = 0;
+    for (uint64_t s = 700001; s <= 700020; ++s) {
+        auto ts = fpga::randomTemplateList(tc.device(), s);
+        auto rep = tc.synthesizeList(ts);
+        double e = est.estimateListMw(ts);
+        err += std::fabs(e - rep.powerMw) / rep.powerMw;
+        ++n;
+    }
+    EXPECT_LT(err / n, 0.12);
+}
+
+TEST(PowerModelTest, StaticFloorPresent)
+{
+    // Even a near-empty design draws the leakage floor.
+    const auto& est = calibratedPowerEstimator();
+    TemplateInst t;
+    t.tkind = TemplateKind::RegInst;
+    t.bits = 1;
+    double total = est.estimateListMw({t});
+    EXPECT_GT(total, 1000.0); // well above the dynamic part
+}
+
+TEST(PowerModelTest, MoreParallelismMorePower)
+{
+    const auto& est = calibratedPowerEstimator();
+    Design d = apps::buildBlackscholes({96000});
+    auto b = d.params().defaults();
+    b.values[1] = 1; // innerPar
+    double narrow = est.estimateMw(Inst(d.graph(), b));
+    b.values[1] = 8;
+    double wide = est.estimateMw(Inst(d.graph(), b));
+    EXPECT_GT(wide, narrow);
+}
+
+TEST(PowerModelTest, DspHeavyDesignsDrawMore)
+{
+    const auto& est = calibratedPowerEstimator();
+    TemplateInst mul;
+    mul.tkind = TemplateKind::PrimOp;
+    mul.op = Op::Mul;
+    mul.isFloat = true;
+    mul.bits = 32;
+    mul.lanes = 32;
+    TemplateInst cmp = mul;
+    cmp.op = Op::Lt;
+    EXPECT_GT(est.templateMw(mul), est.templateMw(cmp));
+}
+
+} // namespace
+} // namespace dhdl::est

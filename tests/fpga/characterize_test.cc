@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fpga/characterize.hh"
+
+namespace dhdl::fpga {
+namespace {
+
+TEST(CharacterizeTest, CoversEveryTemplateKind)
+{
+    VendorToolchain tc;
+    auto samples = characterizeTemplates(tc);
+    std::set<TemplateKind> kinds;
+    for (const auto& s : samples)
+        kinds.insert(s.inst.tkind);
+    EXPECT_EQ(kinds.size(), 13u); // all TemplateKind values
+}
+
+TEST(CharacterizeTest, MultipleSamplesPerPrimOp)
+{
+    VendorToolchain tc;
+    auto samples = characterizeTemplates(tc);
+    int adds = 0;
+    for (const auto& s : samples) {
+        if (s.inst.tkind == TemplateKind::PrimOp &&
+            s.inst.op == Op::Add && s.inst.isFloat)
+            ++adds;
+    }
+    // "Most templates require about six synthesized designs."
+    EXPECT_GE(adds, 6);
+}
+
+TEST(CharacterizeTest, LanesVaryWithinEachKind)
+{
+    VendorToolchain tc;
+    auto samples = characterizeTemplates(tc);
+    std::set<TemplateKind> kinds_with_lane_variation;
+    std::map<TemplateKind, std::set<int64_t>> lanes;
+    for (const auto& s : samples)
+        lanes[s.inst.tkind].insert(s.inst.lanes);
+    for (const auto& [k, ls] : lanes) {
+        if (ls.size() > 1)
+            kinds_with_lane_variation.insert(k);
+    }
+    // Replication must be identifiable for every replicable kind.
+    EXPECT_GE(kinds_with_lane_variation.size(), 11u);
+}
+
+TEST(CharacterizeTest, ObservationsPositive)
+{
+    VendorToolchain tc;
+    for (const auto& s : characterizeTemplates(tc)) {
+        EXPECT_GE(s.observed.lutsPack, 0.0);
+        EXPECT_GE(s.observed.regs, 0.0);
+        EXPECT_GE(s.observed.brams, 0.0);
+    }
+}
+
+TEST(RandomDesignTest, RequestedCount)
+{
+    VendorToolchain tc;
+    auto samples = randomDesignSamples(tc, 25);
+    EXPECT_EQ(samples.size(), 25u);
+}
+
+TEST(RandomDesignTest, SpansResourceScales)
+{
+    // "200 design samples with varying levels of resource usage to
+    // give a representative sampling of the space."
+    VendorToolchain tc;
+    auto samples = randomDesignSamples(tc, 60);
+    double lo = 1e18, hi = 0;
+    for (const auto& s : samples) {
+        lo = std::min(lo, s.report.alms);
+        hi = std::max(hi, s.report.alms);
+    }
+    EXPECT_GT(hi / lo, 20.0);
+}
+
+TEST(RandomDesignTest, DeterministicPerSeed)
+{
+    VendorToolchain tc;
+    auto a = randomDesignSamples(tc, 5, 99);
+    auto b = randomDesignSamples(tc, 5, 99);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].report.alms, b[i].report.alms);
+}
+
+} // namespace
+} // namespace dhdl::fpga

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "fpga/silicon.hh"
+
+namespace dhdl::fpga {
+namespace {
+
+TemplateInst
+prim(Op op, bool is_float, int64_t lanes = 1, int bits = 32)
+{
+    TemplateInst t;
+    t.tkind = TemplateKind::PrimOp;
+    t.op = op;
+    t.isFloat = is_float;
+    t.bits = bits;
+    t.lanes = lanes;
+    return t;
+}
+
+TEST(SiliconTest, CostsLinearInLanes)
+{
+    Device dev = Device::maia();
+    auto r1 = siliconCost(dev, prim(Op::Add, true, 1));
+    auto r8 = siliconCost(dev, prim(Op::Add, true, 8));
+    EXPECT_NEAR(r8.totalLuts(), 8 * r1.totalLuts(), 1e-9);
+    EXPECT_NEAR(r8.regs, 8 * r1.regs, 1e-9);
+}
+
+TEST(SiliconTest, FloatMulUsesDsps)
+{
+    Device dev = Device::maia();
+    auto r = siliconCost(dev, prim(Op::Mul, true, 4));
+    EXPECT_GE(r.dsps, 4.0);
+    auto add = siliconCost(dev, prim(Op::Add, true, 4));
+    EXPECT_EQ(add.dsps, 0.0);
+}
+
+TEST(SiliconTest, DividerDwarfsAdder)
+{
+    Device dev = Device::maia();
+    auto div = siliconCost(dev, prim(Op::Div, true));
+    auto add = siliconCost(dev, prim(Op::Add, true));
+    EXPECT_GT(div.totalLuts(), 2 * add.totalLuts());
+}
+
+TEST(SiliconTest, FixedCheaperThanFloat)
+{
+    Device dev = Device::maia();
+    auto fx = siliconCost(dev, prim(Op::Add, false));
+    auto fl = siliconCost(dev, prim(Op::Add, true));
+    EXPECT_LT(fx.totalLuts(), fl.totalLuts() / 4);
+}
+
+TEST(SiliconTest, BramGeometry)
+{
+    Device dev = Device::maia();
+    TemplateInst t;
+    t.tkind = TemplateKind::BramInst;
+    t.bits = 32;
+    t.elems = 20480; // 20480 * 32 bits = 32 M20Ks exactly
+    t.banks = 1;
+    auto r = siliconCost(dev, t);
+    EXPECT_DOUBLE_EQ(r.brams, 32.0);
+
+    t.doubleBuf = true;
+    EXPECT_DOUBLE_EQ(siliconCost(dev, t).brams, 64.0);
+
+    t.doubleBuf = false;
+    t.banks = 64; // fragmentation: each bank still >= 1 M20K
+    EXPECT_GE(siliconCost(dev, t).brams, 64.0);
+}
+
+TEST(SiliconTest, BramBankingUsesMoreBlocksWhenFragmented)
+{
+    Device dev = Device::maia();
+    TemplateInst small;
+    small.tkind = TemplateKind::BramInst;
+    small.bits = 32;
+    small.elems = 65536; // ~102 M20Ks unbanked
+    small.banks = 1;
+    TemplateInst banked = small;
+    banked.banks = 64; // 1024-elem banks: 2 M20Ks each (rounding up)
+    EXPECT_GT(siliconCost(dev, banked).brams,
+              siliconCost(dev, small).brams);
+}
+
+TEST(SiliconTest, TinyBanksMapToMlabLutRam)
+{
+    // A heavily banked small buffer (GDA's subT, kmeans' distT) goes
+    // to MLAB LUT-RAM: no M20K cost, some extra LUTs.
+    Device dev = Device::maia();
+    TemplateInst t;
+    t.tkind = TemplateKind::BramInst;
+    t.bits = 32;
+    t.elems = 96;
+    t.banks = 16; // 6 words x 32 bits = 192 bits per bank
+    auto r = siliconCost(dev, t);
+    EXPECT_EQ(r.brams, 0.0);
+    EXPECT_GT(r.totalLuts(), 0.0);
+}
+
+TEST(SiliconTest, MetaPipeControlScalesWithStages)
+{
+    Device dev = Device::maia();
+    TemplateInst a;
+    a.tkind = TemplateKind::MetaPipeCtrl;
+    a.stages = 2;
+    TemplateInst b = a;
+    b.stages = 8;
+    EXPECT_GT(siliconCost(dev, b).totalLuts(),
+              siliconCost(dev, a).totalLuts());
+}
+
+TEST(SiliconTest, ReduceTreeScalesWithWidth)
+{
+    Device dev = Device::maia();
+    TemplateInst t;
+    t.tkind = TemplateKind::ReduceTree;
+    t.op = Op::Add;
+    t.isFloat = true;
+    t.bits = 32;
+    t.vec = 2;
+    auto r2 = siliconCost(dev, t);
+    t.vec = 16;
+    auto r16 = siliconCost(dev, t);
+    // 15 combiners vs 1.
+    EXPECT_GT(r16.totalLuts(), 10 * r2.totalLuts());
+}
+
+TEST(SiliconTest, DelayLineRegisterVsBram)
+{
+    Device dev = Device::maia();
+    TemplateInst reg;
+    reg.tkind = TemplateKind::DelayLine;
+    reg.delayBits = 512;
+    reg.depth = 0;
+    auto rr = siliconCost(dev, reg);
+    EXPECT_GE(rr.regs, 512);
+    EXPECT_EQ(rr.brams, 0);
+
+    TemplateInst fifo = reg;
+    fifo.depth = 17;
+    auto rf = siliconCost(dev, fifo);
+    EXPECT_GE(rf.brams, 1);
+    EXPECT_LT(rf.regs, rr.regs);
+}
+
+TEST(SiliconTest, TileTransferHasFifos)
+{
+    Device dev = Device::maia();
+    TemplateInst t;
+    t.tkind = TemplateKind::TileTransfer;
+    t.bits = 32;
+    t.vec = 4;
+    t.tileElems = 4096;
+    auto r = siliconCost(dev, t);
+    EXPECT_GE(r.brams, 1.0);
+    EXPECT_GT(r.totalLuts(), 100.0);
+}
+
+} // namespace
+} // namespace dhdl::fpga

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "fpga/characterize.hh"
+#include "fpga/silicon.hh"
+#include "fpga/toolchain.hh"
+
+namespace dhdl::fpga {
+namespace {
+
+std::vector<TemplateInst>
+mediumDesign(uint64_t seed = 77)
+{
+    return randomTemplateList(Device::maia(), seed);
+}
+
+TEST(ToolchainTest, Deterministic)
+{
+    VendorToolchain tc;
+    auto ts = mediumDesign();
+    auto a = tc.synthesizeList(ts);
+    auto b = tc.synthesizeList(ts);
+    EXPECT_DOUBLE_EQ(a.alms, b.alms);
+    EXPECT_DOUBLE_EQ(a.brams, b.brams);
+    EXPECT_DOUBLE_EQ(a.routeLuts, b.routeLuts);
+}
+
+TEST(ToolchainTest, DistinctDesignsGetDistinctNoise)
+{
+    VendorToolchain tc;
+    auto a = tc.synthesizeList(mediumDesign(1));
+    auto b = tc.synthesizeList(mediumDesign(2));
+    EXPECT_NE(a.alms, b.alms);
+}
+
+TEST(ToolchainTest, RoutingLutsAboutTenPercent)
+{
+    // Section IV-A: route-through LUTs ~10% of total used LUTs.
+    VendorToolchain tc;
+    double frac_sum = 0;
+    int n = 0;
+    for (uint64_t s = 0; s < 20; ++s) {
+        auto ts = mediumDesign(s);
+        auto rep = tc.synthesizeList(ts);
+        Resources raw;
+        for (const auto& t : ts)
+            raw += siliconCost(tc.device(), t);
+        frac_sum += rep.routeLuts / raw.totalLuts();
+        ++n;
+    }
+    double avg = frac_sum / n;
+    EXPECT_GT(avg, 0.05);
+    EXPECT_LT(avg, 0.15);
+}
+
+TEST(ToolchainTest, RegisterDuplicationAboutFivePercent)
+{
+    VendorToolchain tc;
+    double frac_sum = 0;
+    int n = 0;
+    for (uint64_t s = 100; s < 120; ++s) {
+        auto ts = mediumDesign(s);
+        auto rep = tc.synthesizeList(ts);
+        Resources raw;
+        for (const auto& t : ts)
+            raw += siliconCost(tc.device(), t);
+        frac_sum += rep.dupRegs / raw.regs;
+        ++n;
+    }
+    double avg = frac_sum / n;
+    EXPECT_GT(avg, 0.02);
+    EXPECT_LT(avg, 0.09);
+}
+
+TEST(ToolchainTest, BramDuplicationBetween10And100Percent)
+{
+    VendorToolchain tc;
+    for (uint64_t s = 200; s < 215; ++s) {
+        auto ts = mediumDesign(s);
+        auto rep = tc.synthesizeList(ts);
+        Resources raw;
+        for (const auto& t : ts)
+            raw += siliconCost(tc.device(), t);
+        double frac = rep.dupBrams / std::max(1.0, raw.brams);
+        EXPECT_GE(frac, 0.02);
+        EXPECT_LE(frac, 1.0);
+    }
+}
+
+TEST(ToolchainTest, LutPackingShrinksAlmsBelowLuts)
+{
+    VendorToolchain tc;
+    auto ts = mediumDesign(7);
+    auto rep = tc.synthesizeList(ts);
+    // Packing means ALMs-for-logic < total LUTs.
+    EXPECT_LT(rep.alms, rep.luts);
+}
+
+TEST(ToolchainTest, FitsChecksCapacities)
+{
+    Device d = Device::maia();
+    PnrReport small;
+    small.alms = 100;
+    EXPECT_TRUE(small.fits(d));
+    PnrReport big;
+    big.alms = double(d.alms) + 1;
+    EXPECT_FALSE(big.fits(d));
+    PnrReport brams;
+    brams.brams = double(d.m20ks) + 1;
+    EXPECT_FALSE(brams.fits(d));
+}
+
+TEST(ToolchainTest, IsolatedSynthesisNearSiliconCost)
+{
+    VendorToolchain tc;
+    TemplateInst t;
+    t.tkind = TemplateKind::PrimOp;
+    t.op = Op::Add;
+    t.isFloat = true;
+    t.bits = 32;
+    t.lanes = 4;
+    auto truth = siliconCost(tc.device(), t);
+    auto obs = tc.isolatedSynthesis(t);
+    EXPECT_NEAR(obs.lutsPack, truth.lutsPack,
+                0.10 * truth.lutsPack);
+    EXPECT_NEAR(obs.regs, truth.regs, 0.10 * truth.regs);
+}
+
+TEST(ToolchainTest, DesignKeySensitiveToFields)
+{
+    TemplateInst a;
+    a.tkind = TemplateKind::PrimOp;
+    a.op = Op::Add;
+    TemplateInst b = a;
+    b.lanes = 2;
+    EXPECT_NE(VendorToolchain::designKey({a}),
+              VendorToolchain::designKey({b}));
+    EXPECT_EQ(VendorToolchain::designKey({a}),
+              VendorToolchain::designKey({a}));
+}
+
+TEST(ToolchainTest, SeedChangesReports)
+{
+    VendorToolchain a(Device::maia(), 1);
+    VendorToolchain b(Device::maia(), 2);
+    auto ts = mediumDesign(5);
+    EXPECT_NE(a.synthesizeList(ts).alms, b.synthesizeList(ts).alms);
+}
+
+} // namespace
+} // namespace dhdl::fpga

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "hls/flatten.hh"
+
+namespace dhdl::hls {
+namespace {
+
+/** GDA at reduced size: the Table IV subject. */
+Inst
+gdaInst(Design& d, int64_t in_tile = 480, int64_t toggles = 1)
+{
+    auto b = d.params().defaults();
+    // Params (declaration order): muSize, inTileSize, P1Par, P2Par,
+    // M1Par, M2Par, M1toggle, M2toggle.
+    b.values[1] = in_tile;
+    b.values[6] = toggles;
+    b.values[7] = toggles;
+    return Inst(d.graph(), b);
+}
+
+TEST(FlattenTest, RestrictedKeepsLoopsRolled)
+{
+    Design d = apps::buildGda({9600, 96});
+    Inst inst = gdaInst(d);
+    FlatGraph g = flatten(inst, false);
+    // Rolled: op count scales with par factors only (both default 2),
+    // far below the full unroll.
+    EXPECT_GT(g.ops.size(), 10u);
+    EXPECT_LT(g.ops.size(), 5000u);
+    EXPECT_FALSE(g.truncated);
+}
+
+TEST(FlattenTest, FullModeExplodesUnderPipelinedOuterLoops)
+{
+    Design d = apps::buildGda({9600, 96});
+    Inst inst = gdaInst(d);
+    FlatGraph rolled = flatten(inst, false);
+    FlatGraph full = flatten(inst, true);
+    // "the tool completely unrolls all inner loops before pipelining
+    // the outer loop. This creates a large graph."
+    EXPECT_GT(full.ops.size(), 50u * rolled.ops.size());
+}
+
+TEST(FlattenTest, ToggleOffDisablesPipelineDirective)
+{
+    Design d = apps::buildGda({9600, 96});
+    Inst on = gdaInst(d, 480, 1);
+    Design d2 = apps::buildGda({9600, 96});
+    Inst off = gdaInst(d2, 480, 0);
+    auto g_on = flatten(on, true);
+    auto g_off = flatten(off, true);
+    EXPECT_GT(g_on.ops.size(), g_off.ops.size());
+}
+
+TEST(FlattenTest, PredecessorsStayWithinReplica)
+{
+    Design d = apps::buildDotproduct({9600});
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    FlatGraph g = flatten(inst, false);
+    for (size_t i = 0; i < g.ops.size(); ++i) {
+        for (int32_t p : g.ops[i].preds) {
+            EXPECT_GE(p, 0);
+            EXPECT_LT(size_t(p), i + 1);
+        }
+    }
+}
+
+TEST(FlattenTest, SafetyCapTruncates)
+{
+    // Paper-scale GDA fully unrolled exceeds the op cap.
+    Design d = apps::buildGda({384000, 96});
+    auto b = d.params().defaults();
+    b.values[1] = 4000; // large inner tile
+    Inst inst(d.graph(), b);
+    FlatGraph g = flatten(inst, true);
+    EXPECT_TRUE(g.truncated);
+    EXPECT_LE(int64_t(g.ops.size()), kMaxFlatOps);
+}
+
+TEST(FlattenTest, FuClassesAssigned)
+{
+    Design d = apps::buildBlackscholes({9216});
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    FlatGraph g = flatten(inst, false);
+    bool saw_div = false, saw_mem = false, saw_add = false;
+    for (const auto& op : g.ops) {
+        saw_div |= op.fu == FuClass::DivSqrt;
+        saw_mem |= op.fu == FuClass::MemPort;
+        saw_add |= op.fu == FuClass::AddSub;
+    }
+    EXPECT_TRUE(saw_div);
+    EXPECT_TRUE(saw_mem);
+    EXPECT_TRUE(saw_add);
+}
+
+} // namespace
+} // namespace dhdl::hls

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "hls/hls_estimator.hh"
+
+namespace dhdl::hls {
+namespace {
+
+FlatOp
+op(FuClass fu, int latency, std::vector<int32_t> preds = {})
+{
+    FlatOp o;
+    o.fu = fu;
+    o.latency = latency;
+    o.preds = std::move(preds);
+    return o;
+}
+
+TEST(SchedulerTest, ChainRespectsDependencies)
+{
+    FlatGraph g;
+    g.ops = {op(FuClass::AddSub, 3), op(FuClass::AddSub, 3, {0}),
+             op(FuClass::AddSub, 3, {1})};
+    auto r = listSchedule(g);
+    EXPECT_EQ(r.cycles, 9);
+    EXPECT_EQ(r.ops, 3);
+}
+
+TEST(SchedulerTest, IndependentOpsOverlapUnderBudget)
+{
+    FlatGraph g;
+    for (int i = 0; i < 8; ++i)
+        g.ops.push_back(op(FuClass::AddSub, 4));
+    ResourceBudget budget;
+    budget.count[size_t(FuClass::AddSub)] = 8;
+    EXPECT_EQ(listSchedule(g, budget).cycles, 4);
+}
+
+TEST(SchedulerTest, ResourceConstraintSerializes)
+{
+    FlatGraph g;
+    for (int i = 0; i < 8; ++i)
+        g.ops.push_back(op(FuClass::DivSqrt, 2));
+    ResourceBudget budget;
+    budget.count[size_t(FuClass::DivSqrt)] = 2;
+    // 8 divides, 2 units: at least 4 issue rounds.
+    auto r = listSchedule(g, budget);
+    EXPECT_GE(r.cycles, 5);
+}
+
+TEST(SchedulerTest, EmptyGraph)
+{
+    FlatGraph g;
+    auto r = listSchedule(g);
+    EXPECT_EQ(r.cycles, 0);
+    EXPECT_EQ(r.ops, 0);
+}
+
+TEST(SchedulerTest, DiamondCriticalPath)
+{
+    // a -> {b(1), c(10)} -> d: critical path through c.
+    FlatGraph g;
+    g.ops = {op(FuClass::AddSub, 2), op(FuClass::AddSub, 1, {0}),
+             op(FuClass::DivSqrt, 10, {0}),
+             op(FuClass::AddSub, 1, {1, 2})};
+    auto r = listSchedule(g);
+    EXPECT_EQ(r.cycles, 2 + 10 + 1);
+}
+
+TEST(HlsEstimatorTest, RestrictedAndFullProduceEstimates)
+{
+    Design d = apps::buildGda({9600, 96});
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    HlsEstimator est;
+    auto r = est.estimate(inst, HlsMode::Restricted);
+    auto f = est.estimate(inst, HlsMode::Full);
+    EXPECT_GT(r.cycles, 0);
+    EXPECT_GT(f.flatOps, 10 * r.flatOps);
+}
+
+TEST(HlsEstimatorTest, FullModeCostsMoreAnalysisWork)
+{
+    // The mechanism behind Table IV: schedule length of the analysis
+    // input (flat ops) explodes in Full mode.
+    Design d = apps::buildGda({19200, 96});
+    auto b = d.params().defaults();
+    b.values[1] = 960; // inTileSize
+    Inst inst(d.graph(), b);
+    HlsEstimator est;
+    auto restricted = est.estimate(inst, HlsMode::Restricted);
+    auto full = est.estimate(inst, HlsMode::Full);
+    EXPECT_GT(full.flatOps, 100 * restricted.flatOps);
+}
+
+} // namespace
+} // namespace dhdl::hls

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hh"
+#include "host/accelerator.hh"
+
+namespace dhdl::host {
+namespace {
+
+TEST(AcceleratorTest, RunsDotproductEndToEnd)
+{
+    const int64_t n = 192;
+    Design d = apps::buildDotproduct({n});
+    Accelerator acc(d.graph(), d.params().defaults());
+    auto a = apps::randomVector(n, 1);
+    auto b = apps::randomVector(n, 2);
+    acc.setInput("a", apps::toDouble(a));
+    acc.setInput("b", apps::toDouble(b));
+    auto rep = acc.run();
+
+    double expect = 0;
+    for (int64_t i = 0; i < n; ++i)
+        expect += double(a[size_t(i)]) * double(b[size_t(i)]);
+    EXPECT_NEAR(acc.scalar("out"), expect, 1e-3 * std::fabs(expect));
+    EXPECT_GT(rep.kernelCycles, 0);
+    EXPECT_GT(rep.kernelSeconds, 0);
+}
+
+TEST(AcceleratorTest, PcieTimeAccountedSeparately)
+{
+    const int64_t n = 9600;
+    Design d = apps::buildTpchq6({n});
+    Accelerator acc(d.graph(), d.params().defaults());
+    std::vector<double> zeros(size_t(n), 0.0);
+    acc.setInput("dates", zeros);
+    acc.setInput("quantities", zeros);
+    acc.setInput("discounts", zeros);
+    acc.setInput("prices", zeros);
+    auto rep = acc.run();
+    // 4 arrays x 9600 x 4B over 6 GB/s.
+    EXPECT_NEAR(rep.copyInSeconds,
+                4.0 * 9600.0 * 4.0 / Accelerator::kPcieBytesPerSecond,
+                1e-12);
+    EXPECT_EQ(rep.copyOutSeconds, 0.0); // nothing requested
+    EXPECT_NEAR(rep.totalSeconds(),
+                rep.copyInSeconds + rep.kernelSeconds, 1e-15);
+}
+
+TEST(AcceleratorTest, OutputCopyMeasured)
+{
+    const int64_t n = 9216;
+    Design d = apps::buildBlackscholes({n});
+    Accelerator acc(d.graph(), d.params().defaults());
+    std::vector<double> half(size_t(n), 0.5);
+    std::vector<double> ones(size_t(n), 1.0);
+    acc.setInput("otype", ones);
+    acc.setInput("sptprice", std::vector<double>(size_t(n), 100.0));
+    acc.setInput("strike", std::vector<double>(size_t(n), 95.0));
+    acc.setInput("rate", std::vector<double>(size_t(n), 0.05));
+    acc.setInput("volatility", std::vector<double>(size_t(n), 0.3));
+    acc.setInput("otime", ones);
+    acc.requestOutput("prices");
+    auto rep = acc.run();
+    EXPECT_GT(rep.copyOutSeconds, 0.0);
+    EXPECT_EQ(acc.output("prices").size(), size_t(n));
+    // All options identical: all prices identical and positive.
+    EXPECT_GT(acc.output("prices")[0], 0.0);
+    EXPECT_DOUBLE_EQ(acc.output("prices")[0],
+                     acc.output("prices")[size_t(n - 1)]);
+}
+
+TEST(AcceleratorTest, RunIsSingleShot)
+{
+    Design d = apps::buildDotproduct({192});
+    Accelerator acc(d.graph(), d.params().defaults());
+    acc.run();
+    EXPECT_THROW(acc.run(), FatalError);
+    EXPECT_THROW(acc.setInput("a", {}), FatalError);
+}
+
+TEST(AcceleratorTest, ReadBeforeRunIsFatal)
+{
+    Design d = apps::buildDotproduct({192});
+    Accelerator acc(d.graph(), d.params().defaults());
+    EXPECT_THROW(acc.scalar("out"), FatalError);
+    EXPECT_THROW(acc.output("a"), FatalError);
+}
+
+} // namespace
+} // namespace dhdl::host

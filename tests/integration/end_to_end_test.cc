@@ -1,0 +1,127 @@
+/**
+ * End-to-end integration: the full Figure 1 flow on a reduced GDA —
+ * build the DHDL design, explore the design space with the calibrated
+ * estimators, pick Pareto points, "synthesize" them with the vendor
+ * toolchain, execute them on the simulator, verify functional
+ * correctness, and check estimator accuracy against the synthetic
+ * ground truth (the Table III methodology, in miniature).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hh"
+#include "codegen/maxj.hh"
+#include "cpu/kernels.hh"
+#include "dse/explorer.hh"
+#include "fpga/toolchain.hh"
+#include "sim/functional.hh"
+#include "sim/timing.hh"
+
+namespace dhdl {
+namespace {
+
+TEST(EndToEndTest, GdaFullFlow)
+{
+    const int64_t rows = 1920, cols = 96;
+    Design d = apps::buildGda({rows, cols});
+
+    // Step 2-4: design space exploration.
+    est::RuntimeEstimator runtime;
+    dse::Explorer explorer(est::calibratedEstimator(), runtime);
+    dse::ExploreConfig cfg;
+    cfg.maxPoints = 250;
+    auto res = explorer.explore(d.graph(), cfg);
+    ASSERT_FALSE(res.pareto.empty());
+
+    const auto& tc = est::defaultToolchain();
+    double area_err_sum = 0, time_err_sum = 0;
+    int n = 0;
+
+    size_t count = std::min<size_t>(res.pareto.size(), 3);
+    for (size_t pi = 0; pi < count; ++pi) {
+        const auto& point = res.points[res.pareto[pi]];
+        Inst inst(d.graph(), point.binding);
+
+        // Step 5: generated MaxJ must be non-trivial for every point.
+        EXPECT_GT(codegen::emitMaxj(inst).size(), 1000u);
+
+        // Step 6: "synthesis" -> post-P&R report vs the estimate.
+        auto report = tc.synthesize(inst);
+        area_err_sum +=
+            std::fabs(point.area.alms - report.alms) / report.alms;
+
+        // Step 7: "execution" -> simulated runtime vs the estimate.
+        auto timed = sim::TimingSim(inst).run();
+        time_err_sum +=
+            std::fabs(point.cycles - timed.cycles) / timed.cycles;
+        ++n;
+    }
+    // Paper-scale bars: 4.8% ALMs, 6.1% runtime on the real flow; we
+    // accept a looser envelope here but demand the same order.
+    EXPECT_LT(area_err_sum / n, 0.15);
+    EXPECT_LT(time_err_sum / n, 0.25);
+}
+
+TEST(EndToEndTest, BestDesignComputesCorrectResult)
+{
+    const int64_t rows = 192, cols = 96;
+    Design d = apps::buildGda({rows, cols});
+    est::RuntimeEstimator runtime;
+    dse::Explorer explorer(est::calibratedEstimator(), runtime);
+    dse::ExploreConfig cfg;
+    cfg.maxPoints = 60;
+    auto res = explorer.explore(d.graph(), cfg);
+    size_t best = res.bestIndex();
+    ASSERT_NE(best, SIZE_MAX);
+
+    // Pin muSize to the full feature count so the design computes the
+    // complete covariance (DSE also explores truncated-muSize points,
+    // which compute a sub-block by construction).
+    ParamBinding binding = res.points[best].binding;
+    for (size_t i = 0; i < d.params().size(); ++i) {
+        if (d.params()[ParamId(i)].name == "muSize")
+            binding.values[i] = cols;
+    }
+    Inst inst(d.graph(), binding);
+    sim::FunctionalSim fsim(inst);
+    auto x = apps::randomVector(rows * cols, 31);
+    auto y = apps::randomLabels(rows, 32);
+    auto mu0 = apps::randomVector(cols, 33);
+    auto mu1 = apps::randomVector(cols, 34);
+    fsim.setOffchip("x", apps::toDouble(x));
+    fsim.setOffchip("y", apps::toDouble(y));
+    fsim.setOffchip("mu0", apps::toDouble(mu0));
+    fsim.setOffchip("mu1", apps::toDouble(mu1));
+    fsim.run();
+
+    cpu::ThreadPool pool(2);
+    std::vector<float> expect(size_t(cols * cols));
+    cpu::gda(pool, x, y, mu0, mu1, expect, rows, cols);
+    const auto& got = fsim.offchip("sigma");
+    for (size_t i = 0; i < expect.size(); i += 311)
+        EXPECT_NEAR(got[i], expect[i],
+                    1e-3 * std::max(1.0f, std::fabs(expect[i])));
+}
+
+TEST(EndToEndTest, TogglesChangeBothAreaAndTime)
+{
+    // The MetaPipe toggle is the paper's marquee design-space axis:
+    // enabling it must cost area (double buffers) and save time.
+    Design d = apps::buildDotproduct({960000});
+    est::RuntimeEstimator runtime;
+    dse::Explorer explorer(est::calibratedEstimator(), runtime);
+
+    auto b = d.params().defaults();
+    // Params: tileSize, outerPar, innerPar, M1toggle.
+    b.values[3] = 1;
+    auto on = explorer.evaluate(d.graph(), b);
+    b.values[3] = 0;
+    auto off = explorer.evaluate(d.graph(), b);
+    EXPECT_LT(on.cycles, off.cycles);
+    EXPECT_GT(on.area.brams, off.area.brams);
+}
+
+} // namespace
+} // namespace dhdl

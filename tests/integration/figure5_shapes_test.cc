@@ -1,0 +1,136 @@
+/**
+ * Shape assertions for the design-space observations of Section
+ * V-C1, checked at reduced scale so they run in CI: which resource
+ * binds, and which design features the Pareto points prefer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+
+namespace dhdl {
+namespace {
+
+const dse::Explorer&
+explorer()
+{
+    static est::RuntimeEstimator rt;
+    static dse::Explorer ex(est::calibratedEstimator(), rt);
+    return ex;
+}
+
+dse::ExploreResult
+explore(Design& d, int points = 600, uint64_t seed = 0xF16)
+{
+    dse::ExploreConfig cfg;
+    cfg.maxPoints = points;
+    cfg.seed = seed;
+    return explorer().explore(d.graph(), cfg);
+}
+
+ParamId
+paramByName(const Design& d, const std::string& name)
+{
+    for (size_t i = 0; i < d.params().size(); ++i) {
+        if (d.params()[ParamId(i)].name == name)
+            return ParamId(i);
+    }
+    return kNoParam;
+}
+
+TEST(Figure5Shapes, DotproductBestDesignUsesMetaPipe)
+{
+    // "In dotproduct, designs with MetaPipe consume less resources
+    // than those with Sequential for the same performance."
+    Design d = apps::buildDotproduct({960000});
+    auto res = explore(d);
+    size_t best = res.bestIndex();
+    ASSERT_NE(best, SIZE_MAX);
+    ParamId tog = paramByName(d, "M1toggle");
+    EXPECT_EQ(res.points[best].binding[tog], 1);
+}
+
+TEST(Figure5Shapes, OuterprodBramGrowsQuadraticallyWithTiles)
+{
+    Design d = apps::buildOuterprod({3840, 3840});
+    ParamId ts1 = paramByName(d, "tileSizeA");
+    ParamId ts2 = paramByName(d, "tileSizeB");
+    auto b = d.params().defaults();
+    b[ts1] = 64;
+    b[ts2] = 64;
+    auto small = explorer().evaluate(d.graph(), b);
+    b[ts1] = 256;
+    b[ts2] = 256;
+    auto big = explorer().evaluate(d.graph(), b);
+    // 16x the output-tile elements: BRAM should grow superlinearly
+    // in the tile edge (quadratic in elements).
+    EXPECT_GT(big.area.brams, 4.0 * small.area.brams);
+}
+
+TEST(Figure5Shapes, GdaHighParallelizationOverflowsDevice)
+{
+    // "A design point is considered invalid if its resource
+    // requirement ... exceeds the maximum available" — GDA's space
+    // contains both kinds.
+    Design d = apps::buildGda({9600, 96});
+    auto res = explore(d, 800);
+    int valid = 0, invalid = 0;
+    for (const auto& p : res.points)
+        (p.valid ? valid : invalid)++;
+    EXPECT_GT(valid, 0);
+    EXPECT_GT(invalid, 0);
+}
+
+TEST(Figure5Shapes, KmeansIsAlmBoundNotDspBound)
+{
+    // "The performance of kmeans is therefore limited by the number
+    // of ALMs on the FPGA."
+    Design d = apps::buildKmeans({9600, 8, 384});
+    auto res = explore(d, 600);
+    size_t best = res.bestIndex();
+    ASSERT_NE(best, SIZE_MAX);
+    const auto& dev = est::calibratedEstimator().device();
+    const auto& a = res.points[best].area;
+    double alm_frac = a.alms / double(dev.alms);
+    double dsp_frac = a.dsps / double(dev.dsps);
+    EXPECT_GT(alm_frac, dsp_frac);
+}
+
+TEST(Figure5Shapes, BlackscholesParetoSpansParallelizations)
+{
+    // "Points along the same vertical bar share the same inner loop
+    // parallelization factor": the frontier should include more than
+    // one innerPar value.
+    Design d = apps::buildBlackscholes({96000});
+    auto res = explore(d, 600);
+    ParamId par = paramByName(d, "innerPar");
+    std::set<int64_t> pars;
+    for (size_t idx : res.pareto)
+        pars.insert(res.points[idx].binding[par]);
+    EXPECT_GT(pars.size(), 1u);
+}
+
+TEST(Figure5Shapes, TpchPerformancePlateausWithTileSize)
+{
+    // "Performance reaches a maximum threshold with increased tile
+    // size because of overlapping memory access and compute."
+    Design d = apps::buildTpchq6({960000});
+    ParamId ts = paramByName(d, "tileSize");
+    auto b = d.params().defaults();
+    b[ts] = 960;
+    double t1 = explorer().evaluate(d.graph(), b).cycles;
+    b[ts] = 9600;
+    double t2 = explorer().evaluate(d.graph(), b).cycles;
+    b[ts] = 19200;
+    double t3 = explorer().evaluate(d.graph(), b).cycles;
+    // Larger tiles help, then saturate: the second doubling buys far
+    // less than the first enlargement.
+    EXPECT_LT(t2, t1);
+    double first_gain = t1 - t2;
+    double second_gain = t2 - t3;
+    EXPECT_LT(second_gain, first_gain);
+}
+
+} // namespace
+} // namespace dhdl

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hh"
+#include "ml/linreg.hh"
+#include "ml/rng.hh"
+
+namespace dhdl::ml {
+namespace {
+
+TEST(SolveDenseTest, Identity)
+{
+    auto x = solveDense({{1, 0}, {0, 1}}, {3, 4});
+    EXPECT_DOUBLE_EQ(x[0], 3);
+    EXPECT_DOUBLE_EQ(x[1], 4);
+}
+
+TEST(SolveDenseTest, RequiresPivoting)
+{
+    // Leading zero forces a row swap.
+    auto x = solveDense({{0, 2}, {3, 1}}, {4, 5});
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+}
+
+TEST(SolveDenseTest, SingularIsFatal)
+{
+    EXPECT_THROW(solveDense({{1, 1}, {1, 1}}, {1, 2}), FatalError);
+}
+
+TEST(LinearModelTest, ExactFitRecovered)
+{
+    // y = 3x0 - 2x1 + 7, noiseless.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        double a = rng.uniform(-10, 10), b = rng.uniform(-10, 10);
+        x.push_back({a, b});
+        y.push_back(3 * a - 2 * b + 7);
+    }
+    LinearModel m;
+    m.fit(x, y);
+    EXPECT_NEAR(m.weights()[0], 3.0, 1e-6);
+    EXPECT_NEAR(m.weights()[1], -2.0, 1e-6);
+    EXPECT_NEAR(m.bias(), 7.0, 1e-6);
+    EXPECT_NEAR(m.r2(x, y), 1.0, 1e-9);
+}
+
+TEST(LinearModelTest, NoisyFitCloseAndR2High)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i) {
+        double a = rng.uniform(0, 100);
+        x.push_back({a});
+        y.push_back(5 * a + 100 + rng.normal(0, 2.0));
+    }
+    LinearModel m;
+    m.fit(x, y);
+    EXPECT_NEAR(m.weights()[0], 5.0, 0.05);
+    EXPECT_GT(m.r2(x, y), 0.99);
+}
+
+TEST(LinearModelTest, CollinearFeaturesHandledByRidge)
+{
+    // x1 == 2*x0: exactly collinear; ridge keeps it solvable and
+    // predictions on the training manifold stay correct.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 1; i <= 20; ++i) {
+        x.push_back({double(i), 2.0 * i});
+        y.push_back(10.0 * i);
+    }
+    LinearModel m;
+    m.fit(x, y, 1e-6);
+    EXPECT_NEAR(m.predict({4, 8}), 40.0, 1e-3);
+}
+
+TEST(LinearModelTest, PredictArityMismatchIsFatal)
+{
+    LinearModel m;
+    m.fit({{1.0}, {2.0}}, {1.0, 2.0});
+    EXPECT_THROW(m.predict({1.0, 2.0}), FatalError);
+}
+
+TEST(LinearModelTest, EmptyFitIsFatal)
+{
+    LinearModel m;
+    EXPECT_THROW(m.fit({}, {}), FatalError);
+}
+
+} // namespace
+} // namespace dhdl::ml

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/rng.hh"
+
+namespace dhdl::ml {
+namespace {
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntBoundsInclusive)
+{
+    Rng r(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = r.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 2;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntDegenerateRange)
+{
+    Rng r(3);
+    EXPECT_EQ(r.uniformInt(9, 9), 9);
+    EXPECT_EQ(r.uniformInt(9, 4), 9); // hi < lo clamps to lo
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng r(13);
+    const int n = 200000;
+    double sum = 0, sq = 0;
+    for (int i = 0; i < n; ++i) {
+        double v = r.normal();
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScaled)
+{
+    Rng r(17);
+    const int n = 100000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i)
+        sum += r.normal(5.0, 0.5);
+    EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(HashMixTest, DistinctInputsDistinctOutputs)
+{
+    // Not a proof, but catches broken mixing.
+    EXPECT_NE(hashMix(0), hashMix(1));
+    EXPECT_NE(hashMix(1), hashMix(2));
+    EXPECT_NE(hashMix(0), 0u);
+}
+
+} // namespace
+} // namespace dhdl::ml

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "ml/scaler.hh"
+
+namespace dhdl::ml {
+namespace {
+
+TEST(ScalerTest, MapsToUnitInterval)
+{
+    MinMaxScaler s;
+    s.fit({{0, 10}, {5, 20}, {10, 30}});
+    auto r = s.transformed({5, 20});
+    EXPECT_DOUBLE_EQ(r[0], 0.5);
+    EXPECT_DOUBLE_EQ(r[1], 0.5);
+    auto lo = s.transformed({0, 10});
+    EXPECT_DOUBLE_EQ(lo[0], 0.0);
+    auto hi = s.transformed({10, 30});
+    EXPECT_DOUBLE_EQ(hi[1], 1.0);
+}
+
+TEST(ScalerTest, InverseRoundTrips)
+{
+    MinMaxScaler s;
+    s.fit({{-3, 100}, {7, 900}});
+    for (double v : {-3.0, 0.0, 7.0}) {
+        double scaled = s.scaleColumn(0, v);
+        EXPECT_NEAR(s.inverseColumn(0, scaled), v, 1e-12);
+    }
+}
+
+TEST(ScalerTest, ConstantColumnMapsToZero)
+{
+    MinMaxScaler s;
+    s.fit({{5, 1}, {5, 2}});
+    EXPECT_DOUBLE_EQ(s.transformed({5, 1})[0], 0.0);
+}
+
+TEST(ScalerTest, EmptyFitIsFatal)
+{
+    MinMaxScaler s;
+    EXPECT_THROW(s.fit({}), FatalError);
+}
+
+TEST(ScalerTest, ArityMismatchIsFatal)
+{
+    MinMaxScaler s;
+    s.fit({{1, 2}});
+    std::vector<double> row{1.0};
+    EXPECT_THROW(s.transform(row), FatalError);
+}
+
+TEST(ScalerTest, RaggedMatrixIsFatal)
+{
+    MinMaxScaler s;
+    EXPECT_THROW(s.fit({{1, 2}, {3}}), FatalError);
+}
+
+} // namespace
+} // namespace dhdl::ml

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hh"
+#include "ml/serialize.hh"
+
+namespace dhdl::ml {
+namespace {
+
+TEST(SerializeTest, DoublesRoundTrip)
+{
+    std::stringstream ss;
+    std::vector<double> v{1.0, -2.5, 3.14159265358979,
+                          1.7976931348623157e308, 1e-300};
+    writeDoubles(ss, "vec", v);
+    auto got = readDoubles(ss, "vec");
+    EXPECT_EQ(got, v);
+}
+
+TEST(SerializeTest, EmptyVectorRoundTrip)
+{
+    std::stringstream ss;
+    writeDoubles(ss, "empty", {});
+    EXPECT_TRUE(readDoubles(ss, "empty").empty());
+}
+
+TEST(SerializeTest, TagMismatchIsFatal)
+{
+    std::stringstream ss;
+    writeDoubles(ss, "alpha", {1.0});
+    EXPECT_THROW(readDoubles(ss, "beta"), FatalError);
+}
+
+TEST(SerializeTest, TruncationIsFatal)
+{
+    std::stringstream ss("vec 3 v1\n1.0 2.0");
+    EXPECT_THROW(readDoubles(ss, "vec"), FatalError);
+}
+
+TEST(SerializeTest, LinearModelRoundTripPredictsIdentically)
+{
+    LinearModel m;
+    m.fit({{1, 2}, {2, 1}, {3, 5}, {-1, 0}}, {7, 5, 22, -3});
+    std::stringstream ss;
+    saveLinear(ss, m);
+    LinearModel back = loadLinear(ss);
+    for (double a : {-2.0, 0.0, 1.5}) {
+        for (double b : {-1.0, 4.0})
+            EXPECT_DOUBLE_EQ(back.predict({a, b}),
+                             m.predict({a, b}));
+    }
+}
+
+TEST(SerializeTest, MlpRoundTripBitExact)
+{
+    Mlp net({4, 6, 2}, 77);
+    std::stringstream ss;
+    saveMlp(ss, net);
+    Mlp back = loadMlp(ss);
+    EXPECT_EQ(back.layers(), net.layers());
+    EXPECT_EQ(back.params(), net.params());
+    auto in = std::vector<double>{0.1, -0.3, 0.7, 0.2};
+    EXPECT_EQ(back.forward(in), net.forward(in));
+}
+
+TEST(SerializeTest, MlpWeightCountMismatchIsFatal)
+{
+    std::stringstream ss;
+    writeDoubles(ss, "mlp_layers", {2, 2});
+    writeDoubles(ss, "mlp_weights", {1.0}); // needs 2*2+2 = 6
+    EXPECT_THROW(loadMlp(ss), FatalError);
+}
+
+TEST(SerializeTest, ScalerRoundTrip)
+{
+    MinMaxScaler s;
+    s.fit({{0, 5, -2}, {10, 6, 8}});
+    std::stringstream ss;
+    saveScaler(ss, s);
+    MinMaxScaler back = loadScaler(ss);
+    for (size_t c = 0; c < 3; ++c) {
+        EXPECT_DOUBLE_EQ(back.scaleColumn(c, 3.3),
+                         s.scaleColumn(c, 3.3));
+        EXPECT_DOUBLE_EQ(back.inverseColumn(c, 0.4),
+                         s.inverseColumn(c, 0.4));
+    }
+}
+
+TEST(SerializeTest, ConcatenatedStreamsReadInOrder)
+{
+    // The estimator writes several records back to back.
+    std::stringstream ss;
+    LinearModel m;
+    m.fit({{1.0}, {2.0}}, {2.0, 4.0});
+    saveLinear(ss, m);
+    Mlp net({2, 3, 1}, 5);
+    saveMlp(ss, net);
+    writeDoubles(ss, "tail", {42.0});
+
+    LinearModel m2 = loadLinear(ss);
+    Mlp n2 = loadMlp(ss);
+    auto tail = readDoubles(ss, "tail");
+    EXPECT_DOUBLE_EQ(m2.predict({3.0}), m.predict({3.0}));
+    EXPECT_EQ(n2.params(), net.params());
+    EXPECT_DOUBLE_EQ(tail.front(), 42.0);
+}
+
+} // namespace
+} // namespace dhdl::ml

@@ -1,0 +1,225 @@
+/**
+ * Property-based sweeps (parameterized gtest): cross-cutting
+ * invariants checked over every benchmark and over randomly sampled
+ * design points, rather than single hand-picked cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hh"
+#include "core/validate.hh"
+#include "dse/explorer.hh"
+#include "estimate/runtime_estimator.hh"
+#include "fpga/toolchain.hh"
+#include "sim/timing.hh"
+
+namespace dhdl {
+namespace {
+
+/** Small-scale build of one named benchmark. */
+Design
+buildApp(const std::string& name, double scale = 0.02)
+{
+    for (const auto& app : apps::allApps()) {
+        if (app.name == name)
+            return app.build(scale);
+    }
+    fatal("unknown app " + name);
+}
+
+class AppProperty : public ::testing::TestWithParam<const char*>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, AppProperty,
+                         ::testing::Values("dotproduct", "outerprod",
+                                           "gemm", "tpchq6",
+                                           "blackscholes", "gda",
+                                           "kmeans"),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+TEST_P(AppProperty, GraphIsValid)
+{
+    Design d = buildApp(GetParam());
+    auto errs = validate(d.graph());
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0]);
+}
+
+TEST_P(AppProperty, SampledBindingsAreLegalAndEstimable)
+{
+    Design d = buildApp(GetParam());
+    dse::ParamSpace space(d.graph());
+    est::RuntimeEstimator rt;
+    for (const auto& b : space.sample(25, 99)) {
+        // Every sampled binding satisfies the divisor domains and the
+        // design's own cross-parameter constraints.
+        EXPECT_TRUE(d.params().isLegal(b));
+        EXPECT_TRUE(d.graph().satisfiesConstraints(b));
+        Inst inst(d.graph(), b);
+        auto area = est::calibratedEstimator().estimate(inst);
+        EXPECT_GE(area.alms, 0.0);
+        EXPECT_GE(area.brams, 0.0);
+        EXPECT_GE(area.dsps, 0.0);
+        EXPECT_GT(rt.estimate(inst).cycles, 0.0);
+    }
+}
+
+TEST_P(AppProperty, EstimateTracksSimulationOnSampledPoints)
+{
+    // Table III's premise as a property: runtime estimates stay
+    // within a bounded band of the detailed simulation on arbitrary
+    // legal points, not just Pareto-optimal ones.
+    Design d = buildApp(GetParam(), 0.05);
+    dse::ParamSpace space(d.graph());
+    est::RuntimeEstimator rt;
+    for (const auto& b : space.sample(10, 7)) {
+        Inst inst(d.graph(), b);
+        double est_c = rt.estimate(inst).cycles;
+        double sim_c = sim::TimingSim(inst).run().cycles;
+        EXPECT_GT(est_c, 0.4 * sim_c);
+        EXPECT_LT(est_c, 2.5 * sim_c);
+    }
+}
+
+TEST_P(AppProperty, AreaEstimateTracksSynthesisOnSampledPoints)
+{
+    Design d = buildApp(GetParam(), 0.05);
+    dse::ParamSpace space(d.graph());
+    const auto& tc = est::defaultToolchain();
+    for (const auto& b : space.sample(8, 13)) {
+        Inst inst(d.graph(), b);
+        auto e = est::calibratedEstimator().estimate(inst);
+        auto r = tc.synthesize(inst);
+        EXPECT_GT(e.alms, 0.6 * r.alms);
+        EXPECT_LT(e.alms, 1.5 * r.alms);
+    }
+}
+
+TEST_P(AppProperty, MorePointsNeverWorsenBestDesign)
+{
+    Design d = buildApp(GetParam());
+    est::RuntimeEstimator rt;
+    dse::Explorer ex(est::calibratedEstimator(), rt);
+    dse::ExploreConfig small_cfg;
+    small_cfg.maxPoints = 30;
+    small_cfg.seed = 5;
+    dse::ExploreConfig big_cfg;
+    big_cfg.maxPoints = 120;
+    big_cfg.seed = 5;
+    auto small_res = ex.explore(d.graph(), small_cfg);
+    auto big_res = ex.explore(d.graph(), big_cfg);
+    size_t sb = small_res.bestIndex();
+    size_t bb = big_res.bestIndex();
+    if (sb == SIZE_MAX) {
+        SUCCEED();
+        return;
+    }
+    ASSERT_NE(bb, SIZE_MAX);
+    // The sampler is prefix-stable per seed, so a larger budget can
+    // only add candidates.
+    EXPECT_LE(big_res.points[bb].cycles,
+              small_res.points[sb].cycles * 1.0001);
+}
+
+TEST_P(AppProperty, TimingSimDeterministic)
+{
+    Design d = buildApp(GetParam());
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    EXPECT_DOUBLE_EQ(sim::TimingSim(inst).run().cycles,
+                     sim::TimingSim(inst).run().cycles);
+}
+
+TEST_P(AppProperty, MaxjParameterInsensitiveStructure)
+{
+    // Braces must stay balanced across random parameter choices.
+    Design d = buildApp(GetParam());
+    dse::ParamSpace space(d.graph());
+    for (const auto& b : space.sample(5, 21)) {
+        Inst inst(d.graph(), b);
+        // Estimation templates must expand without panics for any
+        // legal binding.
+        auto ts = expandTemplates(inst);
+        EXPECT_FALSE(ts.empty());
+    }
+}
+
+/** Toggle sweep: MetaPipe-on must never be slower than MetaPipe-off
+ *  under the estimator (it strictly adds overlap). */
+class ToggleProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, int>>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    TogglesXSeeds, ToggleProperty,
+    ::testing::Combine(::testing::Values("dotproduct", "blackscholes",
+                                         "gda"),
+                       ::testing::Values(1, 2, 3)));
+
+TEST_P(ToggleProperty, OverlapNeverHurtsRuntime)
+{
+    auto [name, seed] = GetParam();
+    Design d = buildApp(name, 0.05);
+    dse::ParamSpace space(d.graph());
+    auto samples = space.sample(5, uint64_t(seed));
+    est::RuntimeEstimator rt;
+    for (auto b : samples) {
+        // Force every toggle on, then off, keeping other params.
+        ParamBinding on = b, off = b;
+        for (size_t i = 0; i < d.params().size(); ++i) {
+            if (d.params()[ParamId(i)].kind == ParamKind::Toggle) {
+                on.values[i] = 1;
+                off.values[i] = 0;
+            }
+        }
+        double t_on = rt.estimate(Inst(d.graph(), on)).cycles;
+        double t_off = rt.estimate(Inst(d.graph(), off)).cycles;
+        EXPECT_LE(t_on, t_off * 1.0001)
+            << name << " seed " << seed;
+    }
+}
+
+/** Divisor property over many integers. */
+class DivisorProperty : public ::testing::TestWithParam<int64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Numbers, DivisorProperty,
+                         ::testing::Values(1, 2, 17, 96, 1536, 9600,
+                                           38400, 187200000));
+
+TEST_P(DivisorProperty, AllDivisorsDivideAndAreComplete)
+{
+    int64_t n = GetParam();
+    auto divs = divisorsOf(n);
+    for (int64_t d : divs)
+        EXPECT_EQ(n % d, 0);
+    // Complete: count matches brute force for small n.
+    if (n <= 10000) {
+        int64_t count = 0;
+        for (int64_t d = 1; d <= n; ++d)
+            count += (n % d == 0) ? 1 : 0;
+        EXPECT_EQ(int64_t(divs.size()), count);
+    }
+    // Sorted and unique.
+    for (size_t i = 1; i < divs.size(); ++i)
+        EXPECT_LT(divs[i - 1], divs[i]);
+}
+
+TEST_P(DivisorProperty, LargestDivisorRespectsCapAndMultiple)
+{
+    int64_t n = GetParam();
+    for (int64_t cap : {1LL, 7LL, 100LL, 1024LL}) {
+        int64_t v = largestDivisorLE(n, cap, 8);
+        EXPECT_EQ(n % v, 0);
+        EXPECT_LE(v, std::max<int64_t>(1, cap));
+    }
+}
+
+} // namespace
+} // namespace dhdl

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+
+#include "sim/dram.hh"
+
+namespace dhdl::sim {
+namespace {
+
+TEST(DramTest, SingleStreamBandwidthBound)
+{
+    DramModel dram(fpga::Device::maia());
+    StreamReq s;
+    s.bytes = 1 << 20; // 1 MiB
+    s.rowBytes = s.bytes;
+    double cycles = dram.streamCycles(s);
+    // Achieved bandwidth is 250 B/cycle; payload >= bytes / 250.
+    EXPECT_GE(cycles, s.bytes / 250.0);
+    // And within 2x of ideal for a fully contiguous stream.
+    EXPECT_LE(cycles, dram.latency() + 2.0 * s.bytes / 250.0);
+}
+
+TEST(DramTest, ShortRowsAreLessEfficient)
+{
+    DramModel dram(fpga::Device::maia());
+    StreamReq contiguous;
+    contiguous.bytes = 1 << 20;
+    contiguous.rowBytes = contiguous.bytes;
+    StreamReq strided = contiguous;
+    strided.rowBytes = 128; // row-activate every 128 bytes
+    EXPECT_GT(dram.streamCycles(strided),
+              1.5 * dram.streamCycles(contiguous));
+}
+
+TEST(DramTest, OnchipCapThrottles)
+{
+    DramModel dram(fpga::Device::maia());
+    StreamReq s;
+    s.bytes = 1 << 16;
+    s.rowBytes = s.bytes;
+    s.onchipBytesPerCycle = 4.0;
+    double cycles = dram.streamCycles(s);
+    EXPECT_GE(cycles, s.bytes / 4.0);
+}
+
+TEST(DramTest, ShareScalesTime)
+{
+    DramModel dram(fpga::Device::maia());
+    StreamReq s;
+    s.bytes = 1 << 20;
+    s.rowBytes = s.bytes;
+    double full = dram.streamCycles(s, 1.0);
+    double half = dram.streamCycles(s, 0.5);
+    EXPECT_NEAR((half - dram.latency()) /
+                    (full - dram.latency()),
+                2.0, 0.01);
+}
+
+TEST(DramTest, BadShareIsFatal)
+{
+    DramModel dram(fpga::Device::maia());
+    StreamReq s;
+    s.bytes = 100;
+    EXPECT_THROW(dram.streamCycles(s, 0.0), FatalError);
+    EXPECT_THROW(dram.streamCycles(s, 1.5), FatalError);
+}
+
+TEST(DramTest, ConcurrentEqualStreamsShareFairly)
+{
+    DramModel dram(fpga::Device::maia());
+    StreamReq s;
+    s.bytes = 1 << 20;
+    s.rowBytes = s.bytes;
+    auto fin = dram.concurrentCycles({s, s});
+    EXPECT_NEAR(fin[0], fin[1], 1.0);
+    // Two equal streams take about twice as long as one.
+    double solo = dram.streamCycles(s);
+    EXPECT_NEAR(fin[0] / solo, 2.0, 0.25);
+}
+
+TEST(DramTest, EarlyFinisherReleasesBandwidth)
+{
+    DramModel dram(fpga::Device::maia());
+    StreamReq big, small;
+    big.bytes = 1 << 22;
+    big.rowBytes = big.bytes;
+    small.bytes = 1 << 16;
+    small.rowBytes = small.bytes;
+    auto fin = dram.concurrentCycles({big, small});
+    double big_solo = dram.streamCycles(big);
+    // The big stream is barely slowed by a short companion: far less
+    // than the 2x a static equal split would predict.
+    EXPECT_LT(fin[0], big_solo * 1.2);
+    EXPECT_LT(fin[1], fin[0]);
+}
+
+TEST(DramTest, CappedStreamLeavesBandwidthToOthers)
+{
+    DramModel dram(fpga::Device::maia());
+    StreamReq fast, slow;
+    fast.bytes = 1 << 20;
+    fast.rowBytes = fast.bytes;
+    slow = fast;
+    slow.onchipBytesPerCycle = 8.0; // starved by its on-chip port
+    auto fin = dram.concurrentCycles({fast, slow});
+    double fast_solo = dram.streamCycles(fast);
+    // The capped stream consumes only 8 B/cycle of ~250, so the fast
+    // stream runs near full speed.
+    EXPECT_LT(fin[0], fast_solo * 1.1);
+}
+
+TEST(DramTest, EmptyAndSingleInputs)
+{
+    DramModel dram(fpga::Device::maia());
+    EXPECT_TRUE(dram.concurrentCycles({}).empty());
+    StreamReq s;
+    s.bytes = 4096;
+    s.rowBytes = 4096;
+    auto fin = dram.concurrentCycles({s});
+    EXPECT_NEAR(fin[0], dram.streamCycles(s), 1e-9);
+}
+
+} // namespace
+} // namespace dhdl::sim

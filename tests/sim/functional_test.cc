@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builder.hh"
+#include "sim/functional.hh"
+
+namespace dhdl::sim {
+namespace {
+
+TEST(FunctionalTest, TileLoadComputeStoreRoundTrip)
+{
+    Design d("square");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(8)});
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(8)});
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(8)});
+        Mem ot = s.bram("ot", DType::f32(), {Sym::c(8)});
+        s.tileLoad(a, at, {}, {Sym::c(8)});
+        s.pipe("P", {ctr(8)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val v = p.load(at, {ii[0]});
+                   p.store(ot, {ii[0]}, v * v);
+               });
+        s.tileStore(o, ot, {}, {Sym::c(8)});
+    });
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    FunctionalSim sim(inst);
+    sim.setOffchip("a", {1, 2, 3, 4, 5, 6, 7, 8});
+    sim.run();
+    const auto& out = sim.offchip("o");
+    for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(out[size_t(i)], double((i + 1) * (i + 1)));
+}
+
+TEST(FunctionalTest, TiledLoopCoversWholeArray)
+{
+    Design d("tiles");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(32)});
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(32)});
+    d.accel([&](Scope& s) {
+        s.sequential(
+            "L", {ctr(32, Sym::c(8))},
+            [&](Scope& l, std::vector<Val> rv) {
+                Mem at = l.bram("at", DType::f32(), {Sym::c(8)});
+                Mem ot = l.bram("ot", DType::f32(), {Sym::c(8)});
+                l.tileLoad(a, at, {rv[0]}, {Sym::c(8)});
+                l.pipe("P", {ctr(8)}, Sym::c(1),
+                       [&](Scope& p, std::vector<Val> ii) {
+                           p.store(ot, {ii[0]},
+                                   p.load(at, {ii[0]}) + 1.0);
+                       });
+                l.tileStore(o, ot, {rv[0]}, {Sym::c(8)});
+            });
+    });
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    FunctionalSim sim(inst);
+    std::vector<double> in(32);
+    for (int i = 0; i < 32; ++i)
+        in[size_t(i)] = i;
+    sim.setOffchip("a", in);
+    sim.run();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(sim.offchip("o")[size_t(i)], i + 1.0);
+}
+
+TEST(FunctionalTest, PipeReduceSum)
+{
+    Design d("sum");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(16)});
+    Mem out = d.reg("out", DType::f32());
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(16)});
+        s.tileLoad(a, at, {}, {Sym::c(16)});
+        s.pipeReduce("P", {ctr(16)}, Sym::c(1), out, Op::Add,
+                     [&](Scope& p, std::vector<Val> ii) {
+                         return p.load(at, {ii[0]});
+                     });
+    });
+    auto b = d.params().defaults();
+    FunctionalSim sim(Inst(d.graph(), b));
+    std::vector<double> in(16, 1.5);
+    sim.setOffchip("a", in);
+    sim.run();
+    EXPECT_NEAR(sim.regValue("out"), 24.0, 1e-6);
+}
+
+TEST(FunctionalTest, MetaPipeTileReduceAccumulates)
+{
+    // Sum of squares over 4 tiles folded into a tile accumulator.
+    Design d("mred");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(16)});
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(4)});
+    d.accel([&](Scope& s) {
+        Mem acc = s.bram("accT", DType::f32(), {Sym::c(4)});
+        s.metaPipeReduce(
+            "M", {ctr(16, Sym::c(4))}, Sym::c(1), Sym::c(1), acc,
+            Op::Add, [&](Scope& m, std::vector<Val> rv) -> Mem {
+                Mem at = m.bram("at", DType::f32(), {Sym::c(4)});
+                m.tileLoad(a, at, {rv[0]}, {Sym::c(4)});
+                Mem sq = m.bram("sq", DType::f32(), {Sym::c(4)});
+                m.pipe("P", {ctr(4)}, Sym::c(1),
+                       [&](Scope& p, std::vector<Val> ii) {
+                           Val v = p.load(at, {ii[0]});
+                           p.store(sq, {ii[0]}, v * v);
+                       });
+                return sq;
+            });
+        s.tileStore(o, acc, {}, {Sym::c(4)});
+    });
+    auto b = d.params().defaults();
+    FunctionalSim sim(Inst(d.graph(), b));
+    std::vector<double> in(16);
+    for (int i = 0; i < 16; ++i)
+        in[size_t(i)] = i;
+    sim.setOffchip("a", in);
+    sim.run();
+    // o[j] = sum over tiles t of (4t+j)^2.
+    for (int j = 0; j < 4; ++j) {
+        double expect = 0;
+        for (int t = 0; t < 4; ++t)
+            expect += double((4 * t + j) * (4 * t + j));
+        EXPECT_NEAR(sim.offchip("o")[size_t(j)], expect, 1e-6);
+    }
+}
+
+TEST(FunctionalTest, MuxSelectsPerElement)
+{
+    Design d("mux");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(8)});
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(8)});
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(8)});
+        Mem ot = s.bram("ot", DType::f32(), {Sym::c(8)});
+        s.tileLoad(a, at, {}, {Sym::c(8)});
+        s.pipe("P", {ctr(8)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val v = p.load(at, {ii[0]});
+                   Val big = v > 3.0;
+                   p.store(ot, {ii[0]}, p.mux(big, v, -v));
+               });
+        s.tileStore(o, ot, {}, {Sym::c(8)});
+    });
+    auto b = d.params().defaults();
+    FunctionalSim sim(Inst(d.graph(), b));
+    sim.setOffchip("a", {0, 1, 2, 3, 4, 5, 6, 7});
+    sim.run();
+    for (int i = 0; i < 8; ++i) {
+        double expect = i > 3 ? i : -double(i);
+        EXPECT_DOUBLE_EQ(sim.offchip("o")[size_t(i)], expect);
+    }
+}
+
+TEST(FunctionalTest, ReadModifyWriteWithFirstIterMux)
+{
+    // The gemm-style accumulation idiom: out += a*b with a k==0 reset.
+    Design d("rmw");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(4), Sym::c(4)});
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(4)});
+    d.accel([&](Scope& s) {
+        Mem at =
+            s.bram("at", DType::f32(), {Sym::c(4), Sym::c(4)});
+        Mem row = s.bram("row", DType::f32(), {Sym::c(4)});
+        s.tileLoad(a, at, {}, {Sym::c(4), Sym::c(4)});
+        s.pipe("P", {ctr(4), ctr(4)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ij) {
+                   Val i = ij[0];
+                   Val k = ij[1];
+                   Val first = p.binop(
+                       Op::Eq, k, p.constant(0.0, DType::i32()));
+                   Val prev = p.load(row, {i});
+                   Val zero = p.constant(0.0, DType::f32());
+                   Val base = p.mux(first, zero, prev);
+                   p.store(row, {i}, base + p.load(at, {i, k}));
+               });
+        s.tileStore(o, row, {}, {Sym::c(4)});
+    });
+    auto b = d.params().defaults();
+    FunctionalSim sim(Inst(d.graph(), b));
+    std::vector<double> in(16);
+    for (int i = 0; i < 16; ++i)
+        in[size_t(i)] = i + 1;
+    sim.setOffchip("a", in);
+    sim.run();
+    // Row sums of the 4x4 matrix 1..16.
+    EXPECT_DOUBLE_EQ(sim.offchip("o")[0], 1 + 2 + 3 + 4);
+    EXPECT_DOUBLE_EQ(sim.offchip("o")[3], 13 + 14 + 15 + 16);
+}
+
+TEST(FunctionalTest, Float32Quantization)
+{
+    Design d("quant");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(1)});
+    Mem out = d.reg("out", DType::f32());
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(1)});
+        s.tileLoad(a, at, {}, {Sym::c(1)});
+        s.pipeReduce("P", {ctr(1)}, Sym::c(1), out, Op::Add,
+                     [&](Scope& p, std::vector<Val> ii) {
+                         return p.load(at, {ii[0]}) * 1.1;
+                     });
+    });
+    auto b = d.params().defaults();
+    FunctionalSim sim(Inst(d.graph(), b));
+    sim.setOffchip("a", {3.0});
+    sim.run();
+    EXPECT_EQ(float(sim.regValue("out")), 3.0f * 1.1f);
+}
+
+TEST(FunctionalTest, MinReduceUsesIdentity)
+{
+    Design d("minred");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(8)});
+    Mem out = d.reg("out", DType::f32());
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(8)});
+        s.tileLoad(a, at, {}, {Sym::c(8)});
+        s.pipeReduce("P", {ctr(8)}, Sym::c(1), out, Op::Min,
+                     [&](Scope& p, std::vector<Val> ii) {
+                         return p.load(at, {ii[0]});
+                     });
+    });
+    auto b = d.params().defaults();
+    FunctionalSim sim(Inst(d.graph(), b));
+    sim.setOffchip("a", {5, 9, 2, 7, 3, 8, 6, 4});
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.regValue("out"), 2.0);
+}
+
+TEST(FunctionalTest, OutOfBoundsTileIsFatal)
+{
+    Design d("oob");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(8)});
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(8)});
+        // Loop runs to 16 with tiles of 8: second tile is OOB.
+        s.sequential("L", {ctr(16, Sym::c(8))},
+                     [&](Scope& l, std::vector<Val> rv) {
+                         l.tileLoad(a, at, {rv[0]}, {Sym::c(8)});
+                     });
+    });
+    auto b = d.params().defaults();
+    FunctionalSim sim(Inst(d.graph(), b));
+    EXPECT_THROW(sim.run(), FatalError);
+}
+
+TEST(FunctionalTest, UnknownMemoryNameIsFatal)
+{
+    Design d("nm");
+    d.accel([&](Scope&) {});
+    auto b = d.params().defaults();
+    FunctionalSim sim(Inst(d.graph(), b));
+    EXPECT_THROW(sim.offchip("nope"), FatalError);
+}
+
+
+TEST(FunctionalTest, FixedPointQuantization)
+{
+    // fix<8,8>: values quantize to 1/256 steps.
+    Design d("fixq");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(4)});
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(4)});
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(4)});
+        Mem ot = s.bram("ot", DType::fix(8, 8), {Sym::c(4)});
+        s.tileLoad(a, at, {}, {Sym::c(4)});
+        s.pipe("P", {ctr(4)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val v = p.load(at, {ii[0]});
+                   Val q = p.unary(Op::ToFixed, v);
+                   p.graph().nodeAs<PrimNode>(q.id).type =
+                       DType::fix(8, 8);
+                   p.store(ot, {ii[0]}, q);
+               });
+        s.tileStore(o, ot, {}, {Sym::c(4)});
+    });
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    FunctionalSim sim(inst);
+    sim.setOffchip("a", {0.126, 1.0, 2.4999, -0.3});
+    sim.run();
+    // Nearest 1/256 steps.
+    EXPECT_NEAR(sim.offchip("o")[0], std::nearbyint(0.126 * 256) / 256,
+                1e-12);
+    EXPECT_DOUBLE_EQ(sim.offchip("o")[1], 1.0);
+    EXPECT_NEAR(sim.offchip("o")[3], std::nearbyint(-0.3 * 256) / 256,
+                1e-12);
+}
+
+TEST(FunctionalTest, IntegerQuantizationRounds)
+{
+    Design d("intq");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(3)});
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(3)});
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(3)});
+        Mem ot = s.bram("ot", DType::i32(), {Sym::c(3)});
+        s.tileLoad(a, at, {}, {Sym::c(3)});
+        s.pipe("P", {ctr(3)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   p.store(ot, {ii[0]}, p.load(at, {ii[0]}));
+               });
+        s.tileStore(o, ot, {}, {Sym::c(3)});
+    });
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    FunctionalSim sim(inst);
+    sim.setOffchip("a", {1.4, 2.6, -1.5});
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.offchip("o")[0], 1.0);
+    EXPECT_DOUBLE_EQ(sim.offchip("o")[1], 3.0);
+}
+
+TEST(FunctionalTest, ParallelChildrenAllExecute)
+{
+    Design d("parl");
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(4)});
+    Mem b2 = d.offchip("b", DType::f32(), {Sym::c(4)});
+    d.accel([&](Scope& s) {
+        Mem at = s.bram("at", DType::f32(), {Sym::c(4)});
+        Mem bt = s.bram("bt", DType::f32(), {Sym::c(4)});
+        s.parallel("L", [&](Scope& p) {
+            p.tileLoad(a, at, {}, {Sym::c(4)});
+            p.tileLoad(b2, bt, {}, {Sym::c(4)});
+        });
+    });
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    FunctionalSim sim(inst);
+    sim.setOffchip("a", {1, 2, 3, 4});
+    sim.setOffchip("b", {5, 6, 7, 8});
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.onchip("at")[0], 1);
+    EXPECT_DOUBLE_EQ(sim.onchip("bt")[3], 8);
+}
+
+TEST(FunctionalTest, ModOperator)
+{
+    Design d("mod");
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(8)});
+    d.accel([&](Scope& s) {
+        Mem ot = s.bram("ot", DType::f32(), {Sym::c(8)});
+        s.pipe("P", {ctr(8)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val three = p.constant(3.0, DType::i32());
+                   p.store(ot, {ii[0]},
+                           p.binop(Op::Mod, ii[0], three));
+               });
+        s.tileStore(o, ot, {}, {Sym::c(8)});
+    });
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    FunctionalSim sim(inst);
+    sim.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(sim.offchip("o")[size_t(i)], i % 3);
+}
+
+} // namespace
+} // namespace dhdl::sim

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/builder.hh"
+#include "sim/functional.hh"
+
+namespace dhdl::sim {
+namespace {
+
+/** Streaming top-K design: push every element, then read the queue. */
+Design
+topkDesign(int64_t n, int64_t k)
+{
+    Design d("topk");
+    Mem in = d.offchip("in", DType::f32(), {Sym::c(n)});
+    Mem out = d.offchip("out", DType::f32(), {Sym::c(k)});
+    d.accel([&](Scope& s) {
+        Mem q = s.queue("q", DType::f32(), Sym::c(k));
+        Mem t = s.bram("t", DType::f32(), {Sym::c(n)});
+        Mem o = s.bram("o", DType::f32(), {Sym::c(k)});
+        s.tileLoad(in, t, {}, {Sym::c(n)});
+        s.pipe("PPush", {ctr(n)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   Val zero = p.constant(0.0, DType::i32());
+                   p.store(q, {zero}, p.load(t, {ii[0]}));
+               });
+        s.pipe("PDrain", {ctr(k)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   p.store(o, {ii[0]}, p.load(q, {ii[0]}));
+               });
+        s.tileStore(out, o, {}, {Sym::c(k)});
+    });
+    return d;
+}
+
+TEST(QueueTest, KeepsKSmallestSorted)
+{
+    const int64_t n = 64, k = 8;
+    Design d = topkDesign(n, k);
+    Inst inst(d.graph(), d.params().defaults());
+    FunctionalSim sim(inst);
+    std::vector<double> in(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        in[size_t(i)] = double((i * 37) % 101);
+    sim.setOffchip("in", in);
+    sim.run();
+
+    auto expect = in;
+    std::sort(expect.begin(), expect.end());
+    for (int64_t i = 0; i < k; ++i)
+        EXPECT_DOUBLE_EQ(sim.offchip("out")[size_t(i)],
+                         expect[size_t(i)]);
+}
+
+TEST(QueueTest, UnderfilledSlotsReadInfinity)
+{
+    const int64_t n = 3, k = 8;
+    Design d = topkDesign(n, k);
+    Inst inst(d.graph(), d.params().defaults());
+    FunctionalSim sim(inst);
+    sim.setOffchip("in", {5.0, 1.0, 3.0});
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.offchip("out")[0], 1.0);
+    EXPECT_DOUBLE_EQ(sim.offchip("out")[1], 3.0);
+    EXPECT_DOUBLE_EQ(sim.offchip("out")[2], 5.0);
+    EXPECT_TRUE(std::isinf(sim.offchip("out")[3]));
+}
+
+TEST(QueueTest, DuplicatesRetained)
+{
+    const int64_t n = 6, k = 4;
+    Design d = topkDesign(n, k);
+    Inst inst(d.graph(), d.params().defaults());
+    FunctionalSim sim(inst);
+    sim.setOffchip("in", {2, 2, 9, 1, 2, 8});
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.offchip("out")[0], 1.0);
+    EXPECT_DOUBLE_EQ(sim.offchip("out")[1], 2.0);
+    EXPECT_DOUBLE_EQ(sim.offchip("out")[2], 2.0);
+    EXPECT_DOUBLE_EQ(sim.offchip("out")[3], 2.0);
+}
+
+TEST(QueueTest, PeekOutOfRangeIsFatal)
+{
+    Design d("oob");
+    d.accel([&](Scope& s) {
+        Mem q = s.queue("q", DType::f32(), Sym::c(4));
+        Mem o = s.bram("o", DType::f32(), {Sym::c(8)});
+        s.pipe("P", {ctr(8)}, Sym::c(1),
+               [&](Scope& p, std::vector<Val> ii) {
+                   p.store(o, {ii[0]}, p.load(q, {ii[0]}));
+               });
+    });
+    Inst inst(d.graph(), d.params().defaults());
+    FunctionalSim sim(inst);
+    EXPECT_THROW(sim.run(), FatalError);
+}
+
+} // namespace
+} // namespace dhdl::sim

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "sim/report.hh"
+
+namespace dhdl::sim {
+namespace {
+
+TEST(ReportTest, RootCovers100Percent)
+{
+    Design d = apps::buildDotproduct({96000});
+    Inst inst(d.graph(), d.params().defaults());
+    auto entries = collectBottlenecks(inst);
+    ASSERT_FALSE(entries.empty());
+    EXPECT_EQ(entries.front().node, d.graph().root);
+    EXPECT_NEAR(entries.front().fraction, 1.0, 1e-12);
+}
+
+TEST(ReportTest, DepthsFollowHierarchy)
+{
+    Design d = apps::buildGda({9600, 96});
+    Inst inst(d.graph(), d.params().defaults());
+    auto entries = collectBottlenecks(inst);
+    int max_depth = 0;
+    for (const auto& e : entries) {
+        EXPECT_GE(e.depth, 0);
+        max_depth = std::max(max_depth, e.depth);
+    }
+    // accel -> M1 -> M2 -> P1/P2 nesting.
+    EXPECT_GE(max_depth, 3);
+}
+
+TEST(ReportTest, ChildSharesBoundedByParentIterationStructure)
+{
+    Design d = apps::buildBlackscholes({96000});
+    Inst inst(d.graph(), d.params().defaults());
+    auto entries = collectBottlenecks(inst);
+    for (const auto& e : entries) {
+        EXPECT_GE(e.cycles, 0.0);
+        EXPECT_GE(e.fraction, 0.0);
+    }
+}
+
+TEST(ReportTest, TextReportMentionsEveryController)
+{
+    Design d = apps::buildTpchq6({96000});
+    Inst inst(d.graph(), d.params().defaults());
+    std::string text = timingReport(inst);
+    EXPECT_NE(text.find("Sequential accel"), std::string::npos);
+    EXPECT_NE(text.find("MetaPipe M1"), std::string::npos);
+    EXPECT_NE(text.find("Pipe P1"), std::string::npos);
+    EXPECT_NE(text.find("TileLd"), std::string::npos);
+    EXPECT_NE(text.find("%"), std::string::npos);
+}
+
+TEST(ReportTest, DominantStageIdentifiable)
+{
+    // For memory-bound dotproduct with a tiny tile, the tile loads
+    // dominate the MetaPipe stages.
+    apps::DotproductConfig cfg;
+    cfg.n = 96000;
+    Design d = apps::buildDotproduct(cfg);
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    auto entries = collectBottlenecks(inst);
+    double load_cycles = 0, pipe_cycles = 0;
+    for (const auto& e : entries) {
+        if (e.kind == "TileLd")
+            load_cycles = std::max(load_cycles, e.cycles);
+        if (e.kind == "Pipe")
+            pipe_cycles = std::max(pipe_cycles, e.cycles);
+    }
+    EXPECT_GT(load_cycles, 0);
+    EXPECT_GT(pipe_cycles, 0);
+}
+
+} // namespace
+} // namespace dhdl::sim

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builder.hh"
+#include "estimate/runtime_estimator.hh"
+#include "sim/timing.hh"
+
+namespace dhdl::sim {
+namespace {
+
+/** Streaming design used across the timing tests. */
+Design
+streamDesign(int64_t n, int64_t tile, ParamId* toggle_out)
+{
+    Design d("stream");
+    ParamId tog = d.toggleParam("m1", 1);
+    if (toggle_out)
+        *toggle_out = tog;
+    Mem a = d.offchip("a", DType::f32(), {Sym::c(n)});
+    Mem o = d.offchip("o", DType::f32(), {Sym::c(n)});
+    d.accel([&](Scope& s) {
+        s.metaPipe(
+            "M1", {ctr(n, Sym::c(tile))}, Sym::c(1), Sym::p(tog),
+            [&](Scope& m, std::vector<Val> rv) {
+                Mem at = m.bram("at", DType::f32(), {Sym::c(tile)});
+                Mem ot = m.bram("ot", DType::f32(), {Sym::c(tile)});
+                m.tileLoad(a, at, {rv[0]}, {Sym::c(tile)},
+                           Sym::c(16));
+                m.pipe("P", {ctr(Sym::c(tile))}, Sym::c(16),
+                       [&](Scope& p, std::vector<Val> ii) {
+                           Val v = p.load(at, {ii[0]});
+                           p.store(ot, {ii[0]}, v * v);
+                       });
+                m.tileStore(o, ot, {rv[0]}, {Sym::c(tile)},
+                            Sym::c(16));
+            });
+    });
+    return d;
+}
+
+TEST(TimingTest, Deterministic)
+{
+    ParamId tog;
+    Design d = streamDesign(1 << 16, 1 << 10, &tog);
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    double c1 = TimingSim(inst).run().cycles;
+    double c2 = TimingSim(inst).run().cycles;
+    EXPECT_DOUBLE_EQ(c1, c2);
+}
+
+TEST(TimingTest, OverlapBeatsSequential)
+{
+    ParamId tog;
+    Design d = streamDesign(1 << 16, 1 << 10, &tog);
+    auto b = d.params().defaults();
+    b[tog] = 1;
+    double overlapped = TimingSim(Inst(d.graph(), b)).run().cycles;
+    b[tog] = 0;
+    double sequential = TimingSim(Inst(d.graph(), b)).run().cycles;
+    EXPECT_LT(overlapped, sequential);
+}
+
+TEST(TimingTest, ScalesWithDataSize)
+{
+    ParamId tog;
+    Design small = streamDesign(1 << 14, 1 << 10, &tog);
+    Design big = streamDesign(1 << 18, 1 << 10, &tog);
+    auto bs = small.params().defaults();
+    auto bb = big.params().defaults();
+    double ts = TimingSim(Inst(small.graph(), bs)).run().cycles;
+    double tb = TimingSim(Inst(big.graph(), bb)).run().cycles;
+    EXPECT_GT(tb / ts, 8.0);
+    EXPECT_LT(tb / ts, 24.0);
+}
+
+TEST(TimingTest, EstimatorTracksSimulatorWithinTolerance)
+{
+    // The whole premise of Table III: static estimates land within a
+    // few percent of the detailed simulation.
+    ParamId tog;
+    Design d = streamDesign(1 << 18, 1 << 12, &tog);
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    double sim_cycles = TimingSim(inst).run().cycles;
+    double est_cycles =
+        est::RuntimeEstimator().estimate(inst).cycles;
+    double err = std::fabs(est_cycles - sim_cycles) / sim_cycles;
+    EXPECT_LT(err, 0.30);
+    EXPECT_GT(err, 0.0); // they must not be the same model
+}
+
+TEST(TimingTest, SecondsUseFabricClock)
+{
+    ParamId tog;
+    Design d = streamDesign(1 << 14, 1 << 10, &tog);
+    auto b = d.params().defaults();
+    auto r = TimingSim(Inst(d.graph(), b)).run();
+    EXPECT_NEAR(r.seconds, r.cycles / 150e6, 1e-12);
+}
+
+TEST(TimingTest, LongTripExtrapolationConsistent)
+{
+    // A MetaPipe beyond the explicit event-loop cap (4096 iters) must
+    // still scale linearly with trip count.
+    ParamId tog;
+    Design d1 = streamDesign(4096 * 64, 8, &tog);   // 32768 iters
+    Design d2 = streamDesign(2 * 4096 * 64, 8, &tog);
+    auto b1 = d1.params().defaults();
+    auto b2 = d2.params().defaults();
+    double c1 = TimingSim(Inst(d1.graph(), b1)).run().cycles;
+    double c2 = TimingSim(Inst(d2.graph(), b2)).run().cycles;
+    EXPECT_NEAR(c2 / c1, 2.0, 0.05);
+}
+
+TEST(TimingTest, TransferCacheStable)
+{
+    ParamId tog;
+    Design d = streamDesign(1 << 14, 1 << 10, &tog);
+    auto b = d.params().defaults();
+    Inst inst(d.graph(), b);
+    TimingSim sim(inst);
+    for (NodeId x : inst.transfers())
+        EXPECT_DOUBLE_EQ(sim.transferCycles(x),
+                         sim.transferCycles(x));
+}
+
+} // namespace
+} // namespace dhdl::sim

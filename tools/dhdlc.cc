@@ -1,0 +1,268 @@
+/**
+ * dhdlc — command-line driver for the DHDL framework.
+ *
+ * Usage:
+ *   dhdlc list
+ *   dhdlc explore <benchmark> [--scale S] [--points N] [--top K]
+ *   dhdlc report <benchmark> [--scale S] [--points N]
+ *   dhdlc emit <benchmark> [--scale S] [--points N] [--out DIR]
+ *   dhdlc print <benchmark> [--scale S]
+ *   dhdlc calibrate [--out DIR]
+ *
+ * `explore` runs design space exploration and prints the Pareto
+ * frontier; `report` additionally synthesizes + simulates the best
+ * point (estimate vs ground truth); `emit` writes the MaxJ kernel and
+ * manager for the best point; `print` dumps the DHDL IR; `calibrate`
+ * runs characterization + ANN training and persists the calibration
+ * to <DIR>/dhdl_calibration.txt (reloadable via
+ * est::AreaEstimator(device, stream)).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "apps/apps.hh"
+#include "codegen/maxj.hh"
+#include "core/printer.hh"
+#include "core/transform.hh"
+#include "dse/explorer.hh"
+#include "estimate/power_model.hh"
+#include "fpga/toolchain.hh"
+#include "sim/report.hh"
+#include "sim/timing.hh"
+
+using namespace dhdl;
+
+namespace {
+
+struct Args {
+    std::string command;
+    std::string benchmark;
+    double scale = 1.0;
+    int points = 2000;
+    int top = 10;
+    std::string out = ".";
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: dhdlc <list|print|explore|report|emit> "
+           "[benchmark] [--scale S] [--points N] [--top K] [--out DIR]"
+        << std::endl;
+    return 2;
+}
+
+bool
+parse(int argc, char** argv, Args& args)
+{
+    if (argc < 2)
+        return false;
+    args.command = argv[1];
+    int i = 2;
+    if (i < argc && argv[i][0] != '-')
+        args.benchmark = argv[i++];
+    for (; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (flag == "--scale") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.scale = std::atof(v);
+        } else if (flag == "--points") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.points = std::atoi(v);
+        } else if (flag == "--top") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.top = std::atoi(v);
+        } else if (flag == "--out") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.out = v;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+Design
+buildByName(const std::string& name, double scale)
+{
+    for (const auto& app : apps::allApps()) {
+        if (app.name == name)
+            return app.build(scale);
+    }
+    fatal("unknown benchmark '" + name + "'; try `dhdlc list`");
+}
+
+void
+printBinding(const Design& d, const ParamBinding& b)
+{
+    for (size_t i = 0; i < d.params().size(); ++i)
+        std::cout << (i ? " " : "") << d.params()[ParamId(i)].name
+                  << "=" << b.values[i];
+}
+
+dse::ExploreResult
+explore(const Design& d, int points)
+{
+    static est::RuntimeEstimator rt;
+    dse::Explorer ex(est::calibratedEstimator(), rt);
+    dse::ExploreConfig cfg;
+    cfg.maxPoints = points;
+    return ex.explore(d.graph(), cfg);
+}
+
+int
+cmdList()
+{
+    std::cout << "benchmarks (Table II):\n";
+    for (const auto& app : apps::allApps())
+        std::cout << "  " << app.name << "\n";
+    return 0;
+}
+
+int
+cmdPrint(const Args& args)
+{
+    Design d = buildByName(args.benchmark, args.scale);
+    std::cout << printGraph(d.graph());
+    auto stats = computeStats(d.graph());
+    std::cout << "\n# controllers=" << stats.controllers
+              << " pipes=" << stats.pipes
+              << " metapipes=" << stats.metaPipes
+              << " memories=" << stats.memories
+              << " transfers=" << stats.transfers
+              << " primitives=" << stats.primitives
+              << " depth=" << stats.maxDepth
+              << " params=" << stats.params << "\n";
+    return 0;
+}
+
+int
+cmdExplore(const Args& args)
+{
+    Design d = buildByName(args.benchmark, args.scale);
+    auto res = explore(d, args.points);
+    const auto& dev = est::calibratedEstimator().device();
+    std::cout << res.points.size() << " legal points, "
+              << res.pareto.size() << " Pareto-optimal\n";
+    int shown = 0;
+    for (size_t idx : res.pareto) {
+        if (shown++ >= args.top)
+            break;
+        const auto& p = res.points[idx];
+        std::cout << "cycles=" << int64_t(p.cycles)
+                  << " alm=" << int64_t(100.0 * p.area.alms /
+                                        double(dev.alms))
+                  << "% bram=" << int64_t(100.0 * p.area.brams /
+                                          double(dev.m20ks))
+                  << "%  [";
+        printBinding(d, p.binding);
+        std::cout << "]\n";
+    }
+    return 0;
+}
+
+int
+cmdReport(const Args& args)
+{
+    Design d = buildByName(args.benchmark, args.scale);
+    auto res = explore(d, args.points);
+    size_t best = res.bestIndex();
+    if (best == SIZE_MAX) {
+        std::cerr << "no valid design found\n";
+        return 1;
+    }
+    const auto& p = res.points[best];
+    Inst inst(d.graph(), p.binding);
+    auto truth = est::defaultToolchain().synthesize(inst);
+    auto timed = sim::TimingSim(inst).run();
+
+    std::cout << "best design: [";
+    printBinding(d, p.binding);
+    std::cout << "]\n";
+    std::cout << "             estimate      synthesized/simulated\n";
+    std::cout << "ALMs     " << int64_t(p.area.alms) << "  vs  "
+              << int64_t(truth.alms) << "\n";
+    std::cout << "DSPs     " << int64_t(p.area.dsps) << "  vs  "
+              << int64_t(truth.dsps) << "\n";
+    std::cout << "BRAMs    " << int64_t(p.area.brams) << "  vs  "
+              << int64_t(truth.brams) << "\n";
+    std::cout << "cycles   " << int64_t(p.cycles) << "  vs  "
+              << int64_t(timed.cycles) << "\n";
+    std::cout << "power    "
+              << int64_t(
+                     est::calibratedPowerEstimator().estimateMw(inst))
+              << "  vs  " << int64_t(truth.powerMw) << " mW\n";
+    std::cout << "runtime  " << timed.seconds * 1e3
+              << " ms at 150 MHz\n\n";
+    std::cout << sim::timingReport(inst);
+    return 0;
+}
+
+int
+cmdEmit(const Args& args)
+{
+    Design d = buildByName(args.benchmark, args.scale);
+    auto res = explore(d, args.points);
+    size_t best = res.bestIndex();
+    if (best == SIZE_MAX) {
+        std::cerr << "no valid design found\n";
+        return 1;
+    }
+    Inst inst(d.graph(), res.points[best].binding);
+    std::string kpath = args.out + "/" + args.benchmark + ".maxj";
+    std::string mpath =
+        args.out + "/" + args.benchmark + "Manager.maxj";
+    std::ofstream(kpath) << codegen::emitMaxj(inst);
+    std::ofstream(mpath) << codegen::emitMaxjManager(inst);
+    std::cout << "wrote " << kpath << " and " << mpath << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Args args;
+    if (!parse(argc, argv, args))
+        return usage();
+    try {
+        if (args.command == "list")
+            return cmdList();
+        if (args.command == "calibrate") {
+            std::string path = args.out + "/dhdl_calibration.txt";
+            std::ofstream out(path);
+            est::calibratedEstimator().save(out);
+            std::cout << "wrote " << path << "\n";
+            return 0;
+        }
+        if (args.benchmark.empty())
+            return usage();
+        if (args.command == "print")
+            return cmdPrint(args);
+        if (args.command == "explore")
+            return cmdExplore(args);
+        if (args.command == "report")
+            return cmdReport(args);
+        if (args.command == "emit")
+            return cmdEmit(args);
+    } catch (const std::exception& e) {
+        std::cerr << "dhdlc: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
