@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_dse.dir/bench_common.cc.o"
+  "CMakeFiles/figure5_dse.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure5_dse.dir/figure5_dse.cc.o"
+  "CMakeFiles/figure5_dse.dir/figure5_dse.cc.o.d"
+  "figure5_dse"
+  "figure5_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_speedup.dir/bench_common.cc.o"
+  "CMakeFiles/figure6_speedup.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure6_speedup.dir/figure6_speedup.cc.o"
+  "CMakeFiles/figure6_speedup.dir/figure6_speedup.cc.o.d"
+  "figure6_speedup"
+  "figure6_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_speed.dir/bench_common.cc.o"
+  "CMakeFiles/table4_speed.dir/bench_common.cc.o.d"
+  "CMakeFiles/table4_speed.dir/table4_speed.cc.o"
+  "CMakeFiles/table4_speed.dir/table4_speed.cc.o.d"
+  "table4_speed"
+  "table4_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

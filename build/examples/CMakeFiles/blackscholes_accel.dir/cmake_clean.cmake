@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackscholes_accel.dir/blackscholes_accel.cpp.o"
+  "CMakeFiles/blackscholes_accel.dir/blackscholes_accel.cpp.o.d"
+  "blackscholes_accel"
+  "blackscholes_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackscholes_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gda_dse.dir/gda_dse.cpp.o"
+  "CMakeFiles/gda_dse.dir/gda_dse.cpp.o.d"
+  "gda_dse"
+  "gda_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gda_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

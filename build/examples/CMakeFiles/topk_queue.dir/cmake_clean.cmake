@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_queue.dir/topk_queue.cpp.o"
+  "CMakeFiles/topk_queue.dir/topk_queue.cpp.o.d"
+  "topk_queue"
+  "topk_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

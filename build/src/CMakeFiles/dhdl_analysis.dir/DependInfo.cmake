@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/banking.cc" "src/CMakeFiles/dhdl_analysis.dir/analysis/banking.cc.o" "gcc" "src/CMakeFiles/dhdl_analysis.dir/analysis/banking.cc.o.d"
+  "/root/repo/src/analysis/critical_path.cc" "src/CMakeFiles/dhdl_analysis.dir/analysis/critical_path.cc.o" "gcc" "src/CMakeFiles/dhdl_analysis.dir/analysis/critical_path.cc.o.d"
+  "/root/repo/src/analysis/instance.cc" "src/CMakeFiles/dhdl_analysis.dir/analysis/instance.cc.o" "gcc" "src/CMakeFiles/dhdl_analysis.dir/analysis/instance.cc.o.d"
+  "/root/repo/src/analysis/resources.cc" "src/CMakeFiles/dhdl_analysis.dir/analysis/resources.cc.o" "gcc" "src/CMakeFiles/dhdl_analysis.dir/analysis/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_analysis.dir/analysis/banking.cc.o"
+  "CMakeFiles/dhdl_analysis.dir/analysis/banking.cc.o.d"
+  "CMakeFiles/dhdl_analysis.dir/analysis/critical_path.cc.o"
+  "CMakeFiles/dhdl_analysis.dir/analysis/critical_path.cc.o.d"
+  "CMakeFiles/dhdl_analysis.dir/analysis/instance.cc.o"
+  "CMakeFiles/dhdl_analysis.dir/analysis/instance.cc.o.d"
+  "CMakeFiles/dhdl_analysis.dir/analysis/resources.cc.o"
+  "CMakeFiles/dhdl_analysis.dir/analysis/resources.cc.o.d"
+  "libdhdl_analysis.a"
+  "libdhdl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/blackscholes.cc" "src/CMakeFiles/dhdl_apps.dir/apps/blackscholes.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/blackscholes.cc.o.d"
+  "/root/repo/src/apps/conv2d.cc" "src/CMakeFiles/dhdl_apps.dir/apps/conv2d.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/conv2d.cc.o.d"
+  "/root/repo/src/apps/datasets.cc" "src/CMakeFiles/dhdl_apps.dir/apps/datasets.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/datasets.cc.o.d"
+  "/root/repo/src/apps/dotproduct.cc" "src/CMakeFiles/dhdl_apps.dir/apps/dotproduct.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/dotproduct.cc.o.d"
+  "/root/repo/src/apps/gda.cc" "src/CMakeFiles/dhdl_apps.dir/apps/gda.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/gda.cc.o.d"
+  "/root/repo/src/apps/gemm.cc" "src/CMakeFiles/dhdl_apps.dir/apps/gemm.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/gemm.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/CMakeFiles/dhdl_apps.dir/apps/kmeans.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/kmeans.cc.o.d"
+  "/root/repo/src/apps/outerprod.cc" "src/CMakeFiles/dhdl_apps.dir/apps/outerprod.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/outerprod.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/CMakeFiles/dhdl_apps.dir/apps/registry.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/registry.cc.o.d"
+  "/root/repo/src/apps/tpchq6.cc" "src/CMakeFiles/dhdl_apps.dir/apps/tpchq6.cc.o" "gcc" "src/CMakeFiles/dhdl_apps.dir/apps/tpchq6.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

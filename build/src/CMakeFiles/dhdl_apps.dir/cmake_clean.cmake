@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_apps.dir/apps/blackscholes.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/blackscholes.cc.o.d"
+  "CMakeFiles/dhdl_apps.dir/apps/conv2d.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/conv2d.cc.o.d"
+  "CMakeFiles/dhdl_apps.dir/apps/datasets.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/datasets.cc.o.d"
+  "CMakeFiles/dhdl_apps.dir/apps/dotproduct.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/dotproduct.cc.o.d"
+  "CMakeFiles/dhdl_apps.dir/apps/gda.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/gda.cc.o.d"
+  "CMakeFiles/dhdl_apps.dir/apps/gemm.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/gemm.cc.o.d"
+  "CMakeFiles/dhdl_apps.dir/apps/kmeans.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/kmeans.cc.o.d"
+  "CMakeFiles/dhdl_apps.dir/apps/outerprod.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/outerprod.cc.o.d"
+  "CMakeFiles/dhdl_apps.dir/apps/registry.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/registry.cc.o.d"
+  "CMakeFiles/dhdl_apps.dir/apps/tpchq6.cc.o"
+  "CMakeFiles/dhdl_apps.dir/apps/tpchq6.cc.o.d"
+  "libdhdl_apps.a"
+  "libdhdl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_codegen.dir/codegen/maxj.cc.o"
+  "CMakeFiles/dhdl_codegen.dir/codegen/maxj.cc.o.d"
+  "libdhdl_codegen.a"
+  "libdhdl_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cc" "src/CMakeFiles/dhdl_core.dir/core/builder.cc.o" "gcc" "src/CMakeFiles/dhdl_core.dir/core/builder.cc.o.d"
+  "/root/repo/src/core/graph.cc" "src/CMakeFiles/dhdl_core.dir/core/graph.cc.o" "gcc" "src/CMakeFiles/dhdl_core.dir/core/graph.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/CMakeFiles/dhdl_core.dir/core/node.cc.o" "gcc" "src/CMakeFiles/dhdl_core.dir/core/node.cc.o.d"
+  "/root/repo/src/core/param.cc" "src/CMakeFiles/dhdl_core.dir/core/param.cc.o" "gcc" "src/CMakeFiles/dhdl_core.dir/core/param.cc.o.d"
+  "/root/repo/src/core/printer.cc" "src/CMakeFiles/dhdl_core.dir/core/printer.cc.o" "gcc" "src/CMakeFiles/dhdl_core.dir/core/printer.cc.o.d"
+  "/root/repo/src/core/transform.cc" "src/CMakeFiles/dhdl_core.dir/core/transform.cc.o" "gcc" "src/CMakeFiles/dhdl_core.dir/core/transform.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/CMakeFiles/dhdl_core.dir/core/types.cc.o" "gcc" "src/CMakeFiles/dhdl_core.dir/core/types.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/CMakeFiles/dhdl_core.dir/core/validate.cc.o" "gcc" "src/CMakeFiles/dhdl_core.dir/core/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

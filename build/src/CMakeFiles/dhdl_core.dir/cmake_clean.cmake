@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_core.dir/core/builder.cc.o"
+  "CMakeFiles/dhdl_core.dir/core/builder.cc.o.d"
+  "CMakeFiles/dhdl_core.dir/core/graph.cc.o"
+  "CMakeFiles/dhdl_core.dir/core/graph.cc.o.d"
+  "CMakeFiles/dhdl_core.dir/core/node.cc.o"
+  "CMakeFiles/dhdl_core.dir/core/node.cc.o.d"
+  "CMakeFiles/dhdl_core.dir/core/param.cc.o"
+  "CMakeFiles/dhdl_core.dir/core/param.cc.o.d"
+  "CMakeFiles/dhdl_core.dir/core/printer.cc.o"
+  "CMakeFiles/dhdl_core.dir/core/printer.cc.o.d"
+  "CMakeFiles/dhdl_core.dir/core/transform.cc.o"
+  "CMakeFiles/dhdl_core.dir/core/transform.cc.o.d"
+  "CMakeFiles/dhdl_core.dir/core/types.cc.o"
+  "CMakeFiles/dhdl_core.dir/core/types.cc.o.d"
+  "CMakeFiles/dhdl_core.dir/core/validate.cc.o"
+  "CMakeFiles/dhdl_core.dir/core/validate.cc.o.d"
+  "libdhdl_core.a"
+  "libdhdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/kernels.cc" "src/CMakeFiles/dhdl_cpu.dir/cpu/kernels.cc.o" "gcc" "src/CMakeFiles/dhdl_cpu.dir/cpu/kernels.cc.o.d"
+  "/root/repo/src/cpu/roofline.cc" "src/CMakeFiles/dhdl_cpu.dir/cpu/roofline.cc.o" "gcc" "src/CMakeFiles/dhdl_cpu.dir/cpu/roofline.cc.o.d"
+  "/root/repo/src/cpu/thread_pool.cc" "src/CMakeFiles/dhdl_cpu.dir/cpu/thread_pool.cc.o" "gcc" "src/CMakeFiles/dhdl_cpu.dir/cpu/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

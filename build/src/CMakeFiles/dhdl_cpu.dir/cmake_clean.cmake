@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_cpu.dir/cpu/kernels.cc.o"
+  "CMakeFiles/dhdl_cpu.dir/cpu/kernels.cc.o.d"
+  "CMakeFiles/dhdl_cpu.dir/cpu/roofline.cc.o"
+  "CMakeFiles/dhdl_cpu.dir/cpu/roofline.cc.o.d"
+  "CMakeFiles/dhdl_cpu.dir/cpu/thread_pool.cc.o"
+  "CMakeFiles/dhdl_cpu.dir/cpu/thread_pool.cc.o.d"
+  "libdhdl_cpu.a"
+  "libdhdl_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

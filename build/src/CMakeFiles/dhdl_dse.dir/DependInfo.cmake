@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/explorer.cc" "src/CMakeFiles/dhdl_dse.dir/dse/explorer.cc.o" "gcc" "src/CMakeFiles/dhdl_dse.dir/dse/explorer.cc.o.d"
+  "/root/repo/src/dse/pareto.cc" "src/CMakeFiles/dhdl_dse.dir/dse/pareto.cc.o" "gcc" "src/CMakeFiles/dhdl_dse.dir/dse/pareto.cc.o.d"
+  "/root/repo/src/dse/space.cc" "src/CMakeFiles/dhdl_dse.dir/dse/space.cc.o" "gcc" "src/CMakeFiles/dhdl_dse.dir/dse/space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhdl_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_dse.dir/dse/explorer.cc.o"
+  "CMakeFiles/dhdl_dse.dir/dse/explorer.cc.o.d"
+  "CMakeFiles/dhdl_dse.dir/dse/pareto.cc.o"
+  "CMakeFiles/dhdl_dse.dir/dse/pareto.cc.o.d"
+  "CMakeFiles/dhdl_dse.dir/dse/space.cc.o"
+  "CMakeFiles/dhdl_dse.dir/dse/space.cc.o.d"
+  "libdhdl_dse.a"
+  "libdhdl_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimate/area_estimator.cc" "src/CMakeFiles/dhdl_estimate.dir/estimate/area_estimator.cc.o" "gcc" "src/CMakeFiles/dhdl_estimate.dir/estimate/area_estimator.cc.o.d"
+  "/root/repo/src/estimate/area_model.cc" "src/CMakeFiles/dhdl_estimate.dir/estimate/area_model.cc.o" "gcc" "src/CMakeFiles/dhdl_estimate.dir/estimate/area_model.cc.o.d"
+  "/root/repo/src/estimate/power_model.cc" "src/CMakeFiles/dhdl_estimate.dir/estimate/power_model.cc.o" "gcc" "src/CMakeFiles/dhdl_estimate.dir/estimate/power_model.cc.o.d"
+  "/root/repo/src/estimate/runtime_estimator.cc" "src/CMakeFiles/dhdl_estimate.dir/estimate/runtime_estimator.cc.o" "gcc" "src/CMakeFiles/dhdl_estimate.dir/estimate/runtime_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhdl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

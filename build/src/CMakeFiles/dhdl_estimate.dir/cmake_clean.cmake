@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_estimate.dir/estimate/area_estimator.cc.o"
+  "CMakeFiles/dhdl_estimate.dir/estimate/area_estimator.cc.o.d"
+  "CMakeFiles/dhdl_estimate.dir/estimate/area_model.cc.o"
+  "CMakeFiles/dhdl_estimate.dir/estimate/area_model.cc.o.d"
+  "CMakeFiles/dhdl_estimate.dir/estimate/power_model.cc.o"
+  "CMakeFiles/dhdl_estimate.dir/estimate/power_model.cc.o.d"
+  "CMakeFiles/dhdl_estimate.dir/estimate/runtime_estimator.cc.o"
+  "CMakeFiles/dhdl_estimate.dir/estimate/runtime_estimator.cc.o.d"
+  "libdhdl_estimate.a"
+  "libdhdl_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_fpga.dir/fpga/characterize.cc.o"
+  "CMakeFiles/dhdl_fpga.dir/fpga/characterize.cc.o.d"
+  "CMakeFiles/dhdl_fpga.dir/fpga/device.cc.o"
+  "CMakeFiles/dhdl_fpga.dir/fpga/device.cc.o.d"
+  "CMakeFiles/dhdl_fpga.dir/fpga/silicon.cc.o"
+  "CMakeFiles/dhdl_fpga.dir/fpga/silicon.cc.o.d"
+  "CMakeFiles/dhdl_fpga.dir/fpga/toolchain.cc.o"
+  "CMakeFiles/dhdl_fpga.dir/fpga/toolchain.cc.o.d"
+  "libdhdl_fpga.a"
+  "libdhdl_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

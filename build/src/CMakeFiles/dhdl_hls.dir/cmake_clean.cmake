@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_hls.dir/hls/flatten.cc.o"
+  "CMakeFiles/dhdl_hls.dir/hls/flatten.cc.o.d"
+  "CMakeFiles/dhdl_hls.dir/hls/hls_estimator.cc.o"
+  "CMakeFiles/dhdl_hls.dir/hls/hls_estimator.cc.o.d"
+  "CMakeFiles/dhdl_hls.dir/hls/scheduler.cc.o"
+  "CMakeFiles/dhdl_hls.dir/hls/scheduler.cc.o.d"
+  "libdhdl_hls.a"
+  "libdhdl_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

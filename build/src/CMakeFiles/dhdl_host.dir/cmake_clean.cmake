@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_host.dir/host/accelerator.cc.o"
+  "CMakeFiles/dhdl_host.dir/host/accelerator.cc.o.d"
+  "libdhdl_host.a"
+  "libdhdl_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdhdl_host.a"
+)

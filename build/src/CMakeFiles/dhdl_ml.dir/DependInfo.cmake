@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/linreg.cc" "src/CMakeFiles/dhdl_ml.dir/ml/linreg.cc.o" "gcc" "src/CMakeFiles/dhdl_ml.dir/ml/linreg.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/dhdl_ml.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/dhdl_ml.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/rng.cc" "src/CMakeFiles/dhdl_ml.dir/ml/rng.cc.o" "gcc" "src/CMakeFiles/dhdl_ml.dir/ml/rng.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/CMakeFiles/dhdl_ml.dir/ml/scaler.cc.o" "gcc" "src/CMakeFiles/dhdl_ml.dir/ml/scaler.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/CMakeFiles/dhdl_ml.dir/ml/serialize.cc.o" "gcc" "src/CMakeFiles/dhdl_ml.dir/ml/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_ml.dir/ml/linreg.cc.o"
+  "CMakeFiles/dhdl_ml.dir/ml/linreg.cc.o.d"
+  "CMakeFiles/dhdl_ml.dir/ml/mlp.cc.o"
+  "CMakeFiles/dhdl_ml.dir/ml/mlp.cc.o.d"
+  "CMakeFiles/dhdl_ml.dir/ml/rng.cc.o"
+  "CMakeFiles/dhdl_ml.dir/ml/rng.cc.o.d"
+  "CMakeFiles/dhdl_ml.dir/ml/scaler.cc.o"
+  "CMakeFiles/dhdl_ml.dir/ml/scaler.cc.o.d"
+  "CMakeFiles/dhdl_ml.dir/ml/serialize.cc.o"
+  "CMakeFiles/dhdl_ml.dir/ml/serialize.cc.o.d"
+  "libdhdl_ml.a"
+  "libdhdl_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

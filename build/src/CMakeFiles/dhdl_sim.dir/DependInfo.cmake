@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dram.cc" "src/CMakeFiles/dhdl_sim.dir/sim/dram.cc.o" "gcc" "src/CMakeFiles/dhdl_sim.dir/sim/dram.cc.o.d"
+  "/root/repo/src/sim/functional.cc" "src/CMakeFiles/dhdl_sim.dir/sim/functional.cc.o" "gcc" "src/CMakeFiles/dhdl_sim.dir/sim/functional.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/dhdl_sim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/dhdl_sim.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/CMakeFiles/dhdl_sim.dir/sim/timing.cc.o" "gcc" "src/CMakeFiles/dhdl_sim.dir/sim/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdl_sim.dir/sim/dram.cc.o"
+  "CMakeFiles/dhdl_sim.dir/sim/dram.cc.o.d"
+  "CMakeFiles/dhdl_sim.dir/sim/functional.cc.o"
+  "CMakeFiles/dhdl_sim.dir/sim/functional.cc.o.d"
+  "CMakeFiles/dhdl_sim.dir/sim/report.cc.o"
+  "CMakeFiles/dhdl_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/dhdl_sim.dir/sim/timing.cc.o"
+  "CMakeFiles/dhdl_sim.dir/sim/timing.cc.o.d"
+  "libdhdl_sim.a"
+  "libdhdl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/banking_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/banking_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/critical_path_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/critical_path_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/instance_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/instance_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/resources_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/resources_test.cc.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

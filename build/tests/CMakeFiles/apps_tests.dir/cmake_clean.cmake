@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tests.dir/apps/apps_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/apps_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/conv2d_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/conv2d_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/equivalence_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/equivalence_test.cc.o.d"
+  "apps_tests"
+  "apps_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_tests.dir/codegen/maxj_test.cc.o"
+  "CMakeFiles/codegen_tests.dir/codegen/maxj_test.cc.o.d"
+  "codegen_tests"
+  "codegen_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

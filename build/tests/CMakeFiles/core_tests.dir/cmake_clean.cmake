@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/builder_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/builder_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/param_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/param_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/printer_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/printer_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/transform_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/transform_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/types_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/types_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/validate_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/validate_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

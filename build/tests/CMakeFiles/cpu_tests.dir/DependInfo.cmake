@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu/kernels_test.cc" "tests/CMakeFiles/cpu_tests.dir/cpu/kernels_test.cc.o" "gcc" "tests/CMakeFiles/cpu_tests.dir/cpu/kernels_test.cc.o.d"
+  "/root/repo/tests/cpu/roofline_test.cc" "tests/CMakeFiles/cpu_tests.dir/cpu/roofline_test.cc.o" "gcc" "tests/CMakeFiles/cpu_tests.dir/cpu/roofline_test.cc.o.d"
+  "/root/repo/tests/cpu/thread_pool_test.cc" "tests/CMakeFiles/cpu_tests.dir/cpu/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/cpu_tests.dir/cpu/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhdl_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_tests.dir/cpu/kernels_test.cc.o"
+  "CMakeFiles/cpu_tests.dir/cpu/kernels_test.cc.o.d"
+  "CMakeFiles/cpu_tests.dir/cpu/roofline_test.cc.o"
+  "CMakeFiles/cpu_tests.dir/cpu/roofline_test.cc.o.d"
+  "CMakeFiles/cpu_tests.dir/cpu/thread_pool_test.cc.o"
+  "CMakeFiles/cpu_tests.dir/cpu/thread_pool_test.cc.o.d"
+  "cpu_tests"
+  "cpu_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_tests.dir/dse/enumerate_test.cc.o"
+  "CMakeFiles/dse_tests.dir/dse/enumerate_test.cc.o.d"
+  "CMakeFiles/dse_tests.dir/dse/explorer_test.cc.o"
+  "CMakeFiles/dse_tests.dir/dse/explorer_test.cc.o.d"
+  "CMakeFiles/dse_tests.dir/dse/pareto_test.cc.o"
+  "CMakeFiles/dse_tests.dir/dse/pareto_test.cc.o.d"
+  "CMakeFiles/dse_tests.dir/dse/space_test.cc.o"
+  "CMakeFiles/dse_tests.dir/dse/space_test.cc.o.d"
+  "dse_tests"
+  "dse_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_tests.dir/estimate/area_estimator_test.cc.o"
+  "CMakeFiles/estimate_tests.dir/estimate/area_estimator_test.cc.o.d"
+  "CMakeFiles/estimate_tests.dir/estimate/area_model_test.cc.o"
+  "CMakeFiles/estimate_tests.dir/estimate/area_model_test.cc.o.d"
+  "CMakeFiles/estimate_tests.dir/estimate/persist_test.cc.o"
+  "CMakeFiles/estimate_tests.dir/estimate/persist_test.cc.o.d"
+  "CMakeFiles/estimate_tests.dir/estimate/power_model_test.cc.o"
+  "CMakeFiles/estimate_tests.dir/estimate/power_model_test.cc.o.d"
+  "CMakeFiles/estimate_tests.dir/estimate/runtime_estimator_test.cc.o"
+  "CMakeFiles/estimate_tests.dir/estimate/runtime_estimator_test.cc.o.d"
+  "estimate_tests"
+  "estimate_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_tests.dir/fpga/characterize_test.cc.o"
+  "CMakeFiles/fpga_tests.dir/fpga/characterize_test.cc.o.d"
+  "CMakeFiles/fpga_tests.dir/fpga/silicon_test.cc.o"
+  "CMakeFiles/fpga_tests.dir/fpga/silicon_test.cc.o.d"
+  "CMakeFiles/fpga_tests.dir/fpga/toolchain_test.cc.o"
+  "CMakeFiles/fpga_tests.dir/fpga/toolchain_test.cc.o.d"
+  "fpga_tests"
+  "fpga_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

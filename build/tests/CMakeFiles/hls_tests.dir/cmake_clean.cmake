@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_tests.dir/hls/flatten_test.cc.o"
+  "CMakeFiles/hls_tests.dir/hls/flatten_test.cc.o.d"
+  "CMakeFiles/hls_tests.dir/hls/scheduler_test.cc.o"
+  "CMakeFiles/hls_tests.dir/hls/scheduler_test.cc.o.d"
+  "hls_tests"
+  "hls_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

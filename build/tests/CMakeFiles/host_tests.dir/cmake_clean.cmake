@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_tests.dir/host/accelerator_test.cc.o"
+  "CMakeFiles/host_tests.dir/host/accelerator_test.cc.o.d"
+  "host_tests"
+  "host_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/figure5_shapes_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/figure5_shapes_test.cc.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

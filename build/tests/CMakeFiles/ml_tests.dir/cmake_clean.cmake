@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/linreg_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/linreg_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/mlp_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/mlp_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/rng_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/rng_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/scaler_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/scaler_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/serialize_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/serialize_test.cc.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/dram_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/dram_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/functional_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/functional_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/queue_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/queue_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/report_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/report_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/timing_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/timing_test.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core_tests "/root/repo/build/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_tests "/root/repo/build/tests/analysis_tests")
+set_tests_properties(analysis_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ml_tests "/root/repo/build/tests/ml_tests")
+set_tests_properties(ml_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;27;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fpga_tests "/root/repo/build/tests/fpga_tests")
+set_tests_properties(fpga_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;35;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(estimate_tests "/root/repo/build/tests/estimate_tests")
+set_tests_properties(estimate_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;41;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_tests "/root/repo/build/tests/sim_tests")
+set_tests_properties(sim_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;49;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dse_tests "/root/repo/build/tests/dse_tests")
+set_tests_properties(dse_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;57;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hls_tests "/root/repo/build/tests/hls_tests")
+set_tests_properties(hls_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;64;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cpu_tests "/root/repo/build/tests/cpu_tests")
+set_tests_properties(cpu_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;69;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(apps_tests "/root/repo/build/tests/apps_tests")
+set_tests_properties(apps_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;75;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(codegen_tests "/root/repo/build/tests/codegen_tests")
+set_tests_properties(codegen_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;81;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;85;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(host_tests "/root/repo/build/tests/host_tests")
+set_tests_properties(host_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;90;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_tests "/root/repo/build/tests/property_tests")
+set_tests_properties(property_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;94;dhdl_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhdlc.dir/dhdlc.cc.o"
+  "CMakeFiles/dhdlc.dir/dhdlc.cc.o.d"
+  "dhdlc"
+  "dhdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
