@@ -87,9 +87,12 @@ main()
         dse::ExploreConfig cfg;
         cfg.maxPoints = budget;
         auto res = bench::explorer().explore(d.graph(), cfg);
-        size_t best = res.bestIndex();
-        double best_pruned =
-            best == SIZE_MAX ? -1 : res.points[best].cycles;
+        auto best = res.bestIndex();
+        double best_pruned = best ? res.points[*best].cycles : -1;
+        if (res.stats.failed)
+            std::cout << "  (" << app.name << ": "
+                      << res.stats.failed
+                      << " points failed evaluation)\n";
 
         // Raw sampling: draw raw integers, snap to legal, dedupe; the
         // budget counts raw draws, so duplicates burn it.

@@ -32,11 +32,11 @@ main()
               << ", up to " << points << " legal points/benchmark)\n\n";
     std::cout << std::left << std::setw(14) << "Benchmark"
               << std::right << std::setw(9) << "points"
-              << std::setw(9) << "valid" << std::setw(9) << "pareto"
-              << std::setw(14) << "best cycles" << std::setw(11)
-              << "best %ALM" << std::setw(11) << "best %BRAM"
-              << "\n";
-    bench::rule(77);
+              << std::setw(8) << "failed" << std::setw(9) << "valid"
+              << std::setw(9) << "pareto" << std::setw(14)
+              << "best cycles" << std::setw(11) << "best %ALM"
+              << std::setw(11) << "best %BRAM" << "\n";
+    bench::rule(85);
 
     for (const auto& app : apps::allApps()) {
         Design d = app.build(scale);
@@ -46,9 +46,6 @@ main()
 
         std::set<size_t> pareto(res.pareto.begin(),
                                 res.pareto.end());
-        int valid = 0;
-        for (const auto& p : res.points)
-            valid += p.valid ? 1 : 0;
 
         std::ofstream csv("figure5_" + app.name + ".csv");
         csv << "alm_pct,dsp_pct,bram_pct,log10_cycles,valid,pareto\n";
@@ -62,13 +59,14 @@ main()
                 << (pareto.count(i) ? 1 : 0) << "\n";
         }
 
-        size_t best = res.bestIndex();
+        auto best = res.bestIndex();
         std::cout << std::left << std::setw(14) << app.name
                   << std::right << std::setw(9) << res.points.size()
-                  << std::setw(9) << valid << std::setw(9)
+                  << std::setw(8) << res.stats.failed << std::setw(9)
+                  << res.stats.valid << std::setw(9)
                   << res.pareto.size();
-        if (best != SIZE_MAX) {
-            const auto& bp = res.points[best];
+        if (best) {
+            const auto& bp = res.points[*best];
             std::cout << std::setw(14)
                       << bench::fmt(bp.cycles, 0) << std::setw(10)
                       << bench::fmt(
@@ -81,6 +79,14 @@ main()
                       << "%";
         }
         std::cout << "\n";
+
+        // Surface per-point failures instead of dying on them: a
+        // sweep is useful even when some bindings cannot be built.
+        if (res.stats.failed) {
+            for (const auto& [label, count] : res.failureSummary())
+                std::cout << "    failures: " << count << "x "
+                          << label << "\n";
+        }
 
         // Print the Pareto frontier series (the highlighted curve in
         // each panel), up to 8 points.

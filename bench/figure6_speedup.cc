@@ -145,14 +145,17 @@ main()
         dse::ExploreConfig cfg;
         cfg.maxPoints = points;
         auto res = bench::explorer().explore(d.graph(), cfg);
-        size_t best = res.bestIndex();
-        if (best == SIZE_MAX) {
+        auto best = res.bestIndex();
+        if (!best) {
             std::cout << std::left << std::setw(14)
                       << apps_list[i].name
-                      << "  (no valid design found)\n";
+                      << "  (no valid design found; "
+                      << res.stats.failed << " of "
+                      << res.stats.total
+                      << " points failed evaluation)\n";
             continue;
         }
-        Inst inst(d.graph(), res.points[best].binding);
+        Inst inst(d.graph(), res.points[*best].binding);
         double fpga_s = sim::TimingSim(inst).run().seconds;
         double cpu_s = cpu::cpuTimeSeconds(xeon, cpu_w[i]);
         std::cout << std::left << std::setw(14) << apps_list[i].name

@@ -29,15 +29,19 @@ main()
     dse::ExploreConfig cfg;
     cfg.maxPoints = 1500;
     auto res = explorer.explore(design.graph(), cfg);
-    size_t best = res.bestIndex();
+    auto best = res.bestIndex();
+    if (!best) {
+        std::cout << "No valid design found for this device.\n";
+        return 1;
+    }
     std::cout << "Best design of " << res.points.size()
               << " explored:";
     for (size_t i = 0; i < design.params().size(); ++i)
         std::cout << " " << design.params()[ParamId(i)].name << "="
-                  << res.points[best].binding.values[i];
+                  << res.points[*best].binding.values[i];
     std::cout << "\n";
 
-    Inst inst(design.graph(), res.points[best].binding);
+    Inst inst(design.graph(), res.points[*best].binding);
     auto timed = sim::TimingSim(inst).run();
     std::cout << "FPGA time for " << apps::PaperSizes::bsN
               << " options: " << timed.seconds * 1e3 << " ms\n";

@@ -94,10 +94,14 @@ main()
     dse::ExploreConfig cfg;
     cfg.maxPoints = 400;
     auto res = explorer.explore(d.graph(), cfg);
-    size_t best = res.bestIndex();
+    auto best = res.bestIndex();
+    if (!best) {
+        std::cout << "No valid design found for this device.\n";
+        return 1;
+    }
     std::cout << "Explored " << res.points.size()
               << " points; best cycles = "
-              << int64_t(res.points[best].cycles) << "\n";
+              << int64_t(res.points[*best].cycles) << "\n";
 
     // Verify against a scalar reference (within one tile, so the
     // zero-padding at tile boundaries matches the reference).

@@ -71,8 +71,12 @@ main()
         std::cout << "]\n";
     }
 
-    size_t best = res.bestIndex();
-    Inst inst(design.graph(), res.points[best].binding);
+    auto best = res.bestIndex();
+    if (!best) {
+        std::cout << "No valid design found for this device.\n";
+        return 1;
+    }
+    Inst inst(design.graph(), res.points[*best].binding);
     std::cout << "\n=== MaxJ kernel for the best design (excerpt) "
                  "===\n";
     std::string maxj = codegen::emitMaxj(inst);

@@ -44,25 +44,30 @@ main()
     dse::ExploreConfig cfg;
     cfg.maxPoints = 500;
     auto result = explorer.explore(design.graph(), cfg);
-    size_t best = result.bestIndex();
+    auto best = result.bestIndex();
     std::cout << "=== 3. Design space ===\n"
-              << "Evaluated " << result.points.size()
-              << " legal points, Pareto front size "
+              << "Evaluated " << result.stats.evaluated
+              << " legal points (" << result.stats.failed
+              << " failed), Pareto front size "
               << result.pareto.size() << "\n";
+    if (!best) {
+        std::cout << "No valid design found for this device.\n";
+        return 1;
+    }
     std::cout << "Best design:";
     for (size_t i = 0; i < design.params().size(); ++i)
         std::cout << " " << design.params()[ParamId(i)].name << "="
-                  << result.points[best].binding.values[i];
+                  << result.points[*best].binding.values[i];
     std::cout << "\nBest cycles: "
-              << int64_t(result.points[best].cycles) << "\n\n";
+              << int64_t(result.points[*best].cycles) << "\n\n";
 
     // 4. Simulate the best design's timing in detail.
-    Inst best_inst(design.graph(), result.points[best].binding);
+    Inst best_inst(design.graph(), result.points[*best].binding);
     auto timed = sim::TimingSim(best_inst).run();
     std::cout << "=== 4. Timing simulation ===\n"
               << "Simulated cycles: " << int64_t(timed.cycles)
               << "  (estimate was "
-              << int64_t(result.points[best].cycles) << ")\n\n";
+              << int64_t(result.points[*best].cycles) << ")\n\n";
 
     // 5. Execute functionally and check the result.
     sim::FunctionalSim fsim(best_inst);

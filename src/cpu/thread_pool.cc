@@ -1,6 +1,7 @@
 #include "cpu/thread_pool.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/error.hh"
 
@@ -38,7 +39,15 @@ ThreadPool::workerLoop()
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
+        try {
+            task();
+        } catch (...) {
+            // Keep the worker alive; surface the failure at the
+            // next barrier() instead of std::terminate()ing.
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mu_);
             --pending_;
@@ -63,6 +72,11 @@ ThreadPool::barrier()
 {
     std::unique_lock<std::mutex> lock(mu_);
     idleCv_.wait(lock, [this] { return pending_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
 }
 
 void

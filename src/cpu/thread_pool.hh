@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -33,7 +34,12 @@ class ThreadPool
     /** Submit a task; wait for all with barrier(). */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has finished. */
+    /**
+     * Block until every submitted task has finished. A task that
+     * threw does not kill its worker thread: the first exception is
+     * captured and rethrown here (subsequent ones are dropped), and
+     * the pool remains usable afterwards.
+     */
     void barrier();
 
     /**
@@ -53,6 +59,7 @@ class ThreadPool
     std::condition_variable idleCv_;
     int64_t pending_ = 0;
     bool stop_ = false;
+    std::exception_ptr firstError_; //!< Rethrown by barrier().
 };
 
 } // namespace dhdl::cpu

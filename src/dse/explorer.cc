@@ -1,18 +1,231 @@
 #include "dse/explorer.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "cpu/thread_pool.hh"
+
 namespace dhdl::dse {
 
+namespace {
+
+/** Render a binding as "name=value ..." for diagnostic context. */
+std::string
+renderBinding(const Graph& g, const ParamBinding& b)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < b.values.size(); ++i) {
+        if (i)
+            os << " ";
+        if (i < g.params().size())
+            os << g.params()[ParamId(i)].name << "=";
+        os << b.values[i];
+    }
+    return os.str();
+}
+
+constexpr const char* kCheckpointMagic = "# dhdl-explore-checkpoint v1";
+
+/**
+ * Persist every evaluated point. The checkpoint carries the fields
+ * that reports and the Pareto extraction consume (resource totals,
+ * cycles, validity, failure data), not the full per-effect area
+ * breakdown; a resumed run reproduces the identical front and stats.
+ * The write is atomic (temp file + rename) so an interrupt mid-write
+ * cannot corrupt an existing checkpoint.
+ */
+bool
+writeCheckpoint(const std::string& path, uint64_t seed, size_t nparams,
+                const std::vector<DesignPoint>& points)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return false;
+        os << kCheckpointMagic << "\n";
+        os << "# seed=" << seed << " total=" << points.size()
+           << " nparams=" << nparams << "\n";
+        os << "# columns: index,valid,failed,failcode,alms,luts,regs,"
+              "dsps,brams,cycles,binding,failreason\n";
+        os << std::setprecision(17);
+        for (size_t i = 0; i < points.size(); ++i) {
+            const DesignPoint& p = points[i];
+            if (!p.evaluated)
+                continue;
+            os << i << "," << (p.valid ? 1 : 0) << ","
+               << (p.failed ? 1 : 0) << ","
+               << diagCodeName(p.failCode) << "," << p.area.alms
+               << "," << p.area.luts << "," << p.area.regs << ","
+               << p.area.dsps << "," << p.area.brams << ","
+               << p.cycles << ",";
+            for (size_t j = 0; j < p.binding.values.size(); ++j)
+                os << (j ? " " : "") << p.binding.values[j];
+            // The reason goes last so it may contain commas; strip
+            // newlines to keep the format line-oriented.
+            std::string reason = p.failReason;
+            std::replace(reason.begin(), reason.end(), '\n', ' ');
+            os << "," << reason << "\n";
+        }
+        if (!os)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/** Split a row on the first n commas; element n is the remainder. */
+std::vector<std::string>
+splitFields(const std::string& line, size_t n)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    for (size_t i = 0; i < n; ++i) {
+        size_t comma = line.find(',', pos);
+        if (comma == std::string::npos)
+            return out; // short row; caller rejects
+        out.push_back(line.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    out.push_back(line.substr(pos));
+    return out;
+}
+
+/**
+ * Restore evaluated points from a checkpoint. A missing file or a
+ * header that disagrees with this run (seed, sample count, parameter
+ * count) yields a warning diagnostic and restores nothing; rows whose
+ * binding does not match the freshly sampled binding at that index
+ * are skipped the same way. Returns the number of restored points.
+ */
 size_t
+loadCheckpoint(const std::string& path, uint64_t seed, size_t nparams,
+               std::vector<DesignPoint>& points, DiagSink& sink)
+{
+    auto warn = [&](const std::string& msg) {
+        Diag d;
+        d.code = DiagCode::CheckpointIo;
+        d.severity = DiagSeverity::Warning;
+        d.stage = "checkpoint";
+        d.message = msg;
+        sink.report(d);
+        return size_t(0);
+    };
+
+    std::ifstream is(path);
+    if (!is)
+        return warn("checkpoint '" + path +
+                    "' not found; starting fresh");
+    std::string line;
+    if (!std::getline(is, line) || line != kCheckpointMagic)
+        return warn("checkpoint '" + path +
+                    "' has an unknown format; ignored");
+    unsigned long long ck_seed = 0;
+    size_t ck_total = 0, ck_nparams = 0;
+    if (!std::getline(is, line) ||
+        std::sscanf(line.c_str(), "# seed=%llu total=%zu nparams=%zu",
+                    &ck_seed, &ck_total, &ck_nparams) != 3)
+        return warn("checkpoint '" + path +
+                    "' has a malformed header; ignored");
+    if (ck_seed != seed || ck_total != points.size() ||
+        ck_nparams != nparams)
+        return warn("checkpoint '" + path +
+                    "' was written by a different exploration "
+                    "(seed/points/params mismatch); ignored");
+
+    size_t restored = 0, rejected = 0;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto f = splitFields(line, 11);
+        if (f.size() != 12) {
+            ++rejected;
+            continue;
+        }
+        size_t idx = 0;
+        try {
+            idx = size_t(std::stoull(f[0]));
+        } catch (const std::exception&) {
+            ++rejected;
+            continue;
+        }
+        if (idx >= points.size() || points[idx].evaluated) {
+            ++rejected;
+            continue;
+        }
+        DesignPoint& p = points[idx];
+        // Guard against a stale file: the stored binding must match
+        // the binding sampled at this index this run.
+        std::istringstream bs(f[10]);
+        std::vector<int64_t> vals;
+        int64_t v;
+        while (bs >> v)
+            vals.push_back(v);
+        if (vals != p.binding.values) {
+            ++rejected;
+            continue;
+        }
+        try {
+            p.valid = f[1] == "1";
+            p.failed = f[2] == "1";
+            p.failCode = diagCodeFromName(f[3]);
+            p.area.alms = std::stod(f[4]);
+            p.area.luts = std::stod(f[5]);
+            p.area.regs = std::stod(f[6]);
+            p.area.dsps = std::stod(f[7]);
+            p.area.brams = std::stod(f[8]);
+            p.cycles = std::stod(f[9]);
+        } catch (const std::exception&) {
+            p.valid = p.failed = false;
+            p.failCode = DiagCode::Ok;
+            ++rejected;
+            continue;
+        }
+        p.failReason = f[11];
+        p.evaluated = true;
+        ++restored;
+        if (p.failed) {
+            // Re-surface the failure so failureSummary() covers
+            // restored points too.
+            Diag d;
+            d.code = p.failCode;
+            d.severity = DiagSeverity::Error;
+            d.stage = "checkpoint";
+            d.message = p.failReason;
+            d.pointIndex = int64_t(idx);
+            sink.report(d);
+        }
+    }
+    if (rejected > 0)
+        warn("checkpoint '" + path + "': " + std::to_string(rejected) +
+             " stale/malformed row(s) ignored");
+    return restored;
+}
+
+} // namespace
+
+std::optional<size_t>
 ExploreResult::bestIndex() const
 {
-    size_t best = SIZE_MAX;
+    std::optional<size_t> best;
     for (size_t i = 0; i < points.size(); ++i) {
         if (!points[i].valid)
             continue;
-        if (best == SIZE_MAX || points[i].cycles < points[best].cycles)
+        if (!best || points[i].cycles < points[*best].cycles)
             best = i;
     }
     return best;
+}
+
+std::vector<std::pair<std::string, size_t>>
+ExploreResult::failureSummary(size_t top) const
+{
+    return topReasons(diags, top);
 }
 
 DesignPoint
@@ -24,23 +237,202 @@ Explorer::evaluate(const Graph& g, ParamBinding b) const
     p.area = area_.estimate(inst);
     p.cycles = runtime_.estimate(inst).cycles;
     p.valid = p.area.fits(area_.device());
+    p.evaluated = true;
     return p;
+}
+
+Status
+Explorer::evaluateGuarded(const Graph& g, DesignPoint& p) const
+{
+    return evaluatePoint(g, p, 0, nullptr);
+}
+
+Status
+Explorer::evaluatePoint(
+    const Graph& g, DesignPoint& p, size_t idx,
+    const std::function<void(const ParamBinding&, size_t)>* hook) const
+{
+    const char* stage = "instantiate";
+    try {
+        if (hook && *hook) {
+            stage = "pre-evaluate";
+            (*hook)(p.binding, idx);
+        }
+        stage = "instantiate";
+        Inst inst(g, p.binding);
+        stage = "area";
+        p.area = area_.estimate(inst);
+        stage = "runtime";
+        p.cycles = runtime_.estimate(inst).cycles;
+        p.valid = p.area.fits(area_.device());
+        p.evaluated = true;
+        return Status();
+    } catch (...) {
+        Diag d = diagFromCurrentException(stage);
+        d.pointIndex = int64_t(idx);
+        d.context = renderBinding(g, p.binding);
+        p.evaluated = true;
+        p.failed = true;
+        p.valid = false;
+        p.failCode = d.code;
+        p.failReason = d.message;
+        return Status::error(std::move(d));
+    }
 }
 
 ExploreResult
 Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
 {
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+
     ParamSpace space(g);
     ExploreResult res;
+    DiagSink sink;
+
     // Small pruned spaces are walked exhaustively; larger ones are
     // randomly sampled (the paper samples up to 75,000 legal points).
+    // Either path is deterministic per seed, which checkpoint/resume
+    // and the thread-count invariance both rely on.
     auto bindings =
         space.sizeEstimate() <= double(cfg.maxPoints)
             ? space.enumerate(cfg.maxPoints)
             : space.sample(cfg.maxPoints, cfg.seed);
-    res.points.reserve(bindings.size());
-    for (auto& b : bindings)
-        res.points.push_back(evaluate(g, std::move(b)));
+    res.points.resize(bindings.size());
+    for (size_t i = 0; i < bindings.size(); ++i)
+        res.points[i].binding = std::move(bindings[i]);
+    res.stats.total = res.points.size();
+
+    const size_t nparams = g.params().size();
+    if (cfg.resume && !cfg.checkpointPath.empty())
+        res.stats.resumed = loadCheckpoint(
+            cfg.checkpointPath, cfg.seed, nparams, res.points, sink);
+
+    // Work list: everything not restored from the checkpoint, capped
+    // by the evaluation-count budget.
+    std::vector<size_t> todo;
+    todo.reserve(res.points.size());
+    for (size_t i = 0; i < res.points.size(); ++i) {
+        if (!res.points[i].evaluated)
+            todo.push_back(i);
+    }
+    if (cfg.evalBudget > 0 && int64_t(todo.size()) > cfg.evalBudget) {
+        res.stats.evalBudgetHit = true;
+        Diag d;
+        d.code = DiagCode::EvalBudgetExceeded;
+        d.severity = DiagSeverity::Warning;
+        d.stage = "explore";
+        d.message = "evaluation budget of " +
+                    std::to_string(cfg.evalBudget) + " points leaves " +
+                    std::to_string(todo.size() - size_t(cfg.evalBudget)) +
+                    " un-evaluated";
+        sink.report(d);
+        todo.resize(size_t(cfg.evalBudget));
+    }
+
+    // Wall-clock budget: checked before each point; once expired,
+    // remaining points are skipped (and later resumable).
+    std::atomic<bool> outOfTime{false};
+    const auto deadline =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(
+                     cfg.timeBudgetSeconds > 0 ? cfg.timeBudgetSeconds
+                                               : 0));
+    auto expired = [&]() {
+        if (cfg.timeBudgetSeconds <= 0)
+            return false;
+        if (outOfTime.load(std::memory_order_relaxed))
+            return true;
+        if (Clock::now() >= deadline) {
+            outOfTime.store(true, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    };
+
+    const auto* hook = cfg.preEvaluate ? &cfg.preEvaluate : nullptr;
+    auto evalOne = [&](size_t idx) {
+        if (expired())
+            return;
+        Status s = evaluatePoint(g, res.points[idx], idx, hook);
+        if (!s.ok())
+            sink.report(s.diag());
+    };
+
+    std::unique_ptr<cpu::ThreadPool> pool;
+    if (cfg.threads > 1)
+        pool = std::make_unique<cpu::ThreadPool>(cfg.threads);
+
+    // Evaluate in slices so periodic checkpoints land between
+    // parallel batches; without checkpointing there is one slice.
+    const int64_t n = int64_t(todo.size());
+    const int64_t slice = cfg.checkpointPath.empty()
+                              ? std::max<int64_t>(n, 1)
+                              : std::max<int64_t>(1, cfg.checkpointEvery);
+    bool ckFailed = false;
+    auto checkpoint = [&]() {
+        if (cfg.checkpointPath.empty())
+            return;
+        if (!writeCheckpoint(cfg.checkpointPath, cfg.seed, nparams,
+                             res.points) &&
+            !ckFailed) {
+            ckFailed = true;
+            Diag d;
+            d.code = DiagCode::CheckpointIo;
+            d.severity = DiagSeverity::Warning;
+            d.stage = "checkpoint";
+            d.message = "cannot write checkpoint '" +
+                        cfg.checkpointPath + "'";
+            sink.report(d);
+        }
+    };
+
+    for (int64_t lo = 0; lo < n; lo += slice) {
+        const int64_t hi = std::min(n, lo + slice);
+        if (pool) {
+            pool->parallelFor(hi - lo, [&](int64_t a, int64_t b) {
+                for (int64_t i = a; i < b; ++i)
+                    evalOne(todo[size_t(lo + i)]);
+            });
+        } else {
+            for (int64_t i = lo; i < hi; ++i)
+                evalOne(todo[size_t(i)]);
+        }
+        checkpoint();
+        if (outOfTime.load())
+            break;
+    }
+
+    // Aggregate stats; points skipped by a budget stay un-evaluated.
+    for (const DesignPoint& p : res.points) {
+        res.stats.evaluated += p.evaluated ? 1 : 0;
+        res.stats.failed += p.failed ? 1 : 0;
+        res.stats.valid += p.valid ? 1 : 0;
+    }
+    res.stats.skipped = res.stats.total - res.stats.evaluated;
+    if (outOfTime.load()) {
+        res.stats.timeBudgetHit = true;
+        Diag d;
+        d.code = DiagCode::TimeBudgetExceeded;
+        d.severity = DiagSeverity::Warning;
+        d.stage = "explore";
+        d.message = "wall-clock budget of " +
+                    std::to_string(cfg.timeBudgetSeconds) +
+                    "s expired; " + std::to_string(res.stats.skipped) +
+                    " point(s) skipped";
+        sink.report(d);
+    }
+
+    // Deterministic diagnostic order regardless of thread count.
+    res.diags = sink.drain();
+    std::sort(res.diags.begin(), res.diags.end(),
+              [](const Diag& a, const Diag& b) {
+                  if (a.pointIndex != b.pointIndex)
+                      return a.pointIndex < b.pointIndex;
+                  if (a.stage != b.stage)
+                      return a.stage < b.stage;
+                  return a.message < b.message;
+              });
 
     // Pareto over valid points only, then map back to full indices.
     std::vector<size_t> valid;
@@ -55,6 +447,9 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
     res.pareto.reserve(front.size());
     for (size_t i : front)
         res.pareto.push_back(valid[i]);
+
+    res.stats.seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
     return res;
 }
 

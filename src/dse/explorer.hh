@@ -5,11 +5,33 @@
  * point with the calibrated estimators, mark points that exceed any
  * device capacity as invalid, and extract the Pareto frontier over
  * (execution cycles, ALM usage).
+ *
+ * Robustness model: a paper-scale sweep evaluates up to 75,000
+ * points, so a single bad point must never abort the run. Every
+ * point is evaluated inside an isolation boundary — an exception
+ * from instantiation or either estimator is converted into a
+ * structured diagnostic (core/diag.hh) and recorded on the point
+ * itself; exploration continues. The explorer additionally supports:
+ *
+ *  - wall-clock and evaluation-count budgets with graceful early
+ *    termination (un-evaluated points are reported, not silently
+ *    dropped);
+ *  - periodic checkpointing of completed points to a CSV file, and
+ *    resume-from-checkpoint for interrupted sweeps;
+ *  - parallel evaluation over cpu::ThreadPool with deterministic
+ *    output: without a time budget, results are identical for any
+ *    thread count (points are written to pre-assigned slots and
+ *    diagnostics are sorted by point index).
  */
 
 #ifndef DHDL_DSE_EXPLORER_HH
 #define DHDL_DSE_EXPLORER_HH
 
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/diag.hh"
 #include "dse/pareto.hh"
 #include "dse/space.hh"
 #include "estimate/area_estimator.hh"
@@ -23,6 +45,12 @@ struct DesignPoint {
     est::AreaEstimate area;
     double cycles = 0;
     bool valid = false; //!< Fits every device resource capacity.
+    /** The point went through evaluation (false = budget-skipped). */
+    bool evaluated = false;
+    /** Evaluation threw; failCode/failReason say why. */
+    bool failed = false;
+    DiagCode failCode = DiagCode::Ok;
+    std::string failReason;
 };
 
 /** Exploration configuration. */
@@ -30,6 +58,54 @@ struct ExploreConfig {
     /** Points sampled from the legal space (paper: up to 75,000). */
     int maxPoints = 75000;
     uint64_t seed = 0xD5Eull;
+
+    /** Worker threads for point evaluation; <=1 evaluates inline. */
+    int threads = 1;
+
+    /** Wall-clock budget in seconds; 0 = unlimited. */
+    double timeBudgetSeconds = 0;
+
+    /**
+     * Maximum points to evaluate in this call; 0 = unlimited. The
+     * remainder is left un-evaluated (and picked up by a later
+     * resume when checkpointing is on).
+     */
+    int64_t evalBudget = 0;
+
+    /** Non-empty enables checkpointing to this file. */
+    std::string checkpointPath;
+
+    /** Evaluations between checkpoint writes. */
+    int64_t checkpointEvery = 1000;
+
+    /**
+     * Restore previously evaluated points from checkpointPath before
+     * evaluating; a missing or mismatched file (different seed,
+     * sample count or parameter count) is reported as a warning and
+     * ignored.
+     */
+    bool resume = false;
+
+    /**
+     * Test/instrumentation seam, called with (binding, point index)
+     * inside the isolation boundary before each evaluation. Used by
+     * the fault-injection tests; an exception thrown here fails only
+     * that point.
+     */
+    std::function<void(const ParamBinding&, size_t)> preEvaluate;
+};
+
+/** Aggregate counters for one explore() call. */
+struct ExploreStats {
+    size_t total = 0;     //!< Points sampled from the space.
+    size_t evaluated = 0; //!< Points evaluated (incl. restored).
+    size_t resumed = 0;   //!< Points restored from a checkpoint.
+    size_t failed = 0;    //!< Points whose evaluation threw.
+    size_t valid = 0;     //!< Points that fit the device.
+    size_t skipped = 0;   //!< Points dropped by a budget.
+    bool timeBudgetHit = false;
+    bool evalBudgetHit = false;
+    double seconds = 0;   //!< Wall-clock of this explore() call.
 };
 
 /** Exploration output: all evaluated points + the Pareto front. */
@@ -37,9 +113,16 @@ struct ExploreResult {
     std::vector<DesignPoint> points;
     /** Indices of Pareto-optimal valid points (cycles vs ALMs). */
     std::vector<size_t> pareto;
+    /** Per-point failures and run-level warnings, by point index. */
+    std::vector<Diag> diags;
+    ExploreStats stats;
 
-    /** The valid point with the fewest cycles; SIZE_MAX when none. */
-    size_t bestIndex() const;
+    /** The valid point with the fewest cycles; nullopt when none. */
+    std::optional<size_t> bestIndex() const;
+
+    /** Most frequent failure reasons, aggregated from diags. */
+    std::vector<std::pair<std::string, size_t>>
+    failureSummary(size_t top = 5) const;
 };
 
 /** DSE driver bound to calibrated estimators. */
@@ -50,14 +133,31 @@ class Explorer
              const est::RuntimeEstimator& runtime)
         : area_(area), runtime_(runtime) {}
 
-    /** Evaluate a single binding. */
+    /** Evaluate a single binding; throws on a bad point. */
     DesignPoint evaluate(const Graph& g, ParamBinding b) const;
+
+    /**
+     * Evaluate a single binding inside the isolation boundary: never
+     * throws, returns error status and marks the point failed when
+     * evaluation raises.
+     */
+    Status evaluateGuarded(const Graph& g, DesignPoint& p) const;
 
     /** Sample and evaluate the design space of a graph. */
     ExploreResult explore(const Graph& g,
                           const ExploreConfig& cfg = {}) const;
 
   private:
+    /**
+     * Staged evaluation of one point behind the isolation boundary.
+     * `hook` (may be null) is ExploreConfig::preEvaluate; `idx` is
+     * the point index passed to the hook.
+     */
+    Status evaluatePoint(
+        const Graph& g, DesignPoint& p, size_t idx,
+        const std::function<void(const ParamBinding&, size_t)>* hook)
+        const;
+
     const est::AreaEstimator& area_;
     const est::RuntimeEstimator& runtime_;
 };

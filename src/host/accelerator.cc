@@ -13,17 +13,45 @@ Accelerator::Accelerator(const Graph& g, ParamBinding binding,
     fsim_ = std::make_unique<sim::FunctionalSim>(*inst_);
 }
 
+NodeId
+Accelerator::offchipByName(const std::string& name) const
+{
+    std::string known;
+    for (NodeId id : g_.offchipMems) {
+        if (g_.node(id).name() == name)
+            return id;
+        if (!known.empty())
+            known += ", ";
+        known += g_.node(id).name();
+    }
+    fatal("no off-chip array named '" + name + "' (arrays: " + known +
+              ")",
+          DiagCode::HostApiMisuse);
+}
+
 void
 Accelerator::setInput(const std::string& name,
                       std::vector<double> data)
 {
-    require(!ran_, "setInput after run(); create a new Accelerator");
+    require(!ran_, "setInput after run(); create a new Accelerator",
+            DiagCode::HostApiMisuse);
+    NodeId id = offchipByName(name);
+    size_t elems = size_t(inst_->memElems(id));
+    require(data.size() == elems,
+            "setInput('" + name + "'): got " +
+                std::to_string(data.size()) + " elements, array holds " +
+                std::to_string(elems),
+            DiagCode::HostApiMisuse);
     staged_.emplace_back(name, std::move(data));
 }
 
 void
 Accelerator::requestOutput(const std::string& name)
 {
+    require(!ran_,
+            "requestOutput after run(); create a new Accelerator",
+            DiagCode::HostApiMisuse);
+    offchipByName(name);
     outputs_.push_back(name);
 }
 
@@ -61,14 +89,16 @@ Accelerator::run()
 const std::vector<double>&
 Accelerator::output(const std::string& name) const
 {
-    require(ran_, "output() before run()");
+    require(ran_, "output('" + name + "') before run()",
+            DiagCode::HostApiMisuse);
     return fsim_->offchip(name);
 }
 
 double
 Accelerator::scalar(const std::string& name) const
 {
-    require(ran_, "scalar() before run()");
+    require(ran_, "scalar('" + name + "') before run()",
+            DiagCode::HostApiMisuse);
     return fsim_->regValue(name);
 }
 

@@ -51,10 +51,17 @@ class Accelerator
     Accelerator(const Graph& g, ParamBinding binding,
                 fpga::Device dev = fpga::Device::maia());
 
-    /** Stage host data for an off-chip array (copied at run()). */
+    /**
+     * Stage host data for an off-chip array (copied at run()).
+     * Raises FatalError immediately on an unknown array name or a
+     * size that does not match the array's extent.
+     */
     void setInput(const std::string& name, std::vector<double> data);
 
-    /** Mark an off-chip array to be copied back after run(). */
+    /**
+     * Mark an off-chip array to be copied back after run(). Raises
+     * FatalError immediately on an unknown array name.
+     */
     void requestOutput(const std::string& name);
 
     /**
@@ -72,6 +79,9 @@ class Accelerator
     const Inst& instance() const { return *inst_; }
 
   private:
+    /** Off-chip array node by name; fatal on an unknown name. */
+    NodeId offchipByName(const std::string& name) const;
+
     const Graph& g_;
     ParamBinding binding_;
     fpga::Device dev_;

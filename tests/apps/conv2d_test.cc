@@ -98,7 +98,7 @@ TEST(Conv2dTest, Explorable)
     dse::ExploreConfig cfg;
     cfg.maxPoints = 100;
     auto res = ex.explore(d.graph(), cfg);
-    EXPECT_NE(res.bestIndex(), SIZE_MAX);
+    EXPECT_TRUE(res.bestIndex().has_value());
 }
 
 } // namespace

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/diag.hh"
+
+namespace dhdl {
+namespace {
+
+TEST(DiagTest, CodeNamesRoundTrip)
+{
+    for (DiagCode c : {
+             DiagCode::Ok,
+             DiagCode::Unknown,
+             DiagCode::UserError,
+             DiagCode::InternalError,
+             DiagCode::IllegalBinding,
+             DiagCode::InstantiationFailed,
+             DiagCode::AreaEstimationFailed,
+             DiagCode::RuntimeEstimationFailed,
+             DiagCode::DeviceCapacityExceeded,
+             DiagCode::TimeBudgetExceeded,
+             DiagCode::EvalBudgetExceeded,
+             DiagCode::CheckpointIo,
+             DiagCode::HostApiMisuse,
+         }) {
+        EXPECT_EQ(diagCodeFromName(diagCodeName(c)), c);
+    }
+    EXPECT_EQ(diagCodeFromName("no-such-code"), DiagCode::Unknown);
+}
+
+TEST(DiagTest, StrRendersCodeStageAndContext)
+{
+    Diag d;
+    d.code = DiagCode::AreaEstimationFailed;
+    d.severity = DiagSeverity::Error;
+    d.stage = "area";
+    d.message = "boom";
+    d.context = "ts=64";
+    d.pointIndex = 7;
+    std::string s = d.str();
+    EXPECT_NE(s.find("area-estimation-failed"), std::string::npos);
+    EXPECT_NE(s.find("area"), std::string::npos);
+    EXPECT_NE(s.find("point 7"), std::string::npos);
+    EXPECT_NE(s.find("boom"), std::string::npos);
+    EXPECT_NE(s.find("ts=64"), std::string::npos);
+}
+
+TEST(DiagTest, StatusCarriesDiag)
+{
+    Status ok;
+    EXPECT_TRUE(ok.ok());
+
+    Diag d;
+    d.code = DiagCode::CheckpointIo;
+    d.message = "cannot write";
+    Status err = Status::error(d);
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(err.diag().code, DiagCode::CheckpointIo);
+    EXPECT_EQ(err.diag().message, "cannot write");
+}
+
+TEST(DiagTest, FromCurrentExceptionKeepsCodes)
+{
+    Diag d;
+    try {
+        fatal("bad user input", DiagCode::IllegalBinding);
+    } catch (...) {
+        d = diagFromCurrentException("bind");
+    }
+    EXPECT_EQ(d.code, DiagCode::IllegalBinding);
+    EXPECT_EQ(d.stage, "bind");
+    EXPECT_EQ(d.message, "bad user input");
+
+    try {
+        throw std::runtime_error("foreign");
+    } catch (...) {
+        d = diagFromCurrentException("other");
+    }
+    EXPECT_EQ(d.code, DiagCode::Unknown);
+    EXPECT_EQ(d.message, "foreign");
+}
+
+TEST(DiagTest, SinkCountsBySeverityAndDrains)
+{
+    DiagSink sink;
+    Diag w;
+    w.severity = DiagSeverity::Warning;
+    Diag e;
+    e.severity = DiagSeverity::Error;
+    sink.report(w);
+    sink.report(e);
+    sink.report(e);
+    EXPECT_EQ(sink.warningCount(), 1u);
+    EXPECT_EQ(sink.errorCount(), 2u);
+    EXPECT_EQ(sink.size(), 3u);
+    EXPECT_EQ(sink.snapshot().size(), 3u);
+    EXPECT_EQ(sink.drain().size(), 3u);
+    EXPECT_EQ(sink.size(), 0u);
+    EXPECT_EQ(sink.errorCount(), 0u);
+}
+
+TEST(DiagTest, SinkIsThreadSafe)
+{
+    DiagSink sink;
+    constexpr int kThreads = 8, kPer = 500;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&sink] {
+            for (int i = 0; i < kPer; ++i) {
+                Diag d;
+                d.severity = (i % 2) ? DiagSeverity::Warning
+                                     : DiagSeverity::Error;
+                sink.report(d);
+            }
+        });
+    }
+    for (auto& t : ts)
+        t.join();
+    EXPECT_EQ(sink.size(), size_t(kThreads * kPer));
+    EXPECT_EQ(sink.errorCount() + sink.warningCount(),
+              size_t(kThreads * kPer));
+}
+
+TEST(DiagTest, TopReasonsGroupsByCodeAndStage)
+{
+    std::vector<Diag> diags;
+    auto add = [&](DiagCode c, const std::string& stage,
+                   const std::string& msg, int n) {
+        for (int i = 0; i < n; ++i) {
+            Diag d;
+            d.code = c;
+            d.stage = stage;
+            d.message = msg;
+            diags.push_back(d);
+        }
+    };
+    add(DiagCode::AreaEstimationFailed, "area", "overflow", 5);
+    add(DiagCode::InstantiationFailed, "instantiate", "bad tile", 2);
+    // Warnings are excluded from failure aggregation.
+    Diag w;
+    w.severity = DiagSeverity::Warning;
+    w.code = DiagCode::TimeBudgetExceeded;
+    diags.push_back(w);
+
+    auto top = topReasons(diags, 5);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].second, 5u);
+    EXPECT_NE(top[0].first.find("area-estimation-failed"),
+              std::string::npos);
+    EXPECT_NE(top[0].first.find("overflow"), std::string::npos);
+    EXPECT_EQ(top[1].second, 2u);
+
+    auto only_one = topReasons(diags, 1);
+    EXPECT_EQ(only_one.size(), 1u);
+}
+
+} // namespace
+} // namespace dhdl

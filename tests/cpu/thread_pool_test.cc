@@ -70,6 +70,37 @@ TEST(ThreadPoolTest, ZeroThreadsIsFatal)
     EXPECT_THROW(ThreadPool(0), FatalError);
 }
 
+TEST(ThreadPoolTest, TaskExceptionSurfacesAtBarrier)
+{
+    ThreadPool pool(4);
+    pool.submit([] { throw std::runtime_error("task blew up"); });
+    EXPECT_THROW(pool.barrier(), std::runtime_error);
+
+    // The worker survived and the pool remains usable.
+    std::atomic<int> done{0};
+    pool.submit([&] { ++done; });
+    pool.barrier();
+    EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTaskException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](int64_t lo, int64_t) {
+                             if (lo == 0)
+                                 fatal("bad chunk");
+                         }),
+        FatalError);
+    // Subsequent rounds are unaffected.
+    std::atomic<int64_t> count{0};
+    pool.parallelFor(100, [&](int64_t lo, int64_t hi) {
+        count += hi - lo;
+    });
+    EXPECT_EQ(count.load(), 100);
+}
+
 TEST(ThreadPoolTest, ReusableAcrossParallelFors)
 {
     ThreadPool pool(4);

@@ -72,11 +72,11 @@ TEST_F(ExplorerFixture, BestIndexIsFastestValid)
     ExploreConfig cfg;
     cfg.maxPoints = 150;
     auto res = explorer().explore(d.graph(), cfg);
-    size_t best = res.bestIndex();
-    ASSERT_NE(best, SIZE_MAX);
+    auto best = res.bestIndex();
+    ASSERT_TRUE(best.has_value());
     for (const auto& p : res.points) {
         if (p.valid)
-            EXPECT_LE(res.points[best].cycles, p.cycles);
+            EXPECT_LE(res.points[*best].cycles, p.cycles);
     }
 }
 

@@ -87,5 +87,51 @@ TEST(AcceleratorTest, ReadBeforeRunIsFatal)
     EXPECT_THROW(acc.output("a"), FatalError);
 }
 
+TEST(AcceleratorTest, UnknownArrayNameIsFatalAtCallSite)
+{
+    Design d = apps::buildDotproduct({192});
+    Accelerator acc(d.graph(), d.params().defaults());
+    // setInput/requestOutput validate eagerly, before run().
+    try {
+        acc.setInput("nope", std::vector<double>(192, 0.0));
+        FAIL() << "setInput on unknown array did not throw";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("nope"),
+                  std::string::npos);
+        EXPECT_EQ(e.code(), DiagCode::HostApiMisuse);
+    }
+    EXPECT_THROW(acc.requestOutput("nope"), FatalError);
+    // A valid call still works after the rejected ones.
+    acc.setInput("a", std::vector<double>(192, 1.0));
+    acc.setInput("b", std::vector<double>(192, 1.0));
+    acc.run();
+    EXPECT_DOUBLE_EQ(acc.scalar("out"), 192.0);
+}
+
+TEST(AcceleratorTest, WrongInputSizeIsFatalAtCallSite)
+{
+    Design d = apps::buildDotproduct({192});
+    Accelerator acc(d.graph(), d.params().defaults());
+    try {
+        acc.setInput("a", std::vector<double>(7, 0.0));
+        FAIL() << "setInput with wrong size did not throw";
+    } catch (const FatalError& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("a"), std::string::npos);
+        EXPECT_NE(msg.find("7"), std::string::npos);
+        EXPECT_NE(msg.find("192"), std::string::npos);
+    }
+}
+
+TEST(AcceleratorTest, RequestOutputAfterRunIsFatal)
+{
+    Design d = apps::buildDotproduct({192});
+    Accelerator acc(d.graph(), d.params().defaults());
+    acc.setInput("a", std::vector<double>(192, 1.0));
+    acc.setInput("b", std::vector<double>(192, 1.0));
+    acc.run();
+    EXPECT_THROW(acc.requestOutput("a"), FatalError);
+}
+
 } // namespace
 } // namespace dhdl::host

@@ -73,8 +73,9 @@ TEST(EndToEndTest, BestDesignComputesCorrectResult)
     dse::ExploreConfig cfg;
     cfg.maxPoints = 60;
     auto res = explorer.explore(d.graph(), cfg);
-    size_t best = res.bestIndex();
-    ASSERT_NE(best, SIZE_MAX);
+    auto best_opt = res.bestIndex();
+    ASSERT_TRUE(best_opt.has_value());
+    size_t best = *best_opt;
 
     // Pin muSize to the full feature count so the design computes the
     // complete covariance (DSE also explores truncated-muSize points,

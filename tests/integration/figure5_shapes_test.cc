@@ -45,10 +45,10 @@ TEST(Figure5Shapes, DotproductBestDesignUsesMetaPipe)
     // than those with Sequential for the same performance."
     Design d = apps::buildDotproduct({960000});
     auto res = explore(d);
-    size_t best = res.bestIndex();
-    ASSERT_NE(best, SIZE_MAX);
+    auto best = res.bestIndex();
+    ASSERT_TRUE(best.has_value());
     ParamId tog = paramByName(d, "M1toggle");
-    EXPECT_EQ(res.points[best].binding[tog], 1);
+    EXPECT_EQ(res.points[*best].binding[tog], 1);
 }
 
 TEST(Figure5Shapes, OuterprodBramGrowsQuadraticallyWithTiles)
@@ -88,10 +88,10 @@ TEST(Figure5Shapes, KmeansIsAlmBoundNotDspBound)
     // of ALMs on the FPGA."
     Design d = apps::buildKmeans({9600, 8, 384});
     auto res = explore(d, 600);
-    size_t best = res.bestIndex();
-    ASSERT_NE(best, SIZE_MAX);
+    auto best = res.bestIndex();
+    ASSERT_TRUE(best.has_value());
     const auto& dev = est::calibratedEstimator().device();
-    const auto& a = res.points[best].area;
+    const auto& a = res.points[*best].area;
     double alm_frac = a.alms / double(dev.alms);
     double dsp_frac = a.dsps / double(dev.dsps);
     EXPECT_GT(alm_frac, dsp_frac);

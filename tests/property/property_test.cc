@@ -112,17 +112,17 @@ TEST_P(AppProperty, MorePointsNeverWorsenBestDesign)
     big_cfg.seed = 5;
     auto small_res = ex.explore(d.graph(), small_cfg);
     auto big_res = ex.explore(d.graph(), big_cfg);
-    size_t sb = small_res.bestIndex();
-    size_t bb = big_res.bestIndex();
-    if (sb == SIZE_MAX) {
+    auto sb = small_res.bestIndex();
+    auto bb = big_res.bestIndex();
+    if (!sb) {
         SUCCEED();
         return;
     }
-    ASSERT_NE(bb, SIZE_MAX);
+    ASSERT_TRUE(bb.has_value());
     // The sampler is prefix-stable per seed, so a larger budget can
     // only add candidates.
-    EXPECT_LE(big_res.points[bb].cycles,
-              small_res.points[sb].cycles * 1.0001);
+    EXPECT_LE(big_res.points[*bb].cycles,
+              small_res.points[*sb].cycles * 1.0001);
 }
 
 TEST_P(AppProperty, TimingSimDeterministic)

@@ -4,6 +4,8 @@
  * Usage:
  *   dhdlc list
  *   dhdlc explore <benchmark> [--scale S] [--points N] [--top K]
+ *                 [--threads T] [--time-budget SEC]
+ *                 [--checkpoint FILE] [--resume]
  *   dhdlc report <benchmark> [--scale S] [--points N]
  *   dhdlc emit <benchmark> [--scale S] [--points N] [--out DIR]
  *   dhdlc print <benchmark> [--scale S]
@@ -43,6 +45,10 @@ struct Args {
     int points = 2000;
     int top = 10;
     std::string out = ".";
+    int threads = 1;
+    double timeBudget = 0;
+    std::string checkpoint;
+    bool resume = false;
 };
 
 int
@@ -51,6 +57,8 @@ usage()
     std::cerr
         << "usage: dhdlc <list|print|explore|report|emit> "
            "[benchmark] [--scale S] [--points N] [--top K] [--out DIR]"
+           " [--threads T] [--time-budget SEC] [--checkpoint FILE]"
+           " [--resume]"
         << std::endl;
     return 2;
 }
@@ -89,6 +97,23 @@ parse(int argc, char** argv, Args& args)
             if (!v)
                 return false;
             args.out = v;
+        } else if (flag == "--threads") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.threads = std::atoi(v);
+        } else if (flag == "--time-budget") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.timeBudget = std::atof(v);
+        } else if (flag == "--checkpoint") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.checkpoint = v;
+        } else if (flag == "--resume") {
+            args.resume = true;
         } else {
             return false;
         }
@@ -115,13 +140,44 @@ printBinding(const Design& d, const ParamBinding& b)
 }
 
 dse::ExploreResult
-explore(const Design& d, int points)
+explore(const Design& d, const Args& args)
 {
     static est::RuntimeEstimator rt;
     dse::Explorer ex(est::calibratedEstimator(), rt);
     dse::ExploreConfig cfg;
-    cfg.maxPoints = points;
+    cfg.maxPoints = args.points;
+    cfg.threads = args.threads;
+    cfg.timeBudgetSeconds = args.timeBudget;
+    cfg.checkpointPath = args.checkpoint;
+    cfg.resume = args.resume;
     return ex.explore(d.graph(), cfg);
+}
+
+/** One-line sweep health summary: evaluated/failed/valid/Pareto. */
+void
+printStats(const dse::ExploreResult& res)
+{
+    const auto& s = res.stats;
+    std::cout << s.total << " points sampled, " << s.evaluated
+              << " evaluated";
+    if (s.resumed)
+        std::cout << " (" << s.resumed << " from checkpoint)";
+    if (s.skipped)
+        std::cout << ", " << s.skipped << " skipped ("
+                  << (s.timeBudgetHit ? "time" : "eval")
+                  << " budget)";
+    std::cout << ", " << s.failed << " failed, " << s.valid
+              << " valid, " << res.pareto.size()
+              << " Pareto-optimal\n";
+    if (s.failed) {
+        std::cout << "top failure reasons:\n";
+        for (const auto& [label, count] : res.failureSummary())
+            std::cout << "  " << count << "x " << label << "\n";
+    }
+    for (const auto& d : res.diags) {
+        if (d.severity == DiagSeverity::Warning)
+            std::cout << "note: " << d.str() << "\n";
+    }
 }
 
 int
@@ -154,10 +210,9 @@ int
 cmdExplore(const Args& args)
 {
     Design d = buildByName(args.benchmark, args.scale);
-    auto res = explore(d, args.points);
+    auto res = explore(d, args);
     const auto& dev = est::calibratedEstimator().device();
-    std::cout << res.points.size() << " legal points, "
-              << res.pareto.size() << " Pareto-optimal\n";
+    printStats(res);
     int shown = 0;
     for (size_t idx : res.pareto) {
         if (shown++ >= args.top)
@@ -179,13 +234,14 @@ int
 cmdReport(const Args& args)
 {
     Design d = buildByName(args.benchmark, args.scale);
-    auto res = explore(d, args.points);
-    size_t best = res.bestIndex();
-    if (best == SIZE_MAX) {
+    auto res = explore(d, args);
+    auto best = res.bestIndex();
+    if (!best) {
+        printStats(res);
         std::cerr << "no valid design found\n";
         return 1;
     }
-    const auto& p = res.points[best];
+    const auto& p = res.points[*best];
     Inst inst(d.graph(), p.binding);
     auto truth = est::defaultToolchain().synthesize(inst);
     auto timed = sim::TimingSim(inst).run();
@@ -216,13 +272,14 @@ int
 cmdEmit(const Args& args)
 {
     Design d = buildByName(args.benchmark, args.scale);
-    auto res = explore(d, args.points);
-    size_t best = res.bestIndex();
-    if (best == SIZE_MAX) {
+    auto res = explore(d, args);
+    auto best = res.bestIndex();
+    if (!best) {
+        printStats(res);
         std::cerr << "no valid design found\n";
         return 1;
     }
-    Inst inst(d.graph(), res.points[best].binding);
+    Inst inst(d.graph(), res.points[*best].binding);
     std::string kpath = args.out + "/" + args.benchmark + ".maxj";
     std::string mpath =
         args.out + "/" + args.benchmark + "Manager.maxj";
