@@ -1,0 +1,150 @@
+/**
+ * Evaluation-throughput tracker: points/sec of the DSE evaluation
+ * pipeline on the figure5-style sweep (same sampling, serial
+ * evaluation) for every benchmark app. Emits
+ * BENCH_eval_throughput.json so the performance trajectory of the
+ * per-point evaluation path is tracked from PR 3 onward.
+ *
+ * The headline series is the GDA sweep (the paper's running example
+ * and the densest design space); a google-benchmark timer covers the
+ * same sweep for local iteration.
+ *
+ * Knobs:
+ *   DHDL_BENCH_SCALE   dataset scale factor (default 1.0 = Table II)
+ *   DHDL_EVAL_POINTS   points sampled per app (default 2000)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace dhdl;
+
+namespace {
+
+int
+evalPoints()
+{
+    return int(bench::envInt("DHDL_EVAL_POINTS", 2000));
+}
+
+struct Row {
+    std::string app;
+    size_t sampled = 0;
+    size_t evaluated = 0;
+    double seconds = 0;
+    double pointsPerSec = 0;
+};
+
+/**
+ * One serial figure5-style sweep: sample up to `points` legal
+ * bindings and evaluate all of them. Throughput is evaluated points
+ * over the explore() wall clock (sampling included — it is part of
+ * the per-point cost a user pays).
+ */
+Row
+measureApp(const apps::AppEntry& app, double scale, int points)
+{
+    using Clock = std::chrono::steady_clock;
+    Design d = app.build(scale);
+    dse::ExploreConfig cfg;
+    cfg.maxPoints = points;
+    cfg.threads = 1;
+    auto t0 = Clock::now();
+    auto res = bench::explorer().explore(d.graph(), cfg);
+    double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    Row r;
+    r.app = app.name;
+    r.sampled = res.stats.total;
+    r.evaluated = res.stats.evaluated;
+    r.seconds = dt;
+    r.pointsPerSec = dt > 0 ? double(res.stats.evaluated) / dt : 0;
+    return r;
+}
+
+/** The headline series: GDA, tracked by the acceptance criterion. */
+void
+BM_Figure5GdaSweep(benchmark::State& state)
+{
+    double scale = bench::benchScale();
+    int points = evalPoints();
+    Design d = apps::buildGda(
+        {apps::scaledSize(apps::PaperSizes::gdaR, scale, 960),
+         apps::PaperSizes::gdaC});
+    dse::ExploreConfig cfg;
+    cfg.maxPoints = points;
+    cfg.threads = 1;
+    for (auto _ : state) {
+        auto res = bench::explorer().explore(d.graph(), cfg);
+        state.SetItemsProcessed(state.items_processed() +
+                                int64_t(res.stats.evaluated));
+        benchmark::DoNotOptimize(res.pareto);
+    }
+}
+BENCHMARK(BM_Figure5GdaSweep)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+writeJson(const std::vector<Row>& rows, double scale, int points)
+{
+    std::ofstream os("BENCH_eval_throughput.json");
+    os << std::setprecision(10);
+    os << "{\n  \"bench\": \"eval_throughput\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"points_per_app\": " << points << ",\n"
+       << "  \"threads\": 1,\n  \"apps\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        os << "    {\"app\": \"" << r.app << "\", \"sampled\": "
+           << r.sampled << ", \"evaluated\": " << r.evaluated
+           << ", \"seconds\": " << r.seconds
+           << ", \"points_per_sec\": " << r.pointsPerSec << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    double scale = bench::benchScale();
+    int points = evalPoints();
+
+    std::cout << "Evaluation throughput (scale=" << scale << ", up to "
+              << points << " points/app, serial)\n\n";
+
+    // Warm the calibrated estimator so calibration cost (a per-process
+    // one-off) never lands inside a measured sweep.
+    (void)est::calibratedEstimator();
+
+    std::cout << std::left << std::setw(14) << "Benchmark"
+              << std::right << std::setw(10) << "points"
+              << std::setw(12) << "seconds" << std::setw(14)
+              << "points/sec" << "\n";
+    bench::rule(50);
+
+    std::vector<Row> rows;
+    for (const auto& app : apps::allApps()) {
+        Row r = measureApp(app, scale, points);
+        rows.push_back(r);
+        std::cout << std::left << std::setw(14) << r.app << std::right
+                  << std::setw(10) << r.evaluated << std::setw(12)
+                  << bench::fmt(r.seconds, 3) << std::setw(14)
+                  << bench::fmt(r.pointsPerSec, 0) << "\n";
+    }
+    writeJson(rows, scale, points);
+    std::cout << "\nwrote BENCH_eval_throughput.json\n\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

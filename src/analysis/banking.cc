@@ -1,15 +1,19 @@
 #include "analysis/banking.hh"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace dhdl {
 
 int
-inferBanks(const Inst& inst, NodeId bram)
+detail::computeBanks(const Inst& inst, NodeId bram,
+                     std::vector<std::pair<NodeId, int64_t>>& per_pipe)
 {
     const Graph& g = inst.graph();
-    const auto& mem = g.nodeAs<BramNode>(bram);
+    const BramNode* memp = inst.plan().bramNode(bram);
+    invariant(memp != nullptr, "computeBanks on non-BRAM node");
+    const auto& mem = *memp;
     if (mem.forcedBanks > 0)
         return mem.forcedBanks;
 
@@ -20,26 +24,35 @@ inferBanks(const Inst& inst, NodeId bram)
     // e.g. GDA's P2 reads subT(i) and subT(j) every cycle, doubling
     // the required banking.
     int64_t mem_lanes = inst.lanes(bram);
-    std::unordered_map<NodeId, int64_t> per_pipe;
+    // A memory has a handful of accessing pipes at most; a linear
+    // scan over a flat pair list beats a hash map here.
+    per_pipe.clear();
     int64_t banks = 1;
     for (NodeId a : inst.accessors(bram)) {
         const Node& n = g.node(a);
         int64_t demand = 1;
         if (n.kind() == NodeKind::Load || n.kind() == NodeKind::Store) {
             demand = std::max<int64_t>(1, inst.lanes(a) / mem_lanes);
-            int64_t& total = per_pipe[n.parent];
-            total += demand;
-            banks = std::max(banks, total);
+            auto it = std::find_if(
+                per_pipe.begin(), per_pipe.end(),
+                [&](const auto& e) { return e.first == n.parent; });
+            if (it == per_pipe.end())
+                it = per_pipe.emplace(per_pipe.end(), n.parent, 0);
+            it->second += demand;
+            banks = std::max(banks, it->second);
             continue;
         }
-        if (n.kind() == NodeKind::TileLd) {
-            demand = inst.val(g.nodeAs<TileLdNode>(a).par);
-        } else if (n.kind() == NodeKind::TileSt) {
-            demand = inst.val(g.nodeAs<TileStNode>(a).par);
-        }
+        if (n.isTileTransfer())
+            demand = inst.val(inst.plan().xferInfo(a).par);
         banks = std::max(banks, demand);
     }
     return int(std::min<int64_t>(banks, 1 << 20));
+}
+
+int
+inferBanks(const Inst& inst, NodeId bram)
+{
+    return inst.banks(bram);
 }
 
 int64_t

@@ -21,8 +21,23 @@ namespace dhdl {
  * the accessing node relative to the memory's scope; for TileLd /
  * TileSt it is the transfer parallelization factor. A forcedBanks
  * override on the node wins.
+ *
+ * Inst computes this eagerly for every BRAM at bind time; this reads
+ * the cached value.
  */
 int inferBanks(const Inst& inst, NodeId bram);
+
+namespace detail {
+
+/**
+ * The actual inference, called by Inst::bind() to fill its cache.
+ * `per_pipe` is caller-owned scratch (cleared here) so rebind-heavy
+ * sweeps do not allocate per BRAM per point.
+ */
+int computeBanks(const Inst& inst, NodeId bram,
+                 std::vector<std::pair<NodeId, int64_t>>& per_pipe);
+
+} // namespace detail
 
 /**
  * Elements per bank after interleaving (ceil division); the per-bank

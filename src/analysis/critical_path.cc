@@ -56,15 +56,14 @@ nodeLatency(const Graph& g, NodeId id)
 
 } // namespace
 
-PipeTiming
-analyzePipe(const Inst& inst, NodeId pipe)
+PipeSkeleton
+buildPipeSkeleton(const Graph& g, NodeId pipe)
 {
-    const Graph& g = inst.graph();
     const auto& c = g.nodeAs<ControllerNode>(pipe);
     invariant(c.kind() == NodeKind::Pipe,
               "analyzePipe on a non-Pipe controller");
 
-    PipeTiming t;
+    PipeSkeleton sk;
     // arrival[n]: cycle at which n's result is available. Children are
     // stored in creation order, which is a topological order because
     // the DSL only references already-created values.
@@ -90,7 +89,7 @@ analyzePipe(const Inst& inst, NodeId pipe)
         int64_t lat = nodeLatency(g, ch);
         int64_t out = ready + lat;
         arrival[ch] = out;
-        t.depth = std::max(t.depth, out);
+        sk.depth = std::max(sk.depth, out);
 
         // Slack matching: every input that arrives before `ready`
         // needs a delay line of (ready - arrival[in]) cycles carrying
@@ -103,19 +102,18 @@ analyzePipe(const Inst& inst, NodeId pipe)
                 continue;
             double bits = double(valueBits(g, in)) * double(slack);
             if (slack > kBramDelayThreshold)
-                t.delayBramBits += bits;
+                sk.delayBramBits += bits;
             else
-                t.delayRegBits += bits;
+                sk.delayRegBits += bits;
         }
     }
 
     // Loop-carried read-modify-write recurrences: for every load
     // whose memory is also stored in this body along a dependent
     // path, the accumulation cannot issue faster than the recurrence
-    // allows. Dependence distance: if the store address varies with
-    // the innermost counter dimension, the same address only recurs
-    // after that dimension's full trip; otherwise it recurs on the
-    // next iteration.
+    // allows. The feedback latency and the address/iterator
+    // dependence structure are graph properties; only the dependence
+    // distance (the innermost trip count) is per-binding.
     {
         // Transitive data dependence test within the body.
         std::function<bool(NodeId, NodeId)> depends =
@@ -131,13 +129,11 @@ analyzePipe(const Inst& inst, NodeId pipe)
             return false;
         };
 
-        // Does a value depend on the innermost iterator of this pipe?
-        int64_t inner_trip = 1;
         NodeId inner_iter = kNoNode;
         if (c.counter != kNoNode) {
             const auto& ctr = g.nodeAs<CounterNode>(c.counter);
             int last = int(ctr.dims.size()) - 1;
-            inner_trip = ctr.dims[size_t(last)].trip(inst.binding());
+            sk.innerDim = &ctr.dims[size_t(last)];
             for (NodeId ch : c.children) {
                 const auto* p = g.tryAs<PrimNode>(ch);
                 if (p && p->op == Op::Iter && p->ctrDim == last)
@@ -155,37 +151,61 @@ analyzePipe(const Inst& inst, NodeId pipe)
                     continue;
                 if (!depends(st->value, ld_id))
                     continue;
-                int64_t cyc_lat = arrivalOf(st_id) -
-                                  (arrivalOf(ld_id) -
-                                   nodeLatency(g, ld_id));
-                int64_t distance = 1;
+                PlanRecurrence r;
+                r.cycleLatency = arrivalOf(st_id) -
+                                 (arrivalOf(ld_id) -
+                                  nodeLatency(g, ld_id));
                 if (inner_iter != kNoNode) {
                     for (NodeId a : st->addr) {
                         if (a != kNoNode && depends(a, inner_iter))
-                            distance = std::max<int64_t>(1,
-                                                         inner_trip);
+                            r.innerTripDistance = true;
                     }
                 }
-                int64_t ii =
-                    (cyc_lat + distance - 1) / std::max<int64_t>(
-                                                   1, distance);
-                t.ii = std::max(t.ii, std::max<int64_t>(1, ii));
+                sk.recurrences.push_back(r);
             }
         }
     }
 
     // Reduce pipes append a balanced combining tree over the vector
-    // lanes plus the accumulator feedback stage.
+    // lanes plus the accumulator feedback stage; the tree width is
+    // the binding's par, so only the operator latency is recorded.
     if (c.pattern == Pattern::Reduce) {
-        int64_t p = inst.par(pipe);
         const auto* acc = g.tryAs<MemNode>(c.accum);
         DType at = acc ? acc->type : DType::f32();
-        int64_t tree_depth =
-            int64_t(std::ceil(std::log2(std::max<int64_t>(2, p)))) *
-            opLatency(c.combine, at);
-        t.depth += tree_depth + opLatency(c.combine, at);
+        sk.hasReduce = true;
+        sk.combineLatency = opLatency(c.combine, at);
     }
 
+    return sk;
+}
+
+PipeTiming
+analyzePipe(const Inst& inst, NodeId pipe)
+{
+    const PipeSkeleton& sk = inst.plan().pipeSkeleton(pipe);
+    PipeTiming t;
+    t.depth = sk.depth;
+    t.delayRegBits = sk.delayRegBits;
+    t.delayBramBits = sk.delayBramBits;
+
+    for (const PlanRecurrence& r : sk.recurrences) {
+        int64_t distance = 1;
+        if (r.innerTripDistance && sk.innerDim) {
+            distance = std::max<int64_t>(
+                1, sk.innerDim->trip(inst.binding()));
+        }
+        int64_t ii = (r.cycleLatency + distance - 1) /
+                     std::max<int64_t>(1, distance);
+        t.ii = std::max(t.ii, std::max<int64_t>(1, ii));
+    }
+
+    if (sk.hasReduce) {
+        int64_t p = inst.par(pipe);
+        int64_t tree_depth =
+            int64_t(std::ceil(std::log2(std::max<int64_t>(2, p)))) *
+            sk.combineLatency;
+        t.depth += tree_depth + sk.combineLatency;
+    }
     return t;
 }
 

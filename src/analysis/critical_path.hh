@@ -39,9 +39,19 @@ struct PipeTiming {
 };
 
 /**
+ * Binding-invariant half of the analysis: ASAP-schedule the body of a
+ * Pipe controller and record its depth, delay-matching requirements
+ * and loop-carried recurrences as a PipeSkeleton. Computed once per
+ * graph by DesignPlan.
+ */
+PipeSkeleton buildPipeSkeleton(const Graph& g, NodeId pipe);
+
+/**
  * Schedule the body of a Pipe controller with ASAP semantics and
  * return its depth and delay-matching requirements. For Reduce pipes
- * the combining tree depth is included.
+ * the combining tree depth is included. Reads the plan's skeleton and
+ * only evaluates the binding-dependent parts (recurrence distances,
+ * reduce-tree depth).
  */
 PipeTiming analyzePipe(const Inst& inst, NodeId pipe);
 

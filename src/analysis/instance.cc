@@ -2,137 +2,75 @@
 
 #include <algorithm>
 
+#include "analysis/banking.hh"
+
 namespace dhdl {
 
-Inst::Inst(const Graph& g, const ParamBinding& b) : g_(g), b_(b)
+Inst::Inst(const Graph& g, const ParamBinding& b) : b_(b)
 {
-    require(b_.values.size() == g_.params().size(),
+    require(b_.values.size() == g.params().size(),
             "binding size does not match design parameter count");
-    index();
+    owned_ = std::make_shared<const DesignPlan>(g);
+    plan_ = owned_.get();
+    bind();
+}
+
+Inst::Inst(const DesignPlan& plan, const ParamBinding& b)
+    : plan_(&plan), b_(b)
+{
+    require(b_.values.size() == plan.graph().params().size(),
+            "binding size does not match design parameter count");
+    bind();
 }
 
 void
-Inst::index()
+Inst::rebind(const ParamBinding& b)
 {
-    // Preorder controller listing from the root.
-    if (g_.root != kNoNode) {
-        std::vector<NodeId> stack{g_.root};
-        while (!stack.empty()) {
-            NodeId id = stack.back();
-            stack.pop_back();
-            ctrls_.push_back(id);
-            const auto& c = g_.nodeAs<ControllerNode>(id);
-            // Push children in reverse to visit in declaration order.
-            for (auto it = c.children.rbegin(); it != c.children.rend();
-                 ++it) {
-                if (g_.node(*it).isController())
-                    stack.push_back(*it);
-            }
-        }
+    require(b.values.size() == plan_->graph().params().size(),
+            "binding size does not match design parameter count");
+    b_ = b;
+    bind();
+}
+
+void
+Inst::bind()
+{
+    const DesignPlan& plan = *plan_;
+    const size_t n = plan.numNodes();
+    par_.assign(n, 1);
+    trip_.assign(n, 1);
+    metaActive_.assign(n, 0);
+    memElems_.assign(n, 0);
+    if (lanes_.size() != n)
+        lanes_.resize(n);
+    banks_.assign(n, 1);
+
+    for (NodeId c : plan.controllers()) {
+        const ControllerNode* cn = plan.ctrlNode(c);
+        par_[size_t(c)] = std::max<int64_t>(1, cn->par.eval(b_));
+        const CounterNode* ctr = plan.counterOf(c);
+        trip_[size_t(c)] = ctr ? ctr->trip(b_) : 1;
+        if (cn->kind() == NodeKind::MetaPipe)
+            metaActive_[size_t(c)] = cn->toggle.eval(b_) != 0;
     }
 
-    for (NodeId id = 0; id < NodeId(g_.numNodes()); ++id) {
-        const Node& n = g_.node(id);
-        switch (n.kind()) {
-          case NodeKind::Load:
-            accessorIdx_[g_.nodeAs<LoadNode>(id).mem].push_back(id);
-            break;
-          case NodeKind::Store:
-            accessorIdx_[g_.nodeAs<StoreNode>(id).mem].push_back(id);
-            break;
-          case NodeKind::TileLd:
-            accessorIdx_[g_.nodeAs<TileLdNode>(id).onchip].push_back(id);
-            transfers_.push_back(id);
-            break;
-          case NodeKind::TileSt:
-            accessorIdx_[g_.nodeAs<TileStNode>(id).onchip].push_back(id);
-            transfers_.push_back(id);
-            break;
-          case NodeKind::Bram:
-          case NodeKind::Reg:
-          case NodeKind::Queue:
-            mems_.push_back(id);
-            break;
-          default:
-            break;
-        }
+    // Lane products in parents-before-children order: a node's
+    // replication is its parent's replication times the parent's
+    // parallelization.
+    for (NodeId id : plan.bindOrder()) {
+        NodeId p = plan.parent(id);
+        lanes_[size_t(id)] =
+            p == kNoNode ? 1 : lanes_[size_t(p)] * par_[size_t(p)];
     }
-}
 
-int64_t
-Inst::par(NodeId ctrl) const
-{
-    const auto& c = g_.nodeAs<ControllerNode>(ctrl);
-    return std::max<int64_t>(1, val(c.par));
-}
+    for (NodeId m : plan.onchipMems())
+        memElems_[size_t(m)] = plan.memNode(m)->numElems(b_);
+    for (NodeId m : plan.graph().offchipMems)
+        memElems_[size_t(m)] = plan.memNode(m)->numElems(b_);
 
-bool
-Inst::metaActive(NodeId ctrl) const
-{
-    const Node& n = g_.node(ctrl);
-    if (n.kind() != NodeKind::MetaPipe)
-        return false;
-    return val(g_.nodeAs<MetaPipeNode>(ctrl).toggle) != 0;
-}
-
-int64_t
-Inst::trip(NodeId ctrl) const
-{
-    const auto& c = g_.nodeAs<ControllerNode>(ctrl);
-    if (c.counter == kNoNode)
-        return 1;
-    return g_.nodeAs<CounterNode>(c.counter).trip(b_);
-}
-
-int64_t
-Inst::lanes(NodeId n) const
-{
-    auto it = laneCache_.find(n);
-    if (it != laneCache_.end())
-        return it->second;
-    int64_t l = 1;
-    NodeId p = g_.node(n).parent;
-    while (p != kNoNode) {
-        l *= par(p);
-        p = g_.node(p).parent;
-    }
-    laneCache_[n] = l;
-    return l;
-}
-
-int64_t
-Inst::memElems(NodeId mem) const
-{
-    return g_.nodeAs<MemNode>(mem).numElems(b_);
-}
-
-bool
-Inst::doubleBuffered(NodeId mem) const
-{
-    NodeId p = g_.node(mem).parent;
-    if (p == kNoNode)
-        return false;
-    return metaActive(p);
-}
-
-const std::vector<NodeId>&
-Inst::accessors(NodeId mem) const
-{
-    auto it = accessorIdx_.find(mem);
-    return it == accessorIdx_.end() ? empty_ : it->second;
-}
-
-std::vector<NodeId>
-Inst::stagesOf(NodeId ctrl) const
-{
-    std::vector<NodeId> out;
-    const auto& c = g_.nodeAs<ControllerNode>(ctrl);
-    for (NodeId ch : c.children) {
-        const Node& n = g_.node(ch);
-        if (n.isController() || n.isTileTransfer())
-            out.push_back(ch);
-    }
-    return out;
+    // Banking last: the inference reads lanes and transfer widths.
+    for (NodeId m : plan.brams())
+        banks_[size_t(m)] = detail::computeBanks(*this, m, bankScratch_);
 }
 
 } // namespace dhdl

@@ -1,90 +1,170 @@
 /**
  * @file
  * Design instances. A DHDL graph plus a parameter binding describes a
- * single concrete hardware design point. Inst caches the derived
- * per-node quantities every downstream pass needs: evaluated symbols,
- * replication (lane) counts from parallelization factors, counter trip
- * counts, active-MetaPipe decisions, double-buffering, and the
- * memory-accessor index used by banking inference.
+ * single concrete hardware design point. Inst is a thin overlay over
+ * a DesignPlan (the compile-once, binding-invariant analysis of the
+ * graph): construction evaluates only the binding-dependent
+ * quantities — parallelization factors, counter trips, MetaPipe
+ * toggles, lane products, memory sizes and bank counts — eagerly
+ * into flat per-node vectors. All structural queries (controllers,
+ * accessors, stages, transfers) forward to the shared plan.
+ *
+ * The overlay is reusable: rebind() re-evaluates the scratch vectors
+ * for a new binding without re-walking the graph or reallocating,
+ * which is what makes evaluate-many design space sweeps cheap.
  */
 
 #ifndef DHDL_ANALYSIS_INSTANCE_HH
 #define DHDL_ANALYSIS_INSTANCE_HH
 
-#include <unordered_map>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "analysis/plan.hh"
 #include "core/graph.hh"
 
 namespace dhdl {
 
-/** A concrete design point: graph + binding + cached derived values. */
+/** A concrete design point: plan + binding + derived value vectors. */
 class Inst
 {
   public:
+    /**
+     * One-off instantiation: compiles a private DesignPlan for the
+     * graph first. Sweeps should compile the plan once and use the
+     * plan-sharing constructor instead.
+     */
     Inst(const Graph& g, const ParamBinding& b);
 
-    const Graph& graph() const { return g_; }
+    /** Overlay a binding on a shared, pre-compiled plan. */
+    Inst(const DesignPlan& plan, const ParamBinding& b);
+
+    /** Re-evaluate this overlay for a new binding (no reallocation,
+     *  no graph re-walk). */
+    void rebind(const ParamBinding& b);
+
+    const Graph& graph() const { return plan_->graph(); }
+    const DesignPlan& plan() const { return *plan_; }
     const ParamBinding& binding() const { return b_; }
 
     /** Evaluate a symbolic size under this binding. */
     int64_t val(const Sym& s) const { return s.eval(b_); }
 
     /** Parallelization factor of a controller (>= 1). */
-    int64_t par(NodeId ctrl) const;
+    int64_t
+    par(NodeId ctrl) const
+    {
+        invariant(plan_->isController(ctrl), "par on a non-controller");
+        return par_[size_t(ctrl)];
+    }
 
     /**
      * Whether a MetaPipe executes as a coarse-grained pipeline (toggle
      * bound to nonzero) or falls back to Sequential semantics.
      */
-    bool metaActive(NodeId ctrl) const;
+    bool
+    metaActive(NodeId ctrl) const
+    {
+        return metaActive_[size_t(checked(ctrl))] != 0;
+    }
 
     /** Trip count of a controller's counter (1 when counter-less). */
-    int64_t trip(NodeId ctrl) const;
+    int64_t
+    trip(NodeId ctrl) const
+    {
+        invariant(plan_->isController(ctrl),
+                  "trip on a non-controller");
+        return trip_[size_t(ctrl)];
+    }
 
     /**
      * Replication factor of a node: the product of the parallelization
      * factors of all enclosing controllers, including the immediate
      * parent. This is the number of hardware copies instantiated.
      */
-    int64_t lanes(NodeId n) const;
+    int64_t lanes(NodeId n) const { return lanes_[size_t(checked(n))]; }
 
     /** Number of elements of a memory under this binding. */
-    int64_t memElems(NodeId mem) const;
+    int64_t
+    memElems(NodeId mem) const
+    {
+        invariant(plan_->isMem(mem), "memElems on a non-memory");
+        return memElems_[size_t(mem)];
+    }
+
+    /** Inferred (or forced) bank count of a BRAM. */
+    int banks(NodeId bram) const { return banks_[size_t(checked(bram))]; }
 
     /**
      * Whether an on-chip buffer is double-buffered: true when its
      * enclosing controller is an active MetaPipe, whose stages
      * communicate through it (Section III-B3).
      */
-    bool doubleBuffered(NodeId mem) const;
+    bool
+    doubleBuffered(NodeId mem) const
+    {
+        NodeId p = plan_->parent(mem);
+        return p != kNoNode && metaActive_[size_t(p)] != 0;
+    }
 
     /** Ld/St/TileLd/TileSt nodes that access the given memory. */
-    const std::vector<NodeId>& accessors(NodeId mem) const;
+    const std::vector<NodeId>&
+    accessors(NodeId mem) const
+    {
+        return plan_->accessors(mem);
+    }
 
     /** All controller node ids, in hierarchical (preorder) order. */
-    const std::vector<NodeId>& controllers() const { return ctrls_; }
+    const std::vector<NodeId>&
+    controllers() const
+    {
+        return plan_->controllers();
+    }
 
     /** Child controllers-or-transfers of a controller (its stages). */
-    std::vector<NodeId> stagesOf(NodeId ctrl) const;
+    const std::vector<NodeId>&
+    stagesOf(NodeId ctrl) const
+    {
+        return plan_->stagesOf(ctrl);
+    }
 
     /** All TileLd/TileSt node ids. */
-    const std::vector<NodeId>& transfers() const { return transfers_; }
+    const std::vector<NodeId>&
+    transfers() const
+    {
+        return plan_->transfers();
+    }
 
     /** All on-chip memory node ids (BRAM/Reg/Queue). */
-    const std::vector<NodeId>& onchipMems() const { return mems_; }
+    const std::vector<NodeId>&
+    onchipMems() const
+    {
+        return plan_->onchipMems();
+    }
 
   private:
-    void index();
+    NodeId
+    checked(NodeId n) const
+    {
+        invariant(n >= 0 && size_t(n) < lanes_.size(),
+                  "node id out of range");
+        return n;
+    }
 
-    const Graph& g_;
+    void bind();
+
+    std::shared_ptr<const DesignPlan> owned_; //!< One-off ctor only.
+    const DesignPlan* plan_;
     ParamBinding b_;
-    mutable std::unordered_map<NodeId, int64_t> laneCache_;
-    std::unordered_map<NodeId, std::vector<NodeId>> accessorIdx_;
-    std::vector<NodeId> ctrls_;
-    std::vector<NodeId> transfers_;
-    std::vector<NodeId> mems_;
-    std::vector<NodeId> empty_;
+    std::vector<int64_t> par_;
+    std::vector<int64_t> trip_;
+    std::vector<int64_t> lanes_;
+    std::vector<int64_t> memElems_;
+    std::vector<int> banks_;
+    std::vector<uint8_t> metaActive_;
+    //!< Banking-inference scratch, reused across rebind() calls.
+    std::vector<std::pair<NodeId, int64_t>> bankScratch_;
 };
 
 } // namespace dhdl

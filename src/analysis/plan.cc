@@ -1,0 +1,355 @@
+#include "analysis/plan.hh"
+
+#include <algorithm>
+
+#include "analysis/critical_path.hh"
+#include "analysis/resources.hh"
+
+namespace dhdl {
+
+DesignPlan::DesignPlan(const Graph& g) : g_(&g)
+{
+    const size_t n = g.numNodes();
+    parent_.resize(n);
+    accessors_.assign(n, {});
+    stages_.assign(n, {});
+    ctrlNode_.assign(n, nullptr);
+    ctrlCounter_.assign(n, nullptr);
+    memNode_.assign(n, nullptr);
+    bramNode_.assign(n, nullptr);
+    pipeIdx_.assign(n, -1);
+    xferIdx_.assign(n, -1);
+
+    indexHierarchy();
+    buildBindOrder();
+
+    // ASAP skeletons for every Pipe body, before the template slots
+    // that embed their delay-line requirements.
+    for (NodeId c : ctrls_) {
+        if (g.node(c).kind() != NodeKind::Pipe)
+            continue;
+        pipeIdx_[size_t(c)] = int32_t(pipeSkeletons_.size());
+        pipeSkeletons_.push_back(buildPipeSkeleton(g, c));
+    }
+
+    buildXferInfos();
+    buildTemplateSlots();
+}
+
+void
+DesignPlan::indexHierarchy()
+{
+    const Graph& g = *g_;
+
+    // Preorder controller listing from the root.
+    if (g.root != kNoNode) {
+        std::vector<NodeId> stack{g.root};
+        while (!stack.empty()) {
+            NodeId id = stack.back();
+            stack.pop_back();
+            ctrls_.push_back(id);
+            const auto& c = g.nodeAs<ControllerNode>(id);
+            // Push children in reverse to visit in declaration order.
+            for (auto it = c.children.rbegin(); it != c.children.rend();
+                 ++it) {
+                if (g.node(*it).isController())
+                    stack.push_back(*it);
+            }
+        }
+    }
+
+    for (NodeId id = 0; id < NodeId(g.numNodes()); ++id) {
+        const Node& n = g.node(id);
+        parent_[size_t(id)] = n.parent;
+        switch (n.kind()) {
+          case NodeKind::Load:
+            accessors_[size_t(g.nodeAs<LoadNode>(id).mem)].push_back(id);
+            break;
+          case NodeKind::Store:
+            accessors_[size_t(g.nodeAs<StoreNode>(id).mem)]
+                .push_back(id);
+            break;
+          case NodeKind::TileLd:
+            accessors_[size_t(g.nodeAs<TileLdNode>(id).onchip)]
+                .push_back(id);
+            transfers_.push_back(id);
+            break;
+          case NodeKind::TileSt:
+            accessors_[size_t(g.nodeAs<TileStNode>(id).onchip)]
+                .push_back(id);
+            transfers_.push_back(id);
+            break;
+          case NodeKind::Bram:
+            mems_.push_back(id);
+            brams_.push_back(id);
+            bramNode_[size_t(id)] = &g.nodeAs<BramNode>(id);
+            break;
+          case NodeKind::Reg:
+          case NodeKind::Queue:
+            mems_.push_back(id);
+            break;
+          default:
+            break;
+        }
+        if (n.isController()) {
+            const auto& c = g.nodeAs<ControllerNode>(id);
+            ctrlNode_[size_t(id)] = &c;
+            if (c.counter != kNoNode) {
+                ctrlCounter_[size_t(id)] =
+                    &g.nodeAs<CounterNode>(c.counter);
+            }
+            auto& st = stages_[size_t(id)];
+            for (NodeId ch : c.children) {
+                const Node& cn = g.node(ch);
+                if (cn.isController() || cn.isTileTransfer())
+                    st.push_back(ch);
+            }
+        }
+        if (n.isMemory())
+            memNode_[size_t(id)] = &g.nodeAs<MemNode>(id);
+    }
+}
+
+void
+DesignPlan::buildBindOrder()
+{
+    // Lane products need every node's ancestors resolved first; order
+    // nodes by hierarchy depth (stable within a depth, so node-id
+    // order is preserved for peers).
+    const size_t n = parent_.size();
+    std::vector<int32_t> depth(n, -1);
+    std::vector<NodeId> chain;
+    for (NodeId id = 0; id < NodeId(n); ++id) {
+        NodeId cur = id;
+        chain.clear();
+        while (cur != kNoNode && depth[size_t(cur)] < 0) {
+            chain.push_back(cur);
+            cur = parent_[size_t(cur)];
+        }
+        int32_t base = cur == kNoNode ? -1 : depth[size_t(cur)];
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+            depth[size_t(*it)] = ++base;
+    }
+
+    int32_t max_depth = 0;
+    for (int32_t d : depth)
+        max_depth = std::max(max_depth, d);
+    std::vector<std::vector<NodeId>> by_depth(size_t(max_depth) + 1);
+    for (NodeId id = 0; id < NodeId(n); ++id)
+        by_depth[size_t(depth[size_t(id)])].push_back(id);
+    bindOrder_.reserve(n);
+    for (const auto& level : by_depth)
+        bindOrder_.insert(bindOrder_.end(), level.begin(), level.end());
+}
+
+void
+DesignPlan::buildXferInfos()
+{
+    const Graph& g = *g_;
+    xferInfos_.reserve(transfers_.size());
+    for (NodeId x : transfers_) {
+        XferInfo xi;
+        const Node& n = g.node(x);
+        if (n.kind() == NodeKind::TileLd) {
+            const auto& t = g.nodeAs<TileLdNode>(x);
+            xi.bits = g.nodeAs<MemNode>(t.offchip).type.bits();
+            xi.par = t.par;
+            xi.extent = &t.extent;
+        } else {
+            const auto& t = g.nodeAs<TileStNode>(x);
+            xi.bits = g.nodeAs<MemNode>(t.offchip).type.bits();
+            xi.par = t.par;
+            xi.extent = &t.extent;
+        }
+
+        // Concurrency candidates: enclosing Parallel or MetaPipe
+        // containers, nearest first. A Parallel always contends, so
+        // nothing beyond it can be selected; a MetaPipe contends only
+        // when its toggle binds active, so the walk records every
+        // MetaPipe up to the first Parallel.
+        NodeId anc = n.parent;
+        while (anc != kNoNode) {
+            const Node& a = g.node(anc);
+            if (a.kind() == NodeKind::ParallelCtrl ||
+                a.kind() == NodeKind::MetaPipe) {
+                XferCandidate c;
+                c.anc = anc;
+                c.isParallel = a.kind() == NodeKind::ParallelCtrl;
+                for (NodeId t : transfers_) {
+                    if (t == x)
+                        continue;
+                    NodeId p = t;
+                    while (p != kNoNode && p != anc)
+                        p = parent_[size_t(p)];
+                    if (p == anc)
+                        c.rivals.push_back(t);
+                }
+                bool stop = c.isParallel;
+                xi.candidates.push_back(std::move(c));
+                if (stop)
+                    break;
+            }
+            anc = a.parent;
+        }
+        xferIdx_[size_t(x)] = int32_t(xferInfos_.size());
+        xferInfos_.push_back(std::move(xi));
+    }
+}
+
+void
+DesignPlan::buildTemplateSlots()
+{
+    const Graph& g = *g_;
+    slots_.reserve(g.numNodes());
+
+    for (NodeId id = 0; id < NodeId(g.numNodes()); ++id) {
+        const Node& n = g.node(id);
+        TemplateSlot s;
+        s.base.node = id;
+
+        switch (n.kind()) {
+          case NodeKind::Prim: {
+            const auto& p = g.nodeAs<PrimNode>(id);
+            if (p.op == Op::Const || p.op == Op::Iter)
+                break; // wiring / counter outputs: no datapath cost
+            s.base.tkind = TemplateKind::PrimOp;
+            s.base.op = p.op;
+            s.base.isFloat = p.type.isFloat();
+            s.base.bits = p.type.bits();
+            s.patch = SlotPatch::Prim;
+            slots_.push_back(s);
+            break;
+          }
+          case NodeKind::Load:
+          case NodeKind::Store: {
+            NodeId mem = n.kind() == NodeKind::Load
+                             ? g.nodeAs<LoadNode>(id).mem
+                             : g.nodeAs<StoreNode>(id).mem;
+            s.base.tkind = TemplateKind::LoadStore;
+            s.base.bits =
+                valueBits(g, n.kind() == NodeKind::Load
+                                 ? id
+                                 : g.nodeAs<StoreNode>(id).value);
+            s.patch = SlotPatch::LoadStore;
+            if (g.node(mem).kind() == NodeKind::Bram)
+                s.ref = mem;
+            slots_.push_back(s);
+            break;
+          }
+          case NodeKind::Bram: {
+            s.base.tkind = TemplateKind::BramInst;
+            s.base.bits = g.nodeAs<BramNode>(id).type.bits();
+            s.patch = SlotPatch::Bram;
+            slots_.push_back(s);
+            break;
+          }
+          case NodeKind::Reg: {
+            s.base.tkind = TemplateKind::RegInst;
+            s.base.bits = g.nodeAs<RegNode>(id).type.bits();
+            s.patch = SlotPatch::Reg;
+            slots_.push_back(s);
+            break;
+          }
+          case NodeKind::Queue: {
+            const auto& m = g.nodeAs<QueueNode>(id);
+            s.base.tkind = TemplateKind::QueueInst;
+            s.base.bits = m.type.bits();
+            s.patch = SlotPatch::Queue;
+            s.sym = m.depth;
+            slots_.push_back(s);
+            break;
+          }
+          case NodeKind::Counter: {
+            const auto& c = g.nodeAs<CounterNode>(id);
+            s.base.tkind = TemplateKind::CounterInst;
+            s.base.ctrDims = int(c.dims.size());
+            s.patch = SlotPatch::Counter;
+            s.ref = n.parent;
+            slots_.push_back(s);
+            break;
+          }
+          case NodeKind::Pipe:
+          case NodeKind::Sequential:
+          case NodeKind::ParallelCtrl:
+          case NodeKind::MetaPipe: {
+            const auto& c = g.nodeAs<ControllerNode>(id);
+            if (n.kind() == NodeKind::Pipe) {
+                s.base.tkind = TemplateKind::PipeCtrl;
+                s.patch = SlotPatch::Ctrl;
+            } else if (n.kind() == NodeKind::ParallelCtrl) {
+                s.base.tkind = TemplateKind::ParCtrl;
+                s.patch = SlotPatch::Ctrl;
+            } else if (n.kind() == NodeKind::MetaPipe) {
+                s.base.tkind = TemplateKind::SeqCtrl; // patched
+                s.patch = SlotPatch::CtrlSeqOrMeta;
+            } else {
+                s.base.tkind = TemplateKind::SeqCtrl;
+                s.patch = SlotPatch::Ctrl;
+            }
+            s.base.stages = int(stages_[size_t(id)].size());
+            slots_.push_back(s);
+
+            // Reduce pattern: a balanced combining tree (plus the
+            // tile accumulation datapath for MetaPipe reduces).
+            if (c.pattern == Pattern::Reduce && c.accum != kNoNode) {
+                TemplateSlot r;
+                r.base.node = id;
+                r.base.tkind = TemplateKind::ReduceTree;
+                r.base.op = c.combine;
+                const auto& acc = g.nodeAs<MemNode>(c.accum);
+                r.base.isFloat = acc.type.isFloat();
+                r.base.bits = acc.type.bits();
+                r.patch = SlotPatch::Reduce;
+                r.ref = c.accum;
+                slots_.push_back(r);
+            }
+
+            // Delay-matching resources inside Pipe bodies; the slack
+            // bits are binding-invariant, so the slots exist exactly
+            // when the skeleton carries delay bits.
+            if (n.kind() == NodeKind::Pipe) {
+                const PipeSkeleton& sk =
+                    pipeSkeletons_[size_t(pipeIdx_[size_t(id)])];
+                if (sk.delayRegBits > 0 || sk.delayBramBits > 0) {
+                    TemplateSlot d;
+                    d.base.node = id;
+                    d.base.tkind = TemplateKind::DelayLine;
+                    d.base.delayBits = sk.delayRegBits;
+                    d.base.depth = 0;
+                    d.patch = SlotPatch::DelayLine;
+                    slots_.push_back(d);
+                    if (sk.delayBramBits > 0) {
+                        TemplateSlot db = d;
+                        db.base.delayBits = sk.delayBramBits;
+                        db.base.depth = kBramDelayThreshold + 1;
+                        slots_.push_back(db);
+                    }
+                }
+            }
+            break;
+          }
+          case NodeKind::TileLd:
+          case NodeKind::TileSt: {
+            s.base.tkind = TemplateKind::TileTransfer;
+            s.patch = SlotPatch::Tile;
+            if (n.kind() == NodeKind::TileLd) {
+                const auto& x = g.nodeAs<TileLdNode>(id);
+                s.base.bits = g.nodeAs<MemNode>(x.offchip).type.bits();
+                s.sym = x.par;
+                s.extent = &x.extent;
+            } else {
+                const auto& x = g.nodeAs<TileStNode>(id);
+                s.base.bits = g.nodeAs<MemNode>(x.offchip).type.bits();
+                s.sym = x.par;
+                s.extent = &x.extent;
+            }
+            slots_.push_back(s);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace dhdl

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "analysis/banking.hh"
-#include "analysis/critical_path.hh"
+#include "analysis/plan.hh"
 
 namespace dhdl {
 
@@ -104,181 +103,88 @@ valueBits(const Graph& g, NodeId n)
     }
 }
 
-namespace {
-
-int64_t
-tileElemsOf(const Inst& inst, const std::vector<Sym>& extent)
+void
+expandTemplates(const Inst& inst, std::vector<TemplateInst>& out)
 {
-    int64_t e = 1;
-    for (const auto& s : extent)
-        e *= inst.val(s);
-    return e;
-}
+    // The expansion order and every invariant field were compiled
+    // into the plan's template slots; per point, copy each slot's
+    // base and patch in the handful of binding-dependent fields.
+    const auto& slots = inst.plan().templateSlots();
+    out.clear();
+    out.reserve(slots.size());
 
-} // namespace
+    for (const TemplateSlot& s : slots) {
+        TemplateInst t = s.base;
+        const NodeId id = t.node;
+        switch (s.patch) {
+          case SlotPatch::Prim:
+            t.lanes = inst.lanes(id);
+            break;
+          case SlotPatch::LoadStore:
+            t.lanes = inst.lanes(id);
+            if (s.ref != kNoNode)
+                t.banks = inst.banks(s.ref);
+            break;
+          case SlotPatch::Bram:
+            t.lanes = inst.lanes(id);
+            t.elems = inst.memElems(id);
+            t.banks = inst.banks(id);
+            t.doubleBuf = inst.doubleBuffered(id);
+            break;
+          case SlotPatch::Reg:
+            t.lanes = inst.lanes(id);
+            t.doubleBuf = inst.doubleBuffered(id);
+            break;
+          case SlotPatch::Queue:
+            t.lanes = inst.lanes(id);
+            t.depth = inst.val(s.sym);
+            t.elems = t.depth;
+            t.doubleBuf = inst.doubleBuffered(id);
+            break;
+          case SlotPatch::Counter:
+            // The counter's vector width equals the parallelization
+            // of its controller; it is replicated once per controller
+            // copy.
+            t.lanes = s.ref != kNoNode ? inst.lanes(s.ref) : 1;
+            t.vec = s.ref != kNoNode ? inst.par(s.ref) : 1;
+            break;
+          case SlotPatch::Ctrl:
+            t.lanes = inst.lanes(id);
+            t.vec = inst.par(id);
+            break;
+          case SlotPatch::CtrlSeqOrMeta:
+            t.tkind = inst.metaActive(id) ? TemplateKind::MetaPipeCtrl
+                                          : TemplateKind::SeqCtrl;
+            t.lanes = inst.lanes(id);
+            t.vec = inst.par(id);
+            break;
+          case SlotPatch::Reduce:
+            t.lanes = inst.lanes(id);
+            t.vec = inst.par(id);
+            t.elems = inst.memElems(s.ref);
+            break;
+          case SlotPatch::DelayLine:
+            t.lanes = inst.lanes(id) * inst.par(id);
+            break;
+          case SlotPatch::Tile: {
+            t.lanes = inst.lanes(id);
+            t.vec = inst.val(s.sym);
+            int64_t e = 1;
+            for (const Sym& x : *s.extent)
+                e *= inst.val(x);
+            t.tileElems = e;
+            break;
+          }
+        }
+        out.push_back(t);
+    }
+}
 
 std::vector<TemplateInst>
 expandTemplates(const Inst& inst)
 {
-    const Graph& g = inst.graph();
     std::vector<TemplateInst> out;
-    out.reserve(g.numNodes());
-
-    for (NodeId id = 0; id < NodeId(g.numNodes()); ++id) {
-        const Node& n = g.node(id);
-        TemplateInst t;
-        t.node = id;
-
-        switch (n.kind()) {
-          case NodeKind::Prim: {
-            const auto& p = g.nodeAs<PrimNode>(id);
-            if (p.op == Op::Const || p.op == Op::Iter)
-                break; // wiring / counter outputs: no datapath cost
-            t.tkind = TemplateKind::PrimOp;
-            t.op = p.op;
-            t.isFloat = p.type.isFloat();
-            t.bits = p.type.bits();
-            t.lanes = inst.lanes(id);
-            out.push_back(t);
-            break;
-          }
-          case NodeKind::Load:
-          case NodeKind::Store: {
-            NodeId mem = n.kind() == NodeKind::Load
-                             ? g.nodeAs<LoadNode>(id).mem
-                             : g.nodeAs<StoreNode>(id).mem;
-            t.tkind = TemplateKind::LoadStore;
-            t.bits = valueBits(g, n.kind() == NodeKind::Load
-                                      ? id
-                                      : g.nodeAs<StoreNode>(id).value);
-            t.lanes = inst.lanes(id);
-            if (g.node(mem).kind() == NodeKind::Bram)
-                t.banks = inferBanks(inst, mem);
-            out.push_back(t);
-            break;
-          }
-          case NodeKind::Bram: {
-            const auto& m = g.nodeAs<BramNode>(id);
-            t.tkind = TemplateKind::BramInst;
-            t.bits = m.type.bits();
-            t.lanes = inst.lanes(id);
-            t.elems = inst.memElems(id);
-            t.banks = inferBanks(inst, id);
-            t.doubleBuf = inst.doubleBuffered(id);
-            out.push_back(t);
-            break;
-          }
-          case NodeKind::Reg: {
-            const auto& m = g.nodeAs<RegNode>(id);
-            t.tkind = TemplateKind::RegInst;
-            t.bits = m.type.bits();
-            t.lanes = inst.lanes(id);
-            t.doubleBuf = inst.doubleBuffered(id);
-            out.push_back(t);
-            break;
-          }
-          case NodeKind::Queue: {
-            const auto& m = g.nodeAs<QueueNode>(id);
-            t.tkind = TemplateKind::QueueInst;
-            t.bits = m.type.bits();
-            t.lanes = inst.lanes(id);
-            t.depth = inst.val(m.depth);
-            t.elems = t.depth;
-            t.doubleBuf = inst.doubleBuffered(id);
-            out.push_back(t);
-            break;
-          }
-          case NodeKind::Counter: {
-            const auto& c = g.nodeAs<CounterNode>(id);
-            t.tkind = TemplateKind::CounterInst;
-            t.ctrDims = int(c.dims.size());
-            // The counter's vector width equals the parallelization of
-            // its controller; it is replicated once per controller copy.
-            NodeId ctrl = n.parent;
-            t.lanes = ctrl != kNoNode ? inst.lanes(ctrl) : 1;
-            t.vec = ctrl != kNoNode ? inst.par(ctrl) : 1;
-            out.push_back(t);
-            break;
-          }
-          case NodeKind::Pipe:
-          case NodeKind::Sequential:
-          case NodeKind::ParallelCtrl:
-          case NodeKind::MetaPipe: {
-            const auto& c = g.nodeAs<ControllerNode>(id);
-            bool meta = n.kind() == NodeKind::MetaPipe &&
-                        inst.metaActive(id);
-            if (n.kind() == NodeKind::Pipe)
-                t.tkind = TemplateKind::PipeCtrl;
-            else if (n.kind() == NodeKind::ParallelCtrl)
-                t.tkind = TemplateKind::ParCtrl;
-            else if (meta)
-                t.tkind = TemplateKind::MetaPipeCtrl;
-            else
-                t.tkind = TemplateKind::SeqCtrl;
-            t.lanes = inst.lanes(id);
-            t.vec = inst.par(id);
-            t.stages = int(inst.stagesOf(id).size());
-            out.push_back(t);
-
-            // Reduce pattern: a balanced combining tree (plus the tile
-            // accumulation datapath for MetaPipe reduces).
-            if (c.pattern == Pattern::Reduce && c.accum != kNoNode) {
-                TemplateInst r;
-                r.node = id;
-                r.tkind = TemplateKind::ReduceTree;
-                r.op = c.combine;
-                const auto& acc = g.nodeAs<MemNode>(c.accum);
-                r.isFloat = acc.type.isFloat();
-                r.bits = acc.type.bits();
-                r.lanes = inst.lanes(id);
-                r.vec = inst.par(id);
-                r.elems = inst.memElems(c.accum);
-                out.push_back(r);
-            }
-
-            // Delay-matching resources inside Pipe bodies.
-            if (n.kind() == NodeKind::Pipe) {
-                PipeTiming pt = analyzePipe(inst, id);
-                if (pt.delayRegBits > 0 || pt.delayBramBits > 0) {
-                    TemplateInst d;
-                    d.node = id;
-                    d.tkind = TemplateKind::DelayLine;
-                    d.lanes = inst.lanes(id) * inst.par(id);
-                    d.delayBits = pt.delayRegBits;
-                    d.depth = 0;
-                    out.push_back(d);
-                    if (pt.delayBramBits > 0) {
-                        TemplateInst db = d;
-                        db.delayBits = pt.delayBramBits;
-                        db.depth = kBramDelayThreshold + 1;
-                        out.push_back(db);
-                    }
-                }
-            }
-            break;
-          }
-          case NodeKind::TileLd:
-          case NodeKind::TileSt: {
-            t.tkind = TemplateKind::TileTransfer;
-            t.lanes = inst.lanes(id);
-            if (n.kind() == NodeKind::TileLd) {
-                const auto& x = g.nodeAs<TileLdNode>(id);
-                t.bits = g.nodeAs<MemNode>(x.offchip).type.bits();
-                t.vec = inst.val(x.par);
-                t.tileElems = tileElemsOf(inst, x.extent);
-            } else {
-                const auto& x = g.nodeAs<TileStNode>(id);
-                t.bits = g.nodeAs<MemNode>(x.offchip).type.bits();
-                t.vec = inst.val(x.par);
-                t.tileElems = tileElemsOf(inst, x.extent);
-            }
-            out.push_back(t);
-            break;
-          }
-          default:
-            break;
-        }
-    }
+    expandTemplates(inst, out);
     return out;
 }
 

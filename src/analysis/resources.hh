@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/instance.hh"
+#include "analysis/templates.hh"
 
 namespace dhdl {
 
@@ -61,51 +62,21 @@ struct Resources {
     }
 };
 
-/** Characterizable template categories. */
-enum class TemplateKind : uint8_t {
-    PrimOp,       //!< One primitive operator (per Op and type).
-    LoadStore,    //!< On-chip access port: bank address mux network.
-    BramInst,     //!< Banked scratchpad.
-    RegInst,      //!< Register (optionally double-buffered).
-    QueueInst,    //!< Priority queue.
-    CounterInst,  //!< Counter chain.
-    PipeCtrl,     //!< Fine-grained pipeline control FSM.
-    SeqCtrl,      //!< Sequential controller FSM.
-    ParCtrl,      //!< Fork-join container with barrier.
-    MetaPipeCtrl, //!< Coarse-grained pipeline handshake network.
-    TileTransfer, //!< TileLd/TileSt command generator + queues.
-    ReduceTree,   //!< Balanced combining tree for Reduce patterns.
-    DelayLine,    //!< Pipeline balancing delays (regs or BRAM FIFOs).
-};
-
-/** Name of a template kind, e.g. "PrimOp". */
-const char* templateKindName(TemplateKind k);
-
-/** One instantiated template with its concrete cost parameters. */
-struct TemplateInst {
-    TemplateKind tkind = TemplateKind::PrimOp;
-    NodeId node = kNoNode;
-    Op op = Op::Add;        //!< PrimOp operator / ReduceTree combiner.
-    bool isFloat = false;   //!< Floating-point datapath.
-    int bits = 32;          //!< Operand / element width.
-    int64_t lanes = 1;      //!< Hardware replication count.
-    int64_t vec = 1;        //!< Vector width within one replica.
-    int64_t elems = 0;      //!< Memory elements per replica.
-    int banks = 1;          //!< BRAM banks.
-    bool doubleBuf = false; //!< Double-buffered (MetaPipe comms).
-    int64_t depth = 0;      //!< Queue depth / delay cycles.
-    int stages = 0;         //!< Controller stage count.
-    int ctrDims = 0;        //!< Counter chain length.
-    int64_t tileElems = 0;  //!< Elements per tile command (TileLd/St).
-    double delayBits = 0;   //!< DelayLine: total slack-bits to absorb.
-};
-
 /**
  * Expand a design instance into its template instantiation list.
  * Includes the DelayLine instances implied by ASAP-schedule slack
- * matching inside every Pipe (Section IV-B2).
+ * matching inside every Pipe (Section IV-B2). The expansion walks the
+ * plan's pre-compiled template slots and patches only the
+ * binding-dependent fields (TemplateKind and TemplateInst live in
+ * analysis/templates.hh).
  */
 std::vector<TemplateInst> expandTemplates(const Inst& inst);
+
+/**
+ * Scratch-reusing variant for evaluate-many sweeps: clears `out` and
+ * refills it without releasing its capacity.
+ */
+void expandTemplates(const Inst& inst, std::vector<TemplateInst>& out);
 
 /**
  * Pipeline latency, in cycles, of one primitive operation at the

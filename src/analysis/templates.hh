@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Template instantiation records. A design instance expands into a
+ * list of TemplateInst entries — one per instantiated architectural
+ * template, with the concrete parameters that determine its cost.
+ * Split out of resources.hh so the compile-once DesignPlan can carry
+ * a pre-built template skeleton without an include cycle.
+ */
+
+#ifndef DHDL_ANALYSIS_TEMPLATES_HH
+#define DHDL_ANALYSIS_TEMPLATES_HH
+
+#include <cstdint>
+
+#include "core/node.hh"
+
+namespace dhdl {
+
+/** Characterizable template categories. */
+enum class TemplateKind : uint8_t {
+    PrimOp,       //!< One primitive operator (per Op and type).
+    LoadStore,    //!< On-chip access port: bank address mux network.
+    BramInst,     //!< Banked scratchpad.
+    RegInst,      //!< Register (optionally double-buffered).
+    QueueInst,    //!< Priority queue.
+    CounterInst,  //!< Counter chain.
+    PipeCtrl,     //!< Fine-grained pipeline control FSM.
+    SeqCtrl,      //!< Sequential controller FSM.
+    ParCtrl,      //!< Fork-join container with barrier.
+    MetaPipeCtrl, //!< Coarse-grained pipeline handshake network.
+    TileTransfer, //!< TileLd/TileSt command generator + queues.
+    ReduceTree,   //!< Balanced combining tree for Reduce patterns.
+    DelayLine,    //!< Pipeline balancing delays (regs or BRAM FIFOs).
+};
+
+/** Number of TemplateKind values (for dense per-kind tables). */
+inline constexpr size_t kNumTemplateKinds =
+    size_t(TemplateKind::DelayLine) + 1;
+
+/** Name of a template kind, e.g. "PrimOp". */
+const char* templateKindName(TemplateKind k);
+
+/** One instantiated template with its concrete cost parameters. */
+struct TemplateInst {
+    TemplateKind tkind = TemplateKind::PrimOp;
+    NodeId node = kNoNode;
+    Op op = Op::Add;        //!< PrimOp operator / ReduceTree combiner.
+    bool isFloat = false;   //!< Floating-point datapath.
+    int bits = 32;          //!< Operand / element width.
+    int64_t lanes = 1;      //!< Hardware replication count.
+    int64_t vec = 1;        //!< Vector width within one replica.
+    int64_t elems = 0;      //!< Memory elements per replica.
+    int banks = 1;          //!< BRAM banks.
+    bool doubleBuf = false; //!< Double-buffered (MetaPipe comms).
+    int64_t depth = 0;      //!< Queue depth / delay cycles.
+    int stages = 0;         //!< Controller stage count.
+    int ctrDims = 0;        //!< Counter chain length.
+    int64_t tileElems = 0;  //!< Elements per tile command (TileLd/St).
+    double delayBits = 0;   //!< DelayLine: total slack-bits to absorb.
+};
+
+} // namespace dhdl
+
+#endif // DHDL_ANALYSIS_TEMPLATES_HH

@@ -99,12 +99,35 @@ require(bool cond, const std::string& msg,
         fatal(msg, code);
 }
 
+/**
+ * Literal-message overload: the std::string is materialized only on
+ * failure, so a passing check costs one branch. The estimators call
+ * require()/invariant() millions of times per sweep; the
+ * const std::string& overloads would heap-allocate the message on
+ * every successful call.
+ */
+inline void
+require(bool cond, const char* msg,
+        DiagCode code = DiagCode::UserError)
+{
+    if (!cond) [[unlikely]]
+        fatal(std::string(msg), code);
+}
+
 /** Assert an internal invariant; throws PanicError when violated. */
 inline void
 invariant(bool cond, const std::string& msg)
 {
     if (!cond)
         panic(msg);
+}
+
+/** Literal-message overload (see require(bool, const char*)). */
+inline void
+invariant(bool cond, const char* msg)
+{
+    if (!cond) [[unlikely]]
+        panic(std::string(msg));
 }
 
 } // namespace dhdl

@@ -1,0 +1,131 @@
+#include "dse/evaluator.hh"
+
+#include <chrono>
+#include <sstream>
+
+namespace dhdl::dse {
+
+namespace {
+
+/** Render a binding as "name=value ..." for diagnostic context. */
+std::string
+renderBinding(const Graph& g, const ParamBinding& b)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < b.values.size(); ++i) {
+        if (i)
+            os << " ";
+        if (i < g.params().size())
+            os << g.params()[ParamId(i)].name << "=";
+        os << b.values[i];
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::shared_ptr<const DesignPlan>
+Evaluator::tryCompile(const Graph& g) noexcept
+{
+    try {
+        return std::make_shared<const DesignPlan>(g);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+Evaluator::Evaluator(const est::AreaEstimator& area,
+                     const est::RuntimeEstimator& runtime,
+                     const Graph& g)
+    : Evaluator(area, runtime, g, tryCompile(g))
+{
+}
+
+Evaluator::Evaluator(const est::AreaEstimator& area,
+                     const est::RuntimeEstimator& runtime,
+                     const Graph& g,
+                     std::shared_ptr<const DesignPlan> plan)
+    : area_(area), runtime_(runtime), g_(&g), plan_(std::move(plan))
+{
+}
+
+void
+Evaluator::run(DesignPoint& p, size_t idx, const Hook* hook,
+               const char*& stage)
+{
+    using Clock = std::chrono::steady_clock;
+    auto secs = [](Clock::time_point a, Clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
+
+    if (hook && *hook) {
+        stage = "pre-evaluate";
+        (*hook)(p.binding, idx);
+    }
+
+    stage = "instantiate";
+    const auto t0 = Clock::now();
+    if (plan_) {
+        if (inst_)
+            inst_->rebind(p.binding);
+        else
+            inst_.emplace(*plan_, p.binding);
+    } else {
+        // The graph failed to compile: reproduce the error per point
+        // so it lands on each point's diagnostic, as one-off
+        // instantiation always did.
+        inst_.emplace(*g_, p.binding);
+    }
+
+    stage = "area";
+    const auto t1 = Clock::now();
+    p.area = area_.estimate(*inst_, ws_);
+
+    stage = "runtime";
+    const auto t2 = Clock::now();
+    p.cycles = runtime_.estimate(*inst_).cycles;
+
+    stage = "validate";
+    const auto t3 = Clock::now();
+    p.valid = p.area.fits(area_.device());
+    p.evaluated = true;
+    const auto t4 = Clock::now();
+
+    times_.instantiate += secs(t0, t1);
+    times_.area += secs(t1, t2);
+    times_.runtime += secs(t2, t3);
+    times_.validate += secs(t3, t4);
+    times_.points += 1;
+}
+
+DesignPoint
+Evaluator::evaluate(ParamBinding b)
+{
+    DesignPoint p;
+    p.binding = std::move(b);
+    const char* stage = "instantiate";
+    run(p, 0, nullptr, stage);
+    return p;
+}
+
+Status
+Evaluator::evaluatePoint(DesignPoint& p, size_t idx, const Hook* hook)
+{
+    const char* stage = "instantiate";
+    try {
+        run(p, idx, hook, stage);
+        return Status();
+    } catch (...) {
+        Diag d = diagFromCurrentException(stage);
+        d.pointIndex = int64_t(idx);
+        d.context = renderBinding(*g_, p.binding);
+        p.evaluated = true;
+        p.failed = true;
+        p.valid = false;
+        p.failCode = d.code;
+        p.failReason = d.message;
+        return Status::error(std::move(d));
+    }
+}
+
+} // namespace dhdl::dse

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iomanip>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "cpu/thread_pool.hh"
@@ -14,21 +15,6 @@
 namespace dhdl::dse {
 
 namespace {
-
-/** Render a binding as "name=value ..." for diagnostic context. */
-std::string
-renderBinding(const Graph& g, const ParamBinding& b)
-{
-    std::ostringstream os;
-    for (size_t i = 0; i < b.values.size(); ++i) {
-        if (i)
-            os << " ";
-        if (i < g.params().size())
-            os << g.params()[ParamId(i)].name << "=";
-        os << b.values[i];
-    }
-    return os.str();
-}
 
 constexpr const char* kCheckpointMagic = "# dhdl-explore-checkpoint v1";
 
@@ -231,53 +217,15 @@ ExploreResult::failureSummary(size_t top) const
 DesignPoint
 Explorer::evaluate(const Graph& g, ParamBinding b) const
 {
-    DesignPoint p;
-    p.binding = std::move(b);
-    Inst inst(g, p.binding);
-    p.area = area_.estimate(inst);
-    p.cycles = runtime_.estimate(inst).cycles;
-    p.valid = p.area.fits(area_.device());
-    p.evaluated = true;
-    return p;
+    Evaluator ev(area_, runtime_, g);
+    return ev.evaluate(std::move(b));
 }
 
 Status
 Explorer::evaluateGuarded(const Graph& g, DesignPoint& p) const
 {
-    return evaluatePoint(g, p, 0, nullptr);
-}
-
-Status
-Explorer::evaluatePoint(
-    const Graph& g, DesignPoint& p, size_t idx,
-    const std::function<void(const ParamBinding&, size_t)>* hook) const
-{
-    const char* stage = "instantiate";
-    try {
-        if (hook && *hook) {
-            stage = "pre-evaluate";
-            (*hook)(p.binding, idx);
-        }
-        stage = "instantiate";
-        Inst inst(g, p.binding);
-        stage = "area";
-        p.area = area_.estimate(inst);
-        stage = "runtime";
-        p.cycles = runtime_.estimate(inst).cycles;
-        p.valid = p.area.fits(area_.device());
-        p.evaluated = true;
-        return Status();
-    } catch (...) {
-        Diag d = diagFromCurrentException(stage);
-        d.pointIndex = int64_t(idx);
-        d.context = renderBinding(g, p.binding);
-        p.evaluated = true;
-        p.failed = true;
-        p.valid = false;
-        p.failCode = d.code;
-        p.failReason = d.message;
-        return Status::error(std::move(d));
-    }
+    Evaluator ev(area_, runtime_, g);
+    return ev.evaluatePoint(p, 0, nullptr);
 }
 
 ExploreResult
@@ -350,18 +298,38 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
         return false;
     };
 
+    // Compile the binding-invariant plan exactly once; every worker
+    // evaluator shares it read-only. A broken graph leaves the plan
+    // null and each point reports the error individually.
+    const auto planT0 = Clock::now();
+    auto plan = Evaluator::tryCompile(g);
+    res.stats.planSeconds =
+        std::chrono::duration<double>(Clock::now() - planT0).count();
+
     const auto* hook = cfg.preEvaluate ? &cfg.preEvaluate : nullptr;
-    auto evalOne = [&](size_t idx) {
+    auto evalOne = [&](Evaluator& ev, size_t idx) {
         if (expired())
             return;
-        Status s = evaluatePoint(g, res.points[idx], idx, hook);
+        Status s = ev.evaluatePoint(res.points[idx], idx, hook);
         if (!s.ok())
             sink.report(s.diag());
+    };
+
+    std::mutex statsMu;
+    auto mergeTimes = [&](const Evaluator& ev) {
+        std::lock_guard<std::mutex> lk(statsMu);
+        res.stats.stages += ev.times();
     };
 
     std::unique_ptr<cpu::ThreadPool> pool;
     if (cfg.threads > 1)
         pool = std::make_unique<cpu::ThreadPool>(cfg.threads);
+
+    // The serial path reuses one evaluator (and its Inst overlay and
+    // estimator scratch) across every slice.
+    std::optional<Evaluator> serial;
+    if (!pool)
+        serial.emplace(area_, runtime_, g, plan);
 
     // Evaluate in slices so periodic checkpoints land between
     // parallel batches; without checkpointing there is one slice.
@@ -391,17 +359,21 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
         const int64_t hi = std::min(n, lo + slice);
         if (pool) {
             pool->parallelFor(hi - lo, [&](int64_t a, int64_t b) {
+                Evaluator ev(area_, runtime_, g, plan);
                 for (int64_t i = a; i < b; ++i)
-                    evalOne(todo[size_t(lo + i)]);
+                    evalOne(ev, todo[size_t(lo + i)]);
+                mergeTimes(ev);
             });
         } else {
             for (int64_t i = lo; i < hi; ++i)
-                evalOne(todo[size_t(i)]);
+                evalOne(*serial, todo[size_t(i)]);
         }
         checkpoint();
         if (outOfTime.load())
             break;
     }
+    if (serial)
+        mergeTimes(*serial);
 
     // Aggregate stats; points skipped by a budget stay un-evaluated.
     for (const DesignPoint& p : res.points) {

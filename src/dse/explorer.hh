@@ -32,26 +32,11 @@
 #include <string>
 
 #include "core/diag.hh"
+#include "dse/evaluator.hh"
 #include "dse/pareto.hh"
 #include "dse/space.hh"
-#include "estimate/area_estimator.hh"
-#include "estimate/runtime_estimator.hh"
 
 namespace dhdl::dse {
-
-/** One evaluated design point. */
-struct DesignPoint {
-    ParamBinding binding;
-    est::AreaEstimate area;
-    double cycles = 0;
-    bool valid = false; //!< Fits every device resource capacity.
-    /** The point went through evaluation (false = budget-skipped). */
-    bool evaluated = false;
-    /** Evaluation threw; failCode/failReason say why. */
-    bool failed = false;
-    DiagCode failCode = DiagCode::Ok;
-    std::string failReason;
-};
 
 /** Exploration configuration. */
 struct ExploreConfig {
@@ -106,6 +91,10 @@ struct ExploreStats {
     bool timeBudgetHit = false;
     bool evalBudgetHit = false;
     double seconds = 0;   //!< Wall-clock of this explore() call.
+    /** Wall-clock of the one-time DesignPlan compilation. */
+    double planSeconds = 0;
+    /** Per-stage evaluation wall-clock, summed over all workers. */
+    StageTimes stages;
 };
 
 /** Exploration output: all evaluated points + the Pareto front. */
@@ -125,7 +114,12 @@ struct ExploreResult {
     failureSummary(size_t top = 5) const;
 };
 
-/** DSE driver bound to calibrated estimators. */
+/**
+ * DSE driver bound to calibrated estimators. All point evaluation —
+ * one-off or sweep — routes through the staged Evaluator pipeline;
+ * explore() compiles the graph's DesignPlan once and shares it across
+ * worker evaluators.
+ */
 class Explorer
 {
   public:
@@ -148,16 +142,6 @@ class Explorer
                           const ExploreConfig& cfg = {}) const;
 
   private:
-    /**
-     * Staged evaluation of one point behind the isolation boundary.
-     * `hook` (may be null) is ExploreConfig::preEvaluate; `idx` is
-     * the point index passed to the hook.
-     */
-    Status evaluatePoint(
-        const Graph& g, DesignPoint& p, size_t idx,
-        const std::function<void(const ParamBinding&, size_t)>* hook)
-        const;
-
     const est::AreaEstimator& area_;
     const est::RuntimeEstimator& runtime_;
 };

@@ -10,6 +10,11 @@ ParamSpace::ParamSpace(const Graph& g) : g_(g)
     legal_.reserve(params.size());
     for (size_t i = 0; i < params.size(); ++i)
         legal_.push_back(params.legalValues(ParamId(i)));
+    for (NodeId id = 0; id < NodeId(g.numNodes()); ++id) {
+        const Node& n = g.node(id);
+        if (n.kind() == NodeKind::Bram || n.kind() == NodeKind::Queue)
+            localMems_.push_back(&g.nodeAs<MemNode>(id));
+    }
 }
 
 double
@@ -37,12 +42,8 @@ ParamSpace::isLegal(const ParamBinding& b) const
 {
     if (!g_.satisfiesConstraints(b))
         return false;
-    for (NodeId id = 0; id < NodeId(g_.numNodes()); ++id) {
-        const Node& n = g_.node(id);
-        if (n.kind() != NodeKind::Bram && n.kind() != NodeKind::Queue)
-            continue;
-        const auto& m = g_.nodeAs<MemNode>(id);
-        int64_t bits = m.numElems(b) * m.type.bits();
+    for (const MemNode* m : localMems_) {
+        int64_t bits = m->numElems(b) * m->type.bits();
         if (bits > kMaxLocalMemBits)
             return false;
     }
@@ -85,10 +86,18 @@ ParamSpace::sample(int n, uint64_t seed) const
     ml::Rng rng(ml::hashMix(seed));
     std::vector<ParamBinding> out;
     std::unordered_set<uint64_t> seen;
+    seen.reserve(size_t(n) * 2);
     // The legal space can be smaller than n; bound the attempts.
     int64_t attempts = int64_t(n) * 20 + 1000;
+    // One candidate reused across rejection attempts; copied into
+    // `out` only on acceptance.
+    ParamBinding b;
+    b.values.reserve(legal_.size());
     while (int(out.size()) < n && attempts-- > 0) {
-        ParamBinding b = randomBinding(rng);
+        b.values.clear();
+        for (const auto& vs : legal_)
+            b.values.push_back(
+                vs[size_t(rng.uniformInt(0, int64_t(vs.size()) - 1))]);
         uint64_t h = 0x9e3779b97f4a7c15ull;
         for (int64_t v : b.values)
             h = ml::hashMix(h ^ uint64_t(v));
@@ -96,7 +105,7 @@ ParamSpace::sample(int n, uint64_t seed) const
             continue;
         if (!isLegal(b))
             continue; // "We immediately discard illegal points."
-        out.push_back(std::move(b));
+        out.push_back(b);
     }
     return out;
 }

@@ -64,6 +64,9 @@ class ParamSpace
   private:
     const Graph& g_;
     std::vector<std::vector<int64_t>> legal_;
+    //!< Size-capped local memories (Bram/Queue) in node-id order,
+    //!< resolved once so isLegal() skips the full node walk.
+    std::vector<const MemNode*> localMems_;
 };
 
 } // namespace dhdl::dse

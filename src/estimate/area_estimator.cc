@@ -13,6 +13,18 @@ AreaEstimator::designFeatures(const AreaModel& model,
                               const std::vector<TemplateInst>& ts,
                               Resources raw)
 {
+    std::vector<double> out;
+    designFeaturesInto(model, dev, ts, raw, out);
+    return out;
+}
+
+void
+AreaEstimator::designFeaturesInto(const AreaModel& model,
+                                  const fpga::Device& dev,
+                                  const std::vector<TemplateInst>& ts,
+                                  Resources raw,
+                                  std::vector<double>& out)
+{
     (void)model;
     double n_ctrl = 0, n_mem = 0, n_xfer = 0, bits_sum = 0;
     for (const auto& t : ts) {
@@ -37,7 +49,7 @@ AreaEstimator::designFeatures(const AreaModel& model,
         bits_sum += t.bits;
     }
     double n = double(std::max<size_t>(1, ts.size()));
-    return {
+    out.assign({
         std::log2(1.0 + raw.lutsPack),
         std::log2(1.0 + raw.lutsNoPack),
         std::log2(1.0 + raw.regs),
@@ -49,7 +61,7 @@ AreaEstimator::designFeatures(const AreaModel& model,
         n_xfer,
         bits_sum / n,
         raw.totalLuts() / double(dev.alms * dev.lutsPerAlm),
-    };
+    });
 }
 
 AreaEstimator::AreaEstimator(const fpga::VendorToolchain& tc,
@@ -172,7 +184,7 @@ AreaEstimator::assemble(const std::vector<TemplateInst>& ts,
     e.dupRegs = std::max(0.0, dup_reg_frac) * raw.regs;
     e.unavailLuts = std::max(0.0, unavail_frac) * raw.totalLuts();
     e.dupBrams =
-        std::max(0.0, bramDup_.predict({e.routeLuts})) * raw.brams;
+        std::max(0.0, bramDup_.predict1(e.routeLuts)) * raw.brams;
 
     // LUT packing: routing LUTs are assumed packable; packable LUTs
     // pack pairwise (at the calibrated rate) into compute units with
@@ -197,9 +209,12 @@ AreaEstimator::assemble(const std::vector<TemplateInst>& ts,
 }
 
 AreaEstimate
-AreaEstimator::estimateList(const std::vector<TemplateInst>& ts) const
+AreaEstimator::estimateList(const std::vector<TemplateInst>& ts,
+                            std::vector<double>& feat) const
 {
-    Resources raw = model_.rawCount(ts);
+    Resources raw;
+    for (const auto& t : ts)
+        raw += model_.cost(t, feat);
     auto f = featScaler_.transformed(
         designFeatures(model_, dev_, ts, raw));
     double route = targetScaler_.inverseColumn(
@@ -212,9 +227,42 @@ AreaEstimator::estimateList(const std::vector<TemplateInst>& ts) const
 }
 
 AreaEstimate
+AreaEstimator::estimateList(const std::vector<TemplateInst>& ts,
+                            AreaWorkspace& ws) const
+{
+    Resources raw;
+    for (const auto& t : ts)
+        raw += model_.cost(t, ws.feat);
+    designFeaturesInto(model_, dev_, ts, raw, ws.designFeat);
+    featScaler_.transformInto(ws.designFeat, ws.scaled);
+    double route = targetScaler_.inverseColumn(
+        0, routeNet_.predictScalar(ws.scaled, ws.mlpA, ws.mlpB));
+    double dup_reg = targetScaler_.inverseColumn(
+        1, dupRegNet_.predictScalar(ws.scaled, ws.mlpA, ws.mlpB));
+    double unavail = targetScaler_.inverseColumn(
+        2, unavailNet_.predictScalar(ws.scaled, ws.mlpA, ws.mlpB));
+    return assemble(ts, raw, route, dup_reg, unavail, packRate_);
+}
+
+AreaEstimate
+AreaEstimator::estimateList(const std::vector<TemplateInst>& ts) const
+{
+    std::vector<double> feat;
+    return estimateList(ts, feat);
+}
+
+AreaEstimate
 AreaEstimator::estimate(const Inst& inst) const
 {
-    return estimateList(expandTemplates(inst));
+    AreaWorkspace ws;
+    return estimate(inst, ws);
+}
+
+AreaEstimate
+AreaEstimator::estimate(const Inst& inst, AreaWorkspace& ws) const
+{
+    expandTemplates(inst, ws.templates);
+    return estimateList(ws.templates, ws);
 }
 
 AreaEstimate

@@ -49,6 +49,20 @@ struct AreaEstimate {
     }
 };
 
+/**
+ * Reusable scratch storage for evaluate-many sweeps. One workspace
+ * per evaluating thread; its vectors keep their capacity across
+ * points so the steady state allocates nothing.
+ */
+struct AreaWorkspace {
+    std::vector<TemplateInst> templates;
+    std::vector<double> feat;       //!< per-template feature scratch
+    std::vector<double> designFeat; //!< 11 ANN design features
+    std::vector<double> scaled;     //!< scaled ANN input
+    std::vector<double> mlpA;       //!< MLP ping-pong scratch
+    std::vector<double> mlpB;       //!< MLP ping-pong scratch
+};
+
 /** Calibrated hybrid area estimator. */
 class AreaEstimator
 {
@@ -75,9 +89,23 @@ class AreaEstimator
     /** Estimate a whole design instance. */
     AreaEstimate estimate(const Inst& inst) const;
 
+    /**
+     * Estimate a design instance reusing per-thread scratch storage;
+     * ws.templates holds the expansion on return.
+     */
+    AreaEstimate estimate(const Inst& inst, AreaWorkspace& ws) const;
+
     /** Estimate a pre-expanded template list. */
     AreaEstimate
     estimateList(const std::vector<TemplateInst>& ts) const;
+
+    /** estimateList with reusable feature scratch. */
+    AreaEstimate estimateList(const std::vector<TemplateInst>& ts,
+                              std::vector<double>& feat) const;
+
+    /** estimateList with the full per-thread workspace (no allocs). */
+    AreaEstimate estimateList(const std::vector<TemplateInst>& ts,
+                              AreaWorkspace& ws) const;
 
     /**
      * Ablation: analytic-only estimate with fixed average correction
@@ -93,6 +121,12 @@ class AreaEstimator
     static std::vector<double>
     designFeatures(const AreaModel& model, const fpga::Device& dev,
                    const std::vector<TemplateInst>& ts, Resources raw);
+
+    /** designFeatures() into a caller-owned buffer (no allocation). */
+    static void
+    designFeaturesInto(const AreaModel& model, const fpga::Device& dev,
+                       const std::vector<TemplateInst>& ts,
+                       Resources raw, std::vector<double>& out);
 
   private:
     AreaEstimate

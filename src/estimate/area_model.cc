@@ -19,8 +19,8 @@ AreaModel::classKey(const TemplateInst& t)
     return k;
 }
 
-std::vector<double>
-AreaModel::features(const TemplateInst& t)
+void
+AreaModel::featuresInto(const TemplateInst& t, std::vector<double>& out)
 {
     double lanes = double(t.lanes);
     double vec = double(std::max<int64_t>(1, t.vec));
@@ -28,12 +28,16 @@ AreaModel::features(const TemplateInst& t)
     double banks = double(std::max(1, t.banks));
     double copies = lanes * (t.doubleBuf ? 2.0 : 1.0);
 
+    // assign() from a braced list reuses the vector's capacity, so a
+    // sweep pays no allocation per template after warm-up.
     switch (t.tkind) {
       case TemplateKind::PrimOp:
-        return {lanes, lanes * bits, lanes * bits * bits / 64.0};
+        out.assign({lanes, lanes * bits, lanes * bits * bits / 64.0});
+        return;
       case TemplateKind::LoadStore:
-        return {lanes, lanes * bits, lanes * banks,
-                lanes * bits * std::log2(std::max(1.0, banks))};
+        out.assign({lanes, lanes * bits, lanes * banks,
+                    lanes * bits * std::log2(std::max(1.0, banks))});
+        return;
       case TemplateKind::BramInst: {
         // Physical block count is a deterministic function of the
         // geometry; give it to the regression as a feature. Banks of
@@ -45,40 +49,58 @@ AreaModel::features(const TemplateInst& t)
                                       std::ceil(bits / 40.0)) *
                                  banks * copies;
         double mlab_bits = mlab ? depth * bits * banks * copies : 0.0;
-        return {phys, mlab_bits, lanes, lanes * banks,
-                lanes * bits * banks / 32.0,
-                copies * bits * banks / 32.0};
+        out.assign({phys, mlab_bits, lanes, lanes * banks,
+                    lanes * bits * banks / 32.0,
+                    copies * bits * banks / 32.0});
+        return;
       }
       case TemplateKind::RegInst:
-        return {copies * bits, lanes, lanes * bits};
+        out.assign({copies * bits, lanes, lanes * bits});
+        return;
       case TemplateKind::QueueInst:
-        return {lanes * double(t.depth) * bits, lanes};
+        out.assign({lanes * double(t.depth) * bits, lanes});
+        return;
       case TemplateKind::CounterInst:
-        return {lanes * double(t.ctrDims), lanes * vec, lanes};
+        out.assign({lanes * double(t.ctrDims), lanes * vec, lanes});
+        return;
       case TemplateKind::PipeCtrl:
-        return {lanes, lanes * vec};
+        out.assign({lanes, lanes * vec});
+        return;
       case TemplateKind::SeqCtrl:
       case TemplateKind::ParCtrl:
       case TemplateKind::MetaPipeCtrl:
-        return {lanes, lanes * double(t.stages), lanes * vec};
+        out.assign({lanes, lanes * double(t.stages), lanes * vec});
+        return;
       case TemplateKind::TileTransfer: {
         double width = bits * vec;
-        return {lanes, lanes * width,
-                lanes * std::log2(1.0 + double(t.tileElems)),
-                lanes * std::ceil(512.0 * width / 20480.0)};
+        out.assign({lanes, lanes * width,
+                    lanes * std::log2(1.0 + double(t.tileElems)),
+                    lanes * std::ceil(512.0 * width / 20480.0)});
+        return;
       }
       case TemplateKind::ReduceTree:
-        return {lanes * std::max(0.0, vec - 1.0),
-                lanes * std::log2(1.0 + vec) * bits / 32.0, lanes};
+        out.assign({lanes * std::max(0.0, vec - 1.0),
+                    lanes * std::log2(1.0 + vec) * bits / 32.0, lanes});
+        return;
       case TemplateKind::DelayLine: {
         bool fifo = t.depth > kBramDelayThreshold;
         double bits_total = t.delayBits * lanes;
-        return {fifo ? 0.0 : bits_total,
-                fifo ? std::ceil(t.delayBits / 20480.0) * lanes : 0.0,
-                lanes};
+        out.assign({fifo ? 0.0 : bits_total,
+                    fifo ? std::ceil(t.delayBits / 20480.0) * lanes
+                         : 0.0,
+                    lanes});
+        return;
       }
     }
-    return {lanes};
+    out.assign({lanes});
+}
+
+std::vector<double>
+AreaModel::features(const TemplateInst& t)
+{
+    std::vector<double> out;
+    featuresInto(t, out);
+    return out;
 }
 
 void
@@ -107,11 +129,35 @@ AreaModel::fit(const std::vector<fpga::TemplateSample>& samples)
         for (int i = 0; i < 5; ++i)
             ms[size_t(i)].fit(x, y[size_t(i)], 1e-6);
     }
+    resolve();
 }
 
-Resources
-AreaModel::cost(const TemplateInst& t) const
+void
+AreaModel::resolve()
 {
+    for (auto& r : resolved_)
+        r.present = false;
+    // Kinds other than PrimOp/ReduceTree ignore op/isFloat in their
+    // class key, so each resolves to exactly one bundle.
+    for (size_t k = 0; k < kNumTemplateKinds; ++k) {
+        auto kind = TemplateKind(k);
+        if (kind == TemplateKind::PrimOp ||
+            kind == TemplateKind::ReduceTree)
+            continue;
+        auto it = models_.find(uint64_t(k) << 16);
+        if (it == models_.end())
+            continue;
+        resolved_[k].present = true;
+        resolved_[k].models = it->second;
+    }
+}
+
+const std::array<ml::LinearModel, 5>&
+AreaModel::modelsFor(const TemplateInst& t) const
+{
+    const auto& fast = resolved_[size_t(t.tkind)];
+    if (fast.present)
+        return fast.models;
     auto it = models_.find(classKey(t));
     if (it == models_.end()) {
         // Fall back to the kind-wide default class (op Add, fixed).
@@ -123,23 +169,37 @@ AreaModel::cost(const TemplateInst& t) const
                 std::string("uncharacterized template class: ") +
                     templateKindName(t.tkind));
     }
-    auto f = features(t);
-    const auto& ms = it->second;
+    return it->second;
+}
+
+Resources
+AreaModel::cost(const TemplateInst& t, std::vector<double>& feat) const
+{
+    const auto& ms = modelsFor(t);
+    featuresInto(t, feat);
     Resources r;
-    r.lutsPack = std::max(0.0, ms[0].predict(f));
-    r.lutsNoPack = std::max(0.0, ms[1].predict(f));
-    r.regs = std::max(0.0, ms[2].predict(f));
-    r.dsps = std::max(0.0, ms[3].predict(f));
-    r.brams = std::max(0.0, ms[4].predict(f));
+    r.lutsPack = std::max(0.0, ms[0].predict(feat));
+    r.lutsNoPack = std::max(0.0, ms[1].predict(feat));
+    r.regs = std::max(0.0, ms[2].predict(feat));
+    r.dsps = std::max(0.0, ms[3].predict(feat));
+    r.brams = std::max(0.0, ms[4].predict(feat));
     return r;
+}
+
+Resources
+AreaModel::cost(const TemplateInst& t) const
+{
+    std::vector<double> feat;
+    return cost(t, feat);
 }
 
 Resources
 AreaModel::rawCount(const std::vector<TemplateInst>& ts) const
 {
     Resources total;
+    std::vector<double> feat;
     for (const auto& t : ts)
-        total += cost(t);
+        total += cost(t, feat);
     return total;
 }
 
@@ -173,6 +233,7 @@ AreaModel::load(std::istream& is)
         for (auto& m : ms)
             m = ml::loadLinear(is);
     }
+    model.resolve();
     return model;
 }
 

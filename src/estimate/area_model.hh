@@ -32,6 +32,14 @@ class AreaModel
     /** Predicted raw resources of one template instance. */
     Resources cost(const TemplateInst& t) const;
 
+    /**
+     * Scratch-reusing variant for evaluate-many sweeps: `feat` is
+     * overwritten with the instance's feature vector (its capacity is
+     * reused across calls).
+     */
+    Resources cost(const TemplateInst& t,
+                   std::vector<double>& feat) const;
+
     /** Predicted raw resources of a whole template list. */
     Resources rawCount(const std::vector<TemplateInst>& ts) const;
 
@@ -40,6 +48,10 @@ class AreaModel
 
     /** Feature vector used for the class's regression. */
     static std::vector<double> features(const TemplateInst& t);
+
+    /** features(), written into reusable scratch storage. */
+    static void featuresInto(const TemplateInst& t,
+                             std::vector<double>& out);
 
     size_t numClasses() const { return models_.size(); }
 
@@ -50,8 +62,27 @@ class AreaModel
     static AreaModel load(std::istream& is);
 
   private:
+    /** The 5-model bundle for a template class, with the kind-wide
+     *  default fallback; throws when uncharacterized. */
+    const std::array<ml::LinearModel, 5>&
+    modelsFor(const TemplateInst& t) const;
+
+    /**
+     * Rebuild the per-kind resolved table. Kinds whose class key is
+     * op-independent (everything except PrimOp/ReduceTree) resolve to
+     * one model bundle; copying it into a flat array at fit/load time
+     * removes the per-cost hash lookup from the sweep's hot path.
+     */
+    void resolve();
+
     /** lutsPack, lutsNoPack, regs, dsps, brams. */
     std::unordered_map<uint64_t, std::array<ml::LinearModel, 5>> models_;
+
+    struct Resolved {
+        bool present = false;
+        std::array<ml::LinearModel, 5> models;
+    };
+    std::array<Resolved, kNumTemplateKinds> resolved_;
 };
 
 } // namespace dhdl::est

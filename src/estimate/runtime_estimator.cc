@@ -22,89 +22,47 @@ RuntimeEstimator::RuntimeEstimator(fpga::Device dev)
 double
 RuntimeEstimator::transferBytes(const Inst& inst, NodeId xfer) const
 {
-    const Graph& g = inst.graph();
+    const XferInfo& x = inst.plan().xferInfo(xfer);
     int64_t elems = 1;
-    int bits;
-    if (g.node(xfer).kind() == NodeKind::TileLd) {
-        const auto& t = g.nodeAs<TileLdNode>(xfer);
-        bits = g.nodeAs<MemNode>(t.offchip).type.bits();
-        for (const auto& e : t.extent)
-            elems *= inst.val(e);
-    } else {
-        const auto& t = g.nodeAs<TileStNode>(xfer);
-        bits = g.nodeAs<MemNode>(t.offchip).type.bits();
-        for (const auto& e : t.extent)
-            elems *= inst.val(e);
-    }
-    return double(elems) * bits / 8.0;
+    for (const auto& e : *x.extent)
+        elems *= inst.val(e);
+    return double(elems) * x.bits / 8.0;
 }
 
-std::vector<NodeId>
+const std::vector<NodeId>*
 RuntimeEstimator::competitors(const Inst& inst, NodeId xfer) const
 {
     // Competing accessors: transfers below the nearest enclosing
     // container that executes its contents concurrently (a Parallel,
     // or an active MetaPipe whose stages overlap in steady state).
-    const Graph& g = inst.graph();
-    NodeId anc = g.node(xfer).parent;
-    while (anc != kNoNode) {
-        const Node& n = g.node(anc);
-        if (n.kind() == NodeKind::ParallelCtrl ||
-            (n.kind() == NodeKind::MetaPipe && inst.metaActive(anc)))
-            break;
-        anc = n.parent;
+    // The candidate ancestors and their rival sets were compiled into
+    // the plan; only the MetaPipe toggle is checked per binding.
+    for (const XferCandidate& c : inst.plan().xferInfo(xfer).candidates) {
+        if (c.isParallel || inst.metaActive(c.anc))
+            return &c.rivals;
     }
-    std::vector<NodeId> out;
-    if (anc == kNoNode)
-        return out;
-    for (NodeId t : inst.transfers()) {
-        if (t == xfer)
-            continue;
-        NodeId p = t;
-        while (p != kNoNode && p != anc)
-            p = g.node(p).parent;
-        if (p == anc)
-            out.push_back(t);
-    }
-    return out;
+    return nullptr;
 }
 
 double
 RuntimeEstimator::onchipBytesPerCycle(const Inst& inst,
                                       NodeId xfer) const
 {
-    const Graph& g = inst.graph();
-    if (g.node(xfer).kind() == NodeKind::TileLd) {
-        const auto& t = g.nodeAs<TileLdNode>(xfer);
-        return double(std::max<int64_t>(1, inst.val(t.par))) *
-               g.nodeAs<MemNode>(t.offchip).type.bits() / 8.0;
-    }
-    const auto& t = g.nodeAs<TileStNode>(xfer);
-    return double(std::max<int64_t>(1, inst.val(t.par))) *
-           g.nodeAs<MemNode>(t.offchip).type.bits() / 8.0;
+    const XferInfo& x = inst.plan().xferInfo(xfer);
+    return double(std::max<int64_t>(1, inst.val(x.par))) * x.bits /
+           8.0;
 }
 
 double
 RuntimeEstimator::transferCycles(const Inst& inst, NodeId xfer) const
 {
-    const Graph& g = inst.graph();
-    int bits;
-    int64_t elems = 1, inner = 1, par = 1;
-    if (g.node(xfer).kind() == NodeKind::TileLd) {
-        const auto& t = g.nodeAs<TileLdNode>(xfer);
-        bits = g.nodeAs<MemNode>(t.offchip).type.bits();
-        for (const auto& e : t.extent)
-            elems *= inst.val(e);
-        inner = inst.val(t.extent.back());
-        par = std::max<int64_t>(1, inst.val(t.par));
-    } else {
-        const auto& t = g.nodeAs<TileStNode>(xfer);
-        bits = g.nodeAs<MemNode>(t.offchip).type.bits();
-        for (const auto& e : t.extent)
-            elems *= inst.val(e);
-        inner = inst.val(t.extent.back());
-        par = std::max<int64_t>(1, inst.val(t.par));
-    }
+    const XferInfo& x = inst.plan().xferInfo(xfer);
+    int bits = x.bits;
+    int64_t elems = 1;
+    for (const auto& e : *x.extent)
+        elems *= inst.val(e);
+    int64_t inner = inst.val(x.extent->back());
+    int64_t par = std::max<int64_t>(1, inst.val(x.par));
 
     double bytes = double(elems) * bits / 8.0;
     double row_bytes = double(inner) * bits / 8.0;
@@ -127,7 +85,10 @@ RuntimeEstimator::transferCycles(const Inst& inst, NodeId xfer) const
     // lanes-replicated copies of each transfer) consume only what
     // their on-chip side can sink, capped at an equal share; this
     // stream gets the remainder (at least an equal split).
-    auto rivals = competitors(inst, xfer);
+    static const std::vector<NodeId> kNoRivals;
+    const auto* rivals_p = competitors(inst, xfer);
+    const std::vector<NodeId>& rivals = rivals_p ? *rivals_p
+                                                 : kNoRivals;
     double self_copies =
         double(std::max<int64_t>(1, inst.lanes(xfer)));
     double n = self_copies;
@@ -168,8 +129,10 @@ RuntimeEstimator::stageCycles(const Inst& inst, NodeId stage) const
 double
 RuntimeEstimator::ctrlCycles(const Inst& inst, NodeId ctrl) const
 {
-    const Graph& g = inst.graph();
-    const auto& c = g.nodeAs<ControllerNode>(ctrl);
+    const ControllerNode* cp = inst.plan().ctrlNode(ctrl);
+    if (!cp)
+        panic("ctrlCycles on non-controller");
+    const auto& c = *cp;
     int64_t trip = inst.trip(ctrl);
     int64_t par = inst.par(ctrl);
     double iters = std::ceil(double(trip) / double(par));
@@ -188,37 +151,39 @@ RuntimeEstimator::ctrlCycles(const Inst& inst, NodeId ctrl) const
       }
       case NodeKind::Sequential:
       case NodeKind::MetaPipe: {
-        auto stages = inst.stagesOf(ctrl);
-        std::vector<double> times;
-        times.reserve(stages.size() + 1);
-        for (NodeId s : stages)
-            times.push_back(stageCycles(inst, s));
+        // Accumulate sum/worst incrementally (same order as a stage
+        // list would be summed) instead of materializing a vector.
+        double sum = 0, worst = 0;
+        size_t nstages = 0;
+        for (NodeId s : inst.stagesOf(ctrl)) {
+            double t = stageCycles(inst, s);
+            sum += t;
+            worst = std::max(worst, t);
+            ++nstages;
+        }
 
         // Tile reduction of a Reduce MetaPipe is an implicit extra
         // stage combining the body result into the accumulator.
         if (c.pattern == Pattern::Reduce && c.accum != kNoNode) {
-            const auto& acc = g.nodeAs<MemNode>(c.accum);
+            const auto& acc = *inst.plan().memNode(c.accum);
             double elems = double(inst.memElems(c.accum));
             double lat = opLatency(c.combine, acc.type);
-            times.push_back(elems / double(par) + lat + kStageOverhead);
-        }
-        if (times.empty())
-            return kStageOverhead;
-
-        double sum = 0, worst = 0;
-        for (double t : times) {
+            double t = elems / double(par) + lat + kStageOverhead;
             sum += t;
             worst = std::max(worst, t);
+            ++nstages;
         }
+        if (nstages == 0)
+            return kStageOverhead;
 
         bool overlapped = c.kind() == NodeKind::MetaPipe &&
-                          inst.metaActive(ctrl) && times.size() > 1;
+                          inst.metaActive(ctrl) && nstages > 1;
         if (overlapped) {
             // (N-1) * max(stage) + sum(stage)  [Section IV-B]
             return (iters - 1.0) * worst + sum +
-                   kStageOverhead * double(times.size());
+                   kStageOverhead * double(nstages);
         }
-        return iters * (sum + kStageOverhead * double(times.size()));
+        return iters * (sum + kStageOverhead * double(nstages));
       }
       default:
         panic("ctrlCycles on non-controller");

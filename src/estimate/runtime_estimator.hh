@@ -49,9 +49,13 @@ class RuntimeEstimator
   private:
     double stageCycles(const Inst& inst, NodeId stage) const;
 
-    /** Transfers that may be in flight concurrently with xfer. */
-    std::vector<NodeId> competitors(const Inst& inst,
-                                    NodeId xfer) const;
+    /**
+     * Transfers that may be in flight concurrently with xfer: the
+     * rival set of the binding's first active concurrency ancestor
+     * (pre-resolved in the plan), or null when none applies.
+     */
+    const std::vector<NodeId>* competitors(const Inst& inst,
+                                           NodeId xfer) const;
 
     /** Peak bytes/cycle the on-chip side of a transfer can sink. */
     double onchipBytesPerCycle(const Inst& inst, NodeId xfer) const;

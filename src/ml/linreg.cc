@@ -88,6 +88,15 @@ LinearModel::predict(const std::vector<double>& x) const
 }
 
 double
+LinearModel::predict1(double x) const
+{
+    require(w_.size() == 1, "predict1 on multi-feature model");
+    double s = b_;
+    s += w_[0] * x;
+    return s;
+}
+
+double
 LinearModel::r2(const std::vector<std::vector<double>>& x,
                 const std::vector<double>& y) const
 {

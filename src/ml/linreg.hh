@@ -29,6 +29,9 @@ class LinearModel
     /** Predict one sample. */
     double predict(const std::vector<double>& x) const;
 
+    /** Predict a single-feature model without building a vector. */
+    double predict1(double x) const;
+
     const std::vector<double>& weights() const { return w_; }
     double bias() const { return b_; }
 

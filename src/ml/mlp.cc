@@ -56,10 +56,42 @@ Mlp::forward(const std::vector<double>& in) const
     return act;
 }
 
+const std::vector<double>&
+Mlp::forwardInto(const std::vector<double>& in, std::vector<double>& s0,
+                 std::vector<double>& s1) const
+{
+    require(int(in.size()) == layers_.front(), "MLP input arity");
+    const std::vector<double>* act = &in;
+    std::vector<double>* cur = &s0;
+    std::vector<double>* other = &s1;
+    for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+        cur->assign(size_t(layers_[l + 1]), 0.0);
+        bool last = l + 2 == layers_.size();
+        for (int i = 0; i < layers_[l + 1]; ++i) {
+            double s = weights_[bIndex(l, i)];
+            for (int j = 0; j < layers_[l]; ++j)
+                s += weights_[wIndex(l, i, j)] * (*act)[size_t(j)];
+            (*cur)[size_t(i)] = last ? s : std::tanh(s);
+        }
+        act = cur;
+        std::swap(cur, other);
+    }
+    return *act;
+}
+
 double
 Mlp::predictScalar(const std::vector<double>& in) const
 {
     auto out = forward(in);
+    invariant(out.size() == 1, "predictScalar on multi-output net");
+    return out.front();
+}
+
+double
+Mlp::predictScalar(const std::vector<double>& in,
+                   std::vector<double>& s0, std::vector<double>& s1) const
+{
+    const auto& out = forwardInto(in, s0, s1);
     invariant(out.size() == 1, "predictScalar on multi-output net");
     return out.front();
 }

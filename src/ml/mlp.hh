@@ -33,8 +33,22 @@ class Mlp
     /** Forward pass; input size must match the first layer. */
     std::vector<double> forward(const std::vector<double>& in) const;
 
+    /**
+     * Forward pass into caller-owned ping-pong scratch buffers (no
+     * allocation once their capacity is warm). Returns a reference to
+     * whichever buffer holds the output layer's activations.
+     */
+    const std::vector<double>&
+    forwardInto(const std::vector<double>& in, std::vector<double>& s0,
+                std::vector<double>& s1) const;
+
     /** Convenience for single-output networks. */
     double predictScalar(const std::vector<double>& in) const;
+
+    /** predictScalar() with reusable scratch (evaluate-many sweeps). */
+    double predictScalar(const std::vector<double>& in,
+                         std::vector<double>& s0,
+                         std::vector<double>& s1) const;
 
     size_t numWeights() const { return weights_.size(); }
     const std::vector<int>& layers() const { return layers_; }

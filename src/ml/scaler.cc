@@ -43,6 +43,16 @@ MinMaxScaler::transformed(const std::vector<double>& row) const
     return out;
 }
 
+void
+MinMaxScaler::transformInto(const std::vector<double>& row,
+                            std::vector<double>& out) const
+{
+    require(row.size() == lo_.size(), "scaler arity mismatch");
+    out.resize(row.size());
+    for (size_t c = 0; c < row.size(); ++c)
+        out[c] = scaleColumn(c, row[c]);
+}
+
 double
 MinMaxScaler::scaleColumn(size_t col, double v) const
 {

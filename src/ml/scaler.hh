@@ -27,6 +27,10 @@ class MinMaxScaler
     /** Scale a copy of one row. */
     std::vector<double> transformed(const std::vector<double>& row) const;
 
+    /** Scale one row into a caller-owned buffer (no allocation). */
+    void transformInto(const std::vector<double>& row,
+                       std::vector<double>& out) const;
+
     /** Invert the scaling of one column value. */
     double inverseColumn(size_t col, double v) const;
 

@@ -5,7 +5,7 @@
  *   dhdlc list
  *   dhdlc explore <benchmark> [--scale S] [--points N] [--top K]
  *                 [--threads T] [--time-budget SEC]
- *                 [--checkpoint FILE] [--resume]
+ *                 [--checkpoint FILE] [--resume] [--profile]
  *   dhdlc report <benchmark> [--scale S] [--points N]
  *   dhdlc emit <benchmark> [--scale S] [--points N] [--out DIR]
  *   dhdlc print <benchmark> [--scale S]
@@ -49,6 +49,7 @@ struct Args {
     double timeBudget = 0;
     std::string checkpoint;
     bool resume = false;
+    bool profile = false;
 };
 
 int
@@ -58,7 +59,7 @@ usage()
         << "usage: dhdlc <list|print|explore|report|emit> "
            "[benchmark] [--scale S] [--points N] [--top K] [--out DIR]"
            " [--threads T] [--time-budget SEC] [--checkpoint FILE]"
-           " [--resume]"
+           " [--resume] [--profile]"
         << std::endl;
     return 2;
 }
@@ -114,6 +115,8 @@ parse(int argc, char** argv, Args& args)
             args.checkpoint = v;
         } else if (flag == "--resume") {
             args.resume = true;
+        } else if (flag == "--profile") {
+            args.profile = true;
         } else {
             return false;
         }
@@ -206,6 +209,33 @@ cmdPrint(const Args& args)
     return 0;
 }
 
+/** Per-stage evaluation profile (dhdlc explore --profile). */
+void
+printProfile(const dse::ExploreResult& res)
+{
+    const auto& s = res.stats;
+    const auto& st = s.stages;
+    auto line = [&](const char* name, double secs) {
+        std::cout << "  " << name << "  " << secs * 1e3 << " ms";
+        if (st.total() > 0)
+            std::cout << " (" << int64_t(100.0 * secs / st.total())
+                      << "%)";
+        std::cout << "\n";
+    };
+    std::cout << "evaluation profile:\n";
+    std::cout << "  plan compile  " << s.planSeconds * 1e3
+              << " ms (once)\n";
+    line("instantiate ", st.instantiate);
+    line("area        ", st.area);
+    line("runtime     ", st.runtime);
+    line("validate    ", st.validate);
+    std::cout << "  total stage wall-clock " << st.total() * 1e3
+              << " ms over " << st.points << " point(s)\n";
+    if (s.seconds > 0)
+        std::cout << "  throughput " << double(s.evaluated) / s.seconds
+                  << " points/sec (" << s.seconds << " s elapsed)\n";
+}
+
 int
 cmdExplore(const Args& args)
 {
@@ -213,6 +243,8 @@ cmdExplore(const Args& args)
     auto res = explore(d, args);
     const auto& dev = est::calibratedEstimator().device();
     printStats(res);
+    if (args.profile)
+        printProfile(res);
     int shown = 0;
     for (size_t idx : res.pareto) {
         if (shown++ >= args.top)
