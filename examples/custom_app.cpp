@@ -28,9 +28,7 @@ buildFir(int64_t n, int64_t k)
     ParamId ts = d.tileParam("tileSize", n, 0, 8192);
     ParamId par = d.parParam("innerPar", 96, 2);
     ParamId m1 = d.toggleParam("M1toggle");
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        return b[ts] % b[par] == 0;
-    });
+    d.constrain(CExpr::p(ts) % CExpr::p(par) == 0);
 
     Mem sig = d.offchip("signal", DType::f32(), {Sym::c(n)});
     Mem taps = d.offchip("taps", DType::f32(), {Sym::c(k)});

@@ -87,6 +87,20 @@ const std::vector<AppEntry>& allApps();
 /** Round v*scale down to a multiple of `quantum` (at least one). */
 int64_t scaledSize(int64_t v, double scale, int64_t quantum);
 
+/**
+ * Build a named app at `scale`: any allApps() entry plus the
+ * "conv2d" extension app. Throws FatalError for unknown names.
+ */
+Design buildApp(const std::string& name, double scale = 1.0);
+
+/**
+ * Uniform graph front door for the whole toolchain: a name ending in
+ * ".dhdl" is parsed from disk (core/parser), anything else is built
+ * by buildApp(). Parse failures throw FatalError carrying the parse
+ * diagnostic, so callers treat files and names identically.
+ */
+Graph loadGraph(const std::string& nameOrPath, double scale = 1.0);
+
 } // namespace dhdl::apps
 
 #endif // DHDL_APPS_APPS_HH

@@ -43,9 +43,7 @@ buildBlackscholes(const BlackscholesConfig& cfg)
     ParamId inner_par = d.parParam("innerPar", 96, 2, 96);
     ParamId m1 = d.toggleParam("M1toggle");
 
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        return b[ts] % b[inner_par] == 0;
-    });
+    d.constrain(CExpr::p(ts) % CExpr::p(inner_par) == 0);
 
     Mem otype = d.offchip("otype", DType::f32(), {Sym::c(n)});
     Mem sptprice = d.offchip("sptprice", DType::f32(), {Sym::c(n)});

@@ -22,10 +22,8 @@ buildConv2d(const Conv2dConfig& cfg)
     ParamId par = d.parParam("innerPar", 96, 2, 96);
     ParamId m1 = d.toggleParam("M1toggle");
 
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        // The halo'd input tile must fit on chip.
-        return (b[th] + k - 1) * w * 32 <= int64_t(4) << 20;
-    });
+    // The halo'd input tile must fit on chip.
+    d.constrain((CExpr::p(th) + (k - 1)) * w * 32 <= int64_t(4) << 20);
 
     Mem img = d.offchip("image", DType::f32(), {Sym::c(h), Sym::c(w)});
     Mem ker =

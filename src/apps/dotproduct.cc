@@ -21,10 +21,8 @@ buildDotproduct(const DotproductConfig& cfg)
 
     // Pruning: inner parallelization must divide the tile size, and
     // outer parallelization the number of tiles.
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        return b[ts] % b[inner_par] == 0 &&
-               (n / b[ts]) % b[outer_par] == 0;
-    });
+    d.constrain(CExpr::p(ts) % CExpr::p(inner_par) == 0);
+    d.constrain((CExpr::c(n) / CExpr::p(ts)) % CExpr::p(outer_par) == 0);
 
     Mem a = d.offchip("a", DType::f32(), {Sym::c(n)});
     Mem b = d.offchip("b", DType::f32(), {Sym::c(n)});

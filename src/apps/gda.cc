@@ -28,12 +28,11 @@ buildGda(const GdaConfig& cfg)
     ParamId m1t = d.toggleParam("M1toggle");
     ParamId m2t = d.toggleParam("M2toggle");
 
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        return b[mu_size] % b[p1_par] == 0 &&
-               b[mu_size] % b[p2_par] == 0 &&
-               b[in_tile] % b[m2_par] == 0 &&
-               (rows / b[in_tile]) % b[m1_par] == 0;
-    });
+    d.constrain(CExpr::p(mu_size) % CExpr::p(p1_par) == 0);
+    d.constrain(CExpr::p(mu_size) % CExpr::p(p2_par) == 0);
+    d.constrain(CExpr::p(in_tile) % CExpr::p(m2_par) == 0);
+    d.constrain((CExpr::c(rows) / CExpr::p(in_tile)) % CExpr::p(m1_par) ==
+                0);
 
     Mem x = d.offchip("x", DType::f32(), {Sym::c(rows), Sym::c(cols)});
     Mem y = d.offchip("y", DType::bit(), {Sym::c(rows)});

@@ -23,9 +23,8 @@ buildGemm(const GemmConfig& cfg)
     ParamId m2 = d.toggleParam("M2toggle");
     ParamId m3 = d.toggleParam("M3toggle");
 
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        return b[tk] % b[inner_par] == 0 && b[tm] % b[row_par] == 0;
-    });
+    d.constrain(CExpr::p(tk) % CExpr::p(inner_par) == 0);
+    d.constrain(CExpr::p(tm) % CExpr::p(row_par) == 0);
 
     Mem a = d.offchip("a", DType::f32(), {Sym::c(m), Sym::c(k)});
     Mem b = d.offchip("b", DType::f32(), {Sym::c(k), Sym::c(n)});

@@ -32,12 +32,10 @@ buildKmeans(const KmeansConfig& cfg)
     ParamId m1t = d.toggleParam("M1toggle");
     ParamId m2t = d.toggleParam("M2toggle");
 
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        // On-chip point tile must fit the local memory cap, and the
-        // point-level parallelization must divide the tile.
-        return b[ts] * dim * 32 <= int64_t(4) << 20 &&
-               b[ts] % b[point_par] == 0;
-    });
+    // On-chip point tile must fit the local memory cap, and the
+    // point-level parallelization must divide the tile.
+    d.constrain(CExpr::p(ts) * dim * 32 <= int64_t(4) << 20);
+    d.constrain(CExpr::p(ts) % CExpr::p(point_par) == 0);
 
     Mem points =
         d.offchip("points", DType::f32(), {Sym::c(n), Sym::c(dim)});

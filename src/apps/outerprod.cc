@@ -25,9 +25,7 @@ buildOuterprod(const OuterprodConfig& cfg)
     ParamId m1 = d.toggleParam("M1toggle");
     ParamId m2 = d.toggleParam("M2toggle");
 
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        return b[ts2] % b[par] == 0;
-    });
+    d.constrain(CExpr::p(ts2) % CExpr::p(par) == 0);
 
     Mem a = d.offchip("a", DType::f32(), {Sym::c(n)});
     Mem bv = d.offchip("b", DType::f32(), {Sym::c(m)});

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/parser.hh"
+
 namespace dhdl::apps {
 
 int64_t
@@ -63,6 +65,39 @@ allApps()
          }},
     };
     return apps;
+}
+
+Design
+buildApp(const std::string& name, double scale)
+{
+    for (const auto& app : allApps()) {
+        if (app.name == name)
+            return app.build(scale);
+    }
+    // conv2d is an extension app, outside the Table II registry.
+    if (name == "conv2d") {
+        Conv2dConfig c;
+        c.h = scaledSize(c.h, scale, 64);
+        c.w = scaledSize(c.w, scale, 64);
+        return buildConv2d(c);
+    }
+    fatal("unknown benchmark '" + name + "'; try `dhdlc list`");
+}
+
+Graph
+loadGraph(const std::string& nameOrPath, double scale)
+{
+    const std::string suffix = ".dhdl";
+    if (nameOrPath.size() > suffix.size() &&
+        nameOrPath.compare(nameOrPath.size() - suffix.size(),
+                           suffix.size(), suffix) == 0) {
+        ParseResult res = parseIRFile(nameOrPath);
+        if (!res.ok())
+            fatal(res.status.diag().str(), DiagCode::ParseError);
+        return std::move(*res.graph);
+    }
+    Design d = buildApp(nameOrPath, scale);
+    return std::move(d.graph());
 }
 
 } // namespace dhdl::apps

@@ -19,10 +19,8 @@ buildTpchq6(const Tpchq6Config& cfg)
     ParamId inner_par = d.parParam("innerPar", 96, 4, 96);
     ParamId m1 = d.toggleParam("M1toggle");
 
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        return b[ts] % b[inner_par] == 0 &&
-               (n / b[ts]) % b[outer_par] == 0;
-    });
+    d.constrain(CExpr::p(ts) % CExpr::p(inner_par) == 0);
+    d.constrain((CExpr::c(n) / CExpr::p(ts)) % CExpr::p(outer_par) == 0);
 
     Mem dates = d.offchip("dates", DType::f32(), {Sym::c(n)});
     Mem qtys = d.offchip("quantities", DType::f32(), {Sym::c(n)});

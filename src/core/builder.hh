@@ -91,6 +91,16 @@ class Design
     /** Declare a fixed (non-explored) named constant parameter. */
     ParamId fixedParam(const std::string& name, int64_t value);
 
+    /**
+     * Add a cross-parameter legality constraint, e.g.
+     * `d.constrain(CExpr::p(ts) % CExpr::p(par) == 0)`.
+     */
+    void
+    constrain(Constraint c)
+    {
+        graph_.constraints.push_back(std::move(c));
+    }
+
     /** Declare an N-dimensional off-chip DRAM array. */
     Mem offchip(const std::string& name, DType type,
                 std::vector<Sym> dims);

@@ -35,6 +35,8 @@ diagCodeName(DiagCode code)
         return "checkpoint-io";
       case DiagCode::HostApiMisuse:
         return "host-api-misuse";
+      case DiagCode::ParseError:
+        return "parse-error";
     }
     return "unknown";
 }
@@ -56,6 +58,7 @@ diagCodeFromName(const std::string& name)
         DiagCode::EvalBudgetExceeded,
         DiagCode::CheckpointIo,
         DiagCode::HostApiMisuse,
+        DiagCode::ParseError,
     };
     for (DiagCode c : all) {
         if (name == diagCodeName(c))

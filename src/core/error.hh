@@ -40,6 +40,7 @@ enum class DiagCode : uint8_t {
     EvalBudgetExceeded,     //!< Exploration point-count budget hit.
     CheckpointIo,           //!< Checkpoint file unreadable/mismatched.
     HostApiMisuse,          //!< host::Accelerator called out of contract.
+    ParseError,             //!< Malformed `.dhdl` IR text.
 };
 
 /** Stable short name of a code (used in checkpoints and reports). */

@@ -8,12 +8,12 @@
 #ifndef DHDL_CORE_GRAPH_HH
 #define DHDL_CORE_GRAPH_HH
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/constraint.hh"
 #include "core/node.hh"
 #include "core/param.hh"
 
@@ -104,16 +104,17 @@ class Graph
      * Cross-parameter legality constraints (e.g. an inner
      * parallelization factor must divide the tile size it iterates
      * over). Checked by the design space explorer before estimating
-     * a point.
+     * a point. Structured (core/constraint.hh) so they serialize
+     * into the `.dhdl` text format together with the graph.
      */
-    std::vector<std::function<bool(const ParamBinding&)>> constraints;
+    std::vector<Constraint> constraints;
 
     /** True when a binding satisfies every design constraint. */
     bool
     satisfiesConstraints(const ParamBinding& b) const
     {
         for (const auto& c : constraints) {
-            if (!c(b))
+            if (!c.eval(b))
                 return false;
         }
         return true;

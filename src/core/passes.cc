@@ -1,0 +1,70 @@
+#include "core/passes.hh"
+
+#include <chrono>
+
+#include "core/validate.hh"
+
+namespace dhdl {
+
+Status
+PassManager::run(const Graph& g, PassContext& ctx)
+{
+    using clock = std::chrono::steady_clock;
+    timings_.clear();
+    timings_.reserve(passes_.size());
+    for (const Entry& e : passes_) {
+        auto t0 = clock::now();
+        Status st;
+        try {
+            st = e.fn(g, ctx);
+        } catch (...) {
+            Diag d = diagFromCurrentException(e.name);
+            st = Status::error(d);
+        }
+        auto t1 = clock::now();
+        timings_.push_back(
+            {e.name,
+             std::chrono::duration<double>(t1 - t0).count()});
+        if (!st.ok()) {
+            ctx.sink().report(st.diag());
+            return st;
+        }
+    }
+    return Status();
+}
+
+PassManager
+standardPasses()
+{
+    PassManager pm;
+    pm.add("validate", [](const Graph& g, PassContext& ctx) {
+        ctx.art.validationErrors = validate(g);
+        if (ctx.art.validationErrors.empty())
+            return Status();
+        Diag d;
+        d.code = DiagCode::UserError;
+        d.stage = "validate";
+        d.message = ctx.art.validationErrors.front();
+        if (ctx.art.validationErrors.size() > 1) {
+            d.message += " (+" +
+                std::to_string(ctx.art.validationErrors.size() - 1) +
+                " more)";
+        }
+        return Status::error(std::move(d));
+    });
+    pm.add("fold-constants", [](const Graph& g, PassContext& ctx) {
+        ctx.art.foldedConstants = foldConstants(g);
+        return Status();
+    });
+    pm.add("dead-nodes", [](const Graph& g, PassContext& ctx) {
+        ctx.art.deadNodes = findDeadNodes(g);
+        return Status();
+    });
+    pm.add("stats", [](const Graph& g, PassContext& ctx) {
+        ctx.art.stats = computeStats(g);
+        return Status();
+    });
+    return pm;
+}
+
+} // namespace dhdl

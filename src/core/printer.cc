@@ -1,5 +1,6 @@
 #include "core/printer.hh"
 
+#include <charconv>
 #include <sstream>
 
 namespace dhdl {
@@ -188,6 +189,320 @@ std::string
 printGraph(const Graph& g)
 {
     return Printer(g).run();
+}
+
+// ---- Canonical `.dhdl` IR emission -----------------------------------------
+
+std::string
+symIR(const Sym& s)
+{
+    if (!s.isParam())
+        return std::to_string(s.constant());
+    std::string out = "$" + std::to_string(s.param());
+    if (s.offset() > 0)
+        out += "+" + std::to_string(s.offset());
+    else if (s.offset() < 0)
+        out += std::to_string(s.offset());
+    return out;
+}
+
+std::string
+dtypeIR(const DType& t)
+{
+    std::ostringstream os;
+    switch (t.kind) {
+      case TypeKind::Float:
+        if (t.sign && t.fieldA == 8 && t.fieldB == 23)
+            return "f32";
+        if (t.sign && t.fieldA == 11 && t.fieldB == 52)
+            return "f64";
+        os << (t.sign ? "flt<" : "uflt<") << int(t.fieldA) << ","
+           << int(t.fieldB) << ">";
+        return os.str();
+      case TypeKind::Fixed:
+        if (t.fieldB == 0) {
+            os << (t.sign ? "i" : "u") << int(t.fieldA);
+            return os.str();
+        }
+        os << (t.sign ? "fix<" : "ufix<") << int(t.fieldA) << ","
+           << int(t.fieldB) << ">";
+        return os.str();
+      case TypeKind::Bit:
+        return "bit";
+    }
+    return "bit";
+}
+
+std::string
+doubleIR(double v)
+{
+    // Shortest form that parses back to the exact same bits.
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+namespace {
+
+/** Keyword of a node kind in the IR (lower-case, parser-matched). */
+const char*
+irKindName(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::Prim: return "prim";
+      case NodeKind::Load: return "ld";
+      case NodeKind::Store: return "st";
+      case NodeKind::OffChipMem: return "offchipmem";
+      case NodeKind::Bram: return "bram";
+      case NodeKind::Reg: return "reg";
+      case NodeKind::Queue: return "queue";
+      case NodeKind::Counter: return "counter";
+      case NodeKind::Pipe: return "pipe";
+      case NodeKind::Sequential: return "seq";
+      case NodeKind::ParallelCtrl: return "parallel";
+      case NodeKind::MetaPipe: return "metapipe";
+      case NodeKind::TileLd: return "tileld";
+      case NodeKind::TileSt: return "tilest";
+    }
+    return "?";
+}
+
+const char*
+paramKindIR(ParamKind k)
+{
+    switch (k) {
+      case ParamKind::TileSize: return "tile";
+      case ParamKind::ParFactor: return "par";
+      case ParamKind::Toggle: return "toggle";
+      case ParamKind::Fixed: return "fixed";
+    }
+    return "fixed";
+}
+
+/** Emitter for the canonical IR text. */
+class IREmitter
+{
+  public:
+    explicit IREmitter(const Graph& g) : g_(g) {}
+
+    std::string
+    run()
+    {
+        os_ << "dhdl 1\n";
+        os_ << "design ";
+        quoted(g_.name());
+        os_ << "\n";
+        const ParamTable& pt = g_.params();
+        for (ParamId p = 0; p < ParamId(pt.size()); ++p) {
+            const ParamDef& d = pt[p];
+            os_ << "param ";
+            quoted(d.name);
+            os_ << " kind=" << paramKindIR(d.kind)
+                << " default=" << d.defaultValue
+                << " divisor_of=" << d.divisorOf
+                << " min=" << d.minValue
+                << " max=" << d.maxValue << "\n";
+        }
+        for (const Constraint& c : g_.constraints)
+            os_ << "constraint " << c.str() << "\n";
+        for (NodeId id = 0; id < NodeId(g_.numNodes()); ++id)
+            emitNode(id);
+        os_ << "root ";
+        ref(g_.root);
+        os_ << "\n";
+        os_ << "offchip ";
+        refList(g_.offchipMems);
+        os_ << "\n";
+        os_ << "end\n";
+        return os_.str();
+    }
+
+  private:
+    void
+    quoted(const std::string& s)
+    {
+        os_ << '"';
+        for (char ch : s) {
+            switch (ch) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\t': os_ << "\\t"; break;
+              case '\r': os_ << "\\r"; break;
+              default: os_ << ch; break;
+            }
+        }
+        os_ << '"';
+    }
+
+    void
+    ref(NodeId id)
+    {
+        if (id == kNoNode)
+            os_ << "_";
+        else
+            os_ << "%" << id;
+    }
+
+    void
+    refList(const std::vector<NodeId>& ids)
+    {
+        os_ << "[";
+        for (size_t i = 0; i < ids.size(); ++i) {
+            if (i)
+                os_ << ",";
+            ref(ids[i]);
+        }
+        os_ << "]";
+    }
+
+    void
+    symList(const std::vector<Sym>& syms)
+    {
+        os_ << "[";
+        for (size_t i = 0; i < syms.size(); ++i) {
+            if (i)
+                os_ << ",";
+            os_ << symIR(syms[i]);
+        }
+        os_ << "]";
+    }
+
+    void
+    emitNode(NodeId id)
+    {
+        const Node& n = g_.node(id);
+        os_ << "node %" << id << " " << irKindName(n.kind()) << " ";
+        quoted(n.name());
+        os_ << " parent=";
+        ref(n.parent);
+        switch (n.kind()) {
+          case NodeKind::Prim: {
+            const auto& p = g_.nodeAs<PrimNode>(id);
+            os_ << " op=" << opName(p.op)
+                << " type=" << dtypeIR(p.type)
+                << " val=" << doubleIR(p.constValue) << " in=";
+            refList(p.inputs);
+            os_ << " ctr=";
+            ref(p.counter);
+            os_ << " dim=" << p.ctrDim;
+            break;
+          }
+          case NodeKind::Load: {
+            const auto& l = g_.nodeAs<LoadNode>(id);
+            os_ << " mem=";
+            ref(l.mem);
+            os_ << " type=" << dtypeIR(l.type) << " addr=";
+            refList(l.addr);
+            break;
+          }
+          case NodeKind::Store: {
+            const auto& s = g_.nodeAs<StoreNode>(id);
+            os_ << " mem=";
+            ref(s.mem);
+            os_ << " value=";
+            ref(s.value);
+            os_ << " addr=";
+            refList(s.addr);
+            break;
+          }
+          case NodeKind::OffChipMem: {
+            const auto& m = g_.nodeAs<OffChipMemNode>(id);
+            os_ << " type=" << dtypeIR(m.type) << " dims=";
+            symList(m.dims);
+            break;
+          }
+          case NodeKind::Bram: {
+            const auto& m = g_.nodeAs<BramNode>(id);
+            os_ << " type=" << dtypeIR(m.type) << " dims=";
+            symList(m.dims);
+            os_ << " banks=" << m.forcedBanks;
+            break;
+          }
+          case NodeKind::Reg: {
+            const auto& m = g_.nodeAs<RegNode>(id);
+            os_ << " type=" << dtypeIR(m.type)
+                << " init=" << doubleIR(m.init);
+            break;
+          }
+          case NodeKind::Queue: {
+            const auto& m = g_.nodeAs<QueueNode>(id);
+            os_ << " type=" << dtypeIR(m.type)
+                << " depth=" << symIR(m.depth);
+            break;
+          }
+          case NodeKind::Counter: {
+            const auto& c = g_.nodeAs<CounterNode>(id);
+            os_ << " dims=[";
+            for (size_t i = 0; i < c.dims.size(); ++i) {
+                if (i)
+                    os_ << ",";
+                os_ << symIR(c.dims[i].min) << ":"
+                    << symIR(c.dims[i].max) << ":"
+                    << symIR(c.dims[i].step);
+            }
+            os_ << "]";
+            break;
+          }
+          case NodeKind::Pipe:
+          case NodeKind::Sequential:
+          case NodeKind::ParallelCtrl:
+          case NodeKind::MetaPipe: {
+            const auto& c = g_.nodeAs<ControllerNode>(id);
+            os_ << " counter=";
+            ref(c.counter);
+            os_ << " par=" << symIR(c.par)
+                << " toggle=" << symIR(c.toggle)
+                << " pattern="
+                << (c.pattern == Pattern::Reduce ? "reduce" : "map")
+                << " combine=" << opName(c.combine) << " accum=";
+            ref(c.accum);
+            os_ << " body=";
+            ref(c.bodyResult);
+            os_ << " children=";
+            refList(c.children);
+            break;
+          }
+          case NodeKind::TileLd:
+          case NodeKind::TileSt: {
+            NodeId off, on;
+            const std::vector<NodeId>* base;
+            const std::vector<Sym>* extent;
+            Sym par;
+            if (n.kind() == NodeKind::TileLd) {
+                const auto& t = g_.nodeAs<TileLdNode>(id);
+                off = t.offchip; on = t.onchip;
+                base = &t.base; extent = &t.extent; par = t.par;
+            } else {
+                const auto& t = g_.nodeAs<TileStNode>(id);
+                off = t.offchip; on = t.onchip;
+                base = &t.base; extent = &t.extent; par = t.par;
+            }
+            os_ << " off=";
+            ref(off);
+            os_ << " on=";
+            ref(on);
+            os_ << " base=";
+            refList(*base);
+            os_ << " extent=";
+            symList(*extent);
+            os_ << " par=" << symIR(par);
+            break;
+          }
+        }
+        os_ << "\n";
+    }
+
+    const Graph& g_;
+    std::ostringstream os_;
+};
+
+} // namespace
+
+std::string
+emitIR(const Graph& g)
+{
+    return IREmitter(g).run();
 }
 
 } // namespace dhdl

@@ -1,8 +1,14 @@
 /**
  * @file
- * Human-readable dump of a DHDL graph: the controller hierarchy with
- * per-node template names, parameters, and data dependencies. Used by
- * examples and tests; the format is stable (golden-tested).
+ * Two renderings of a DHDL graph:
+ *
+ *  - printGraph(): human-readable indented hierarchy for examples and
+ *    reports. Lossy by design (iterators and wiring details elided).
+ *  - emitIR(): the canonical `.dhdl` text form. Deterministic, prints
+ *    every field of every node, and is parsed back byte-identically by
+ *    core/parser (see DESIGN.md for the grammar). This is the on-disk
+ *    interchange format of the whole toolchain: `dhdlc emit-ir` writes
+ *    it and every dhdlc command accepts it in place of an app name.
  */
 
 #ifndef DHDL_CORE_PRINTER_HH
@@ -19,6 +25,23 @@ std::string printGraph(const Graph& g);
 
 /** Render one symbolic size, e.g. "1536" or "$tileSize". */
 std::string symStr(const Graph& g, const Sym& s);
+
+/**
+ * Serialize a graph to canonical `.dhdl` IR text. Total (never throws
+ * on a builder-produced graph) and deterministic: the same graph
+ * always yields the same bytes, and parseIR(emitIR(g)) reconstructs a
+ * graph whose emitIR() is byte-identical.
+ */
+std::string emitIR(const Graph& g);
+
+/** Canonical IR spelling of one Sym: `7`, `$2`, `$2+4` or `$2-1`. */
+std::string symIR(const Sym& s);
+
+/** Canonical IR spelling of a type, e.g. `f32`, `u8`, `fix<16,16>`. */
+std::string dtypeIR(const DType& t);
+
+/** Canonical IR spelling of a double (shortest round-trip form). */
+std::string doubleIR(double v);
 
 } // namespace dhdl
 

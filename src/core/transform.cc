@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace dhdl {
 
@@ -88,7 +90,7 @@ evalConstOp(Op op, const std::vector<double>& in)
     }
 }
 
-std::unordered_map<NodeId, double>
+std::vector<std::pair<NodeId, double>>
 foldConstants(const Graph& g)
 {
     std::unordered_map<NodeId, double> folded;
@@ -122,16 +124,21 @@ foldConstants(const Graph& g)
             folded[id] = *v;
     }
     // Plain Const nodes are already constants; report only derived
-    // foldings.
+    // foldings, in ascending id order.
+    std::vector<std::pair<NodeId, double>> out;
+    out.reserve(folded.size());
     for (NodeId id = 0; id < NodeId(g.numNodes()); ++id) {
         const auto* p = g.tryAs<PrimNode>(id);
         if (p && p->op == Op::Const)
-            folded.erase(id);
+            continue;
+        auto it = folded.find(id);
+        if (it != folded.end())
+            out.emplace_back(id, it->second);
     }
-    return folded;
+    return out;
 }
 
-std::unordered_set<NodeId>
+std::vector<NodeId>
 findDeadNodes(const Graph& g)
 {
     // Roots of liveness: stores (value + address), transfer base
@@ -197,8 +204,9 @@ findDeadNodes(const Graph& g)
         (void)n;
     }
 
-    // Dead = value-producing primitives that never became live.
-    std::unordered_set<NodeId> dead;
+    // Dead = value-producing primitives that never became live;
+    // ascending id order by construction.
+    std::vector<NodeId> dead;
     for (NodeId id = 0; id < NodeId(g.numNodes()); ++id) {
         const Node& n = g.node(id);
         bool value_node =
@@ -206,7 +214,7 @@ findDeadNodes(const Graph& g)
             (n.kind() == NodeKind::Prim &&
              g.nodeAs<PrimNode>(id).op != Op::Iter);
         if (value_node && !live.count(id))
-            dead.insert(id);
+            dead.push_back(id);
     }
     return dead;
 }

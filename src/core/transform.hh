@@ -16,8 +16,7 @@
 #define DHDL_CORE_TRANSFORM_HH
 
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/graph.hh"
@@ -26,10 +25,13 @@ namespace dhdl {
 
 /**
  * Constant folding: evaluate primitive nodes whose operands are all
- * Const nodes. Returns the folded value per foldable node id; graphs
- * stay untouched (consumers may substitute the values).
+ * Const nodes. Returns (node id, folded value) pairs sorted by node
+ * id — a deterministic order, stable across platforms and hash-table
+ * implementations, so pass output can be printed or golden-tested
+ * byte-for-byte. Graphs stay untouched (consumers may substitute the
+ * values).
  */
-std::unordered_map<NodeId, double> foldConstants(const Graph& g);
+std::vector<std::pair<NodeId, double>> foldConstants(const Graph& g);
 
 /**
  * Evaluate one primitive op on constant operands (exposed for tests
@@ -41,9 +43,10 @@ std::optional<double> evalConstOp(Op op, const std::vector<double>& in);
 /**
  * Dead-node elimination: primitives whose values can never reach a
  * store, a tile transfer, a reduce result, or a controller structure.
- * Returns the set of dead node ids.
+ * Returns the dead node ids sorted ascending (deterministic across
+ * platforms and thread counts).
  */
-std::unordered_set<NodeId> findDeadNodes(const Graph& g);
+std::vector<NodeId> findDeadNodes(const Graph& g);
 
 /** Aggregate design statistics (used by reports and examples). */
 struct GraphStats {

@@ -15,9 +15,7 @@ smallDesign()
     ParamId ts = d.tileParam("ts", 24); // 8 divisors
     ParamId par = d.parParam("par", 4); // 3 divisors
     d.toggleParam("m1");                // 2 values
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        return b[ts] % b[par] == 0;
-    });
+    d.constrain(CExpr::p(ts) % CExpr::p(par) == 0);
     Mem a = d.offchip("a", DType::f32(), {Sym::c(24)});
     d.accel([&](Scope& s) {
         s.metaPipe("M", {ctr(24, Sym::p(ts))}, Sym::c(1), Sym::c(1),

@@ -23,6 +23,8 @@
 #include <sstream>
 
 #include "apps/apps.hh"
+#include "core/parser.hh"
+#include "core/printer.hh"
 #include "dse/explorer.hh"
 
 #ifndef DHDL_TEST_DATA_DIR
@@ -67,16 +69,22 @@ class GoldenFixture : public ::testing::Test
 
     /** The pinned exploration: small GDA sweep, fixed seed. */
     static ExploreResult
-    runPinned(int threads, const std::string& ckpt)
+    runPinnedOn(const Graph& g, int threads, const std::string& ckpt)
     {
-        Design d = apps::buildGda({9600, 96});
         ExploreConfig cfg;
         cfg.maxPoints = 200;
         cfg.threads = threads;
         cfg.checkpointPath = ckpt;
         // One final checkpoint write covering every point.
         cfg.checkpointEvery = 1 << 30;
-        return explorer().explore(d.graph(), cfg);
+        return explorer().explore(g, cfg);
+    }
+
+    static ExploreResult
+    runPinned(int threads, const std::string& ckpt)
+    {
+        Design d = apps::buildGda({9600, 96});
+        return runPinnedOn(d.graph(), threads, ckpt);
     }
 
     static std::string
@@ -150,6 +158,42 @@ TEST_F(GoldenFixture, SerialMatchesCommittedFixture)
 TEST_F(GoldenFixture, FourThreadsMatchCommittedFixture)
 {
     checkAgainstGolden(4);
+}
+
+/**
+ * The file-driven pipeline makes the same promise: exploring the
+ * committed `.dhdl` serialization of the pinned design reproduces
+ * the checkpoint, Pareto front and diagnostics fixtures exactly —
+ * `dhdlc explore gda.dhdl` is bit-for-bit `dhdlc explore gda`.
+ */
+TEST_F(GoldenFixture, ParsedDesignFileReproducesFixture)
+{
+    std::string path = goldenDir() + "/gda_design.dhdl";
+    if (updateMode()) {
+        Design d = apps::buildGda({9600, 96});
+        std::ofstream(path, std::ios::binary) << emitIR(d.graph());
+        GTEST_SKIP() << "golden fixture updated";
+    }
+
+    std::string text = readFile(path);
+    ASSERT_FALSE(text.empty())
+        << "missing fixture " << path
+        << " (run with DHDL_UPDATE_GOLDEN=1)";
+    // The fixture itself is canonical text.
+    ParseResult res = parseIR(text);
+    ASSERT_TRUE(res.ok()) << res.status.diag().str();
+    EXPECT_EQ(emitIR(*res.graph), text);
+
+    std::string ckpt = testing::TempDir() + "golden_gda_parsed.ckpt";
+    auto got = runPinnedOn(*res.graph, 1, ckpt);
+    std::string got_ckpt = readFile(ckpt);
+    std::remove(ckpt.c_str());
+    ASSERT_FALSE(got_ckpt.empty());
+    EXPECT_EQ(readFile(goldenDir() + "/gda_explore.ckpt"), got_ckpt);
+    EXPECT_EQ(readFile(goldenDir() + "/gda_pareto.txt"),
+              renderPareto(got));
+    EXPECT_EQ(readFile(goldenDir() + "/gda_diags.txt"),
+              renderDiags(got));
 }
 
 } // namespace

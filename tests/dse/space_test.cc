@@ -13,9 +13,7 @@ spaceDesign(int64_t n = 1024)
     ParamId ts = d.tileParam("ts", n);
     ParamId par = d.parParam("par", 96);
     ParamId tog = d.toggleParam("m1");
-    d.graph().constraints.push_back([=](const ParamBinding& b) {
-        return b[ts] % b[par] == 0;
-    });
+    d.constrain(CExpr::p(ts) % CExpr::p(par) == 0);
     (void)tog;
     Mem a = d.offchip("a", DType::f32(), {Sym::c(n)});
     d.accel([&](Scope& s) {

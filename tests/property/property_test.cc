@@ -9,10 +9,13 @@
 #include <cmath>
 
 #include "apps/apps.hh"
+#include "core/parser.hh"
+#include "core/printer.hh"
 #include "core/validate.hh"
 #include "dse/explorer.hh"
 #include "estimate/runtime_estimator.hh"
 #include "fpga/toolchain.hh"
+#include "ml/rng.hh"
 #include "sim/timing.hh"
 
 namespace dhdl {
@@ -41,6 +44,20 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, AppProperty,
                          [](const auto& info) {
                              return std::string(info.param);
                          });
+
+TEST_P(AppProperty, IrRoundTripsByteIdentical)
+{
+    // print -> parse -> print is the identity on canonical text, for
+    // every benchmark at several dataset scales.
+    for (double scale : {0.02, 0.1, 1.0}) {
+        Design d = buildApp(GetParam(), scale);
+        std::string first = emitIR(d.graph());
+        ParseResult res = parseIR(first);
+        ASSERT_TRUE(res.ok())
+            << "scale " << scale << ": " << res.status.diag().str();
+        EXPECT_EQ(emitIR(*res.graph), first) << "scale " << scale;
+    }
+}
 
 TEST_P(AppProperty, GraphIsValid)
 {
@@ -182,6 +199,141 @@ TEST_P(ToggleProperty, OverlapNeverHurtsRuntime)
         EXPECT_LE(t_on, t_off * 1.0001)
             << name << " seed " << seed;
     }
+}
+
+/**
+ * Randomized builder graphs: nested controllers, mixed datatypes,
+ * reductions and tile transfers chosen by a seeded Rng. Every graph
+ * the builder can produce must survive print -> parse -> print
+ * unchanged.
+ */
+class RoundTripProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    static DType
+    randomType(ml::Rng& rng)
+    {
+        switch (rng.uniformInt(0, 4)) {
+          case 0: return DType::f32();
+          case 1: return DType::f64();
+          case 2: return DType::i32();
+          case 3: return DType::fix(16, 16);
+          default: return DType::i16();
+        }
+    }
+
+    static Op
+    randomBinop(ml::Rng& rng)
+    {
+        static const Op ops[] = {Op::Add, Op::Sub, Op::Mul, Op::Div,
+                                 Op::Min, Op::Max};
+        return ops[rng.uniformInt(0, 5)];
+    }
+
+    static void
+    randomBody(Scope& s, ml::Rng& rng, Mem tile, ParamId ts,
+               int depth)
+    {
+        int blocks = int(rng.uniformInt(1, depth == 0 ? 3 : 2));
+        for (int i = 0; i < blocks; ++i) {
+            std::string tag =
+                "d" + std::to_string(depth) + "b" + std::to_string(i);
+            switch (rng.uniformInt(0, 3)) {
+              case 0: { // Map pipe writing a fresh bram.
+                DType t = randomType(rng);
+                Mem dst = s.bram("m" + tag, t, {Sym::p(ts)});
+                s.pipe("P" + tag, {ctr(Sym::p(ts))},
+                       Sym::c(rng.uniformInt(1, 4)),
+                       [&](Scope& p, std::vector<Val> ii) {
+                           Val v = p.load(tile, {ii[0]});
+                           Val w = p.binop(
+                               randomBinop(rng), v,
+                               p.constant(
+                                   rng.uniform(-8.0, 8.0)));
+                           p.store(dst, {ii[0]}, w);
+                       });
+                break;
+              }
+              case 1: { // Reduction into a register.
+                Mem acc = s.reg("r" + tag, DType::f32());
+                s.pipeReduce(
+                    "R" + tag, {ctr(Sym::p(ts))}, Sym::c(1), acc,
+                    Op::Add, [&](Scope& p, std::vector<Val> ii) {
+                        return p.load(tile, {ii[0]});
+                    });
+                break;
+              }
+              case 2: { // Nested sequential scope.
+                if (depth < 2) {
+                    s.sequential("S" + tag, [&](Scope& inner) {
+                        randomBody(inner, rng, tile, ts, depth + 1);
+                    });
+                } else {
+                    Mem r = s.reg("q" + tag, randomType(rng));
+                    s.pipe("Q" + tag, {ctr(4)}, Sym::c(1),
+                           [&](Scope& p, std::vector<Val> ii) {
+                               p.store(r,
+                                       {p.constant(0.0,
+                                                   DType::i32())},
+                                       ii[0]);
+                           });
+                }
+                break;
+              }
+              default: { // Unary chain pipe.
+                Mem r = s.reg("u" + tag, DType::f32());
+                s.pipe("U" + tag, {ctr(8)}, Sym::c(1),
+                       [&](Scope& p, std::vector<Val> ii) {
+                           Val v = p.unary(Op::Abs, ii[0]);
+                           p.store(r,
+                                   {p.constant(0.0, DType::i32())},
+                                   v);
+                       });
+                break;
+              }
+            }
+        }
+    }
+
+    static Design
+    randomDesign(uint64_t seed)
+    {
+        ml::Rng rng(seed * 0x9e3779b97f4a7c15ull + seed);
+        Design d("rand" + std::to_string(seed));
+        ParamId ts = d.tileParam("ts", 4096);
+        ParamId par = d.parParam("op", 96);
+        d.constrain(CExpr::p(ts) % CExpr::p(par) == 0);
+        Mem a = d.offchip("a", DType::f32(), {Sym::c(4096)});
+        d.accel([&](Scope& s) {
+            s.metaPipe(
+                "M", {ctr(4096, Sym::p(ts))}, Sym::p(par), Sym::c(1),
+                [&](Scope& m, std::vector<Val> iv) {
+                    Mem tile =
+                        m.bram("tile", DType::f32(), {Sym::p(ts)});
+                    m.tileLoad(a, tile, {iv[0]}, {Sym::p(ts)});
+                    randomBody(m, rng, tile, ts, 0);
+                });
+        });
+        return d;
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range(1, 13));
+
+TEST_P(RoundTripProperty, RandomGraphsRoundTripByteIdentical)
+{
+    Design d = randomDesign(uint64_t(GetParam()));
+    ASSERT_TRUE(validate(d.graph()).empty());
+    std::string first = emitIR(d.graph());
+    ParseResult res = parseIR(first);
+    ASSERT_TRUE(res.ok()) << res.status.diag().str();
+    EXPECT_EQ(emitIR(*res.graph), first);
+    // A second lap stays fixed, too.
+    ParseResult again = parseIR(emitIR(*res.graph));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(emitIR(*again.graph), first);
+    EXPECT_TRUE(validate(*again.graph).empty());
 }
 
 /** Divisor property over many integers. */

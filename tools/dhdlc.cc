@@ -3,21 +3,32 @@
  *
  * Usage:
  *   dhdlc list
- *   dhdlc explore <benchmark> [--scale S] [--points N] [--top K]
+ *   dhdlc explore <design> [--scale S] [--points N] [--top K]
  *                 [--threads T] [--time-budget SEC]
  *                 [--checkpoint FILE] [--resume] [--profile]
- *   dhdlc report <benchmark> [--scale S] [--points N]
- *   dhdlc emit <benchmark> [--scale S] [--points N] [--out DIR]
- *   dhdlc print <benchmark> [--scale S]
+ *   dhdlc report <design> [--scale S] [--points N]
+ *   dhdlc emit <design> [--scale S] [--points N] [--out DIR]
+ *   dhdlc emit-ir <design> [--scale S]
+ *   dhdlc print <design> [--scale S]
  *   dhdlc calibrate [--out DIR]
  *
- * `explore` runs design space exploration and prints the Pareto
- * frontier; `report` additionally synthesizes + simulates the best
- * point (estimate vs ground truth); `emit` writes the MaxJ kernel and
- * manager for the best point; `print` dumps the DHDL IR; `calibrate`
- * runs characterization + ANN training and persists the calibration
- * to <DIR>/dhdl_calibration.txt (reloadable via
+ * <design> is either a benchmark name from `dhdlc list` or a path to
+ * a `.dhdl` IR file (anything ending in ".dhdl"); both take the
+ * identical pipeline. `explore` runs design space exploration and
+ * prints the Pareto frontier; `report` additionally synthesizes +
+ * simulates the best point (estimate vs ground truth); `emit` writes
+ * the MaxJ kernel and manager for the best point; `emit-ir` writes
+ * the canonical `.dhdl` serialization to stdout (round-trippable:
+ * `dhdlc emit-ir gda > gda.dhdl && dhdlc explore gda.dhdl`); `print`
+ * dumps the human-readable hierarchy; `calibrate` runs
+ * characterization + ANN training and persists the calibration to
+ * <DIR>/dhdl_calibration.txt (reloadable via
  * est::AreaEstimator(device, stream)).
+ *
+ * Every load — built or parsed — runs the standard analysis pass
+ * pipeline (validate, fold-constants, dead-nodes, stats); pass
+ * failures are reported as structured diagnostics and abort the
+ * command. `--profile` additionally prints per-pass wall-clock.
  */
 
 #include <fstream>
@@ -26,6 +37,7 @@
 
 #include "apps/apps.hh"
 #include "codegen/maxj.hh"
+#include "core/passes.hh"
 #include "core/printer.hh"
 #include "core/transform.hh"
 #include "dse/explorer.hh"
@@ -56,10 +68,11 @@ int
 usage()
 {
     std::cerr
-        << "usage: dhdlc <list|print|explore|report|emit> "
-           "[benchmark] [--scale S] [--points N] [--top K] [--out DIR]"
-           " [--threads T] [--time-budget SEC] [--checkpoint FILE]"
-           " [--resume] [--profile]"
+        << "usage: dhdlc "
+           "<list|print|explore|report|emit|emit-ir|calibrate> "
+           "[benchmark|file.dhdl] [--scale S] [--points N] [--top K]"
+           " [--out DIR] [--threads T] [--time-budget SEC]"
+           " [--checkpoint FILE] [--resume] [--profile]"
         << std::endl;
     return 2;
 }
@@ -124,26 +137,64 @@ parse(int argc, char** argv, Args& args)
     return true;
 }
 
-Design
-buildByName(const std::string& name, double scale)
+/**
+ * Everything dhdlc knows about the design it operates on: the graph
+ * (built from a registry name or parsed from a `.dhdl` file) plus the
+ * artifacts of the standard pass pipeline, which runs on every load
+ * so files and built designs behave identically.
+ */
+struct Loaded {
+    Graph graph;
+    PassArtifacts art;
+};
+
+Loaded
+load(const Args& args)
 {
-    for (const auto& app : apps::allApps()) {
-        if (app.name == name)
-            return app.build(scale);
+    Graph g = apps::loadGraph(args.benchmark, args.scale);
+    DiagSink sink;
+    PassContext ctx(sink);
+    PassManager pm = standardPasses();
+    Status st = pm.run(g, ctx);
+    if (args.profile) {
+        std::cerr << "pass profile:\n";
+        for (const auto& t : pm.timings())
+            std::cerr << "  " << t.name << "  " << t.seconds * 1e3
+                      << " ms\n";
     }
-    fatal("unknown benchmark '" + name + "'; try `dhdlc list`");
+    if (!st.ok()) {
+        for (const auto& d : sink.snapshot())
+            std::cerr << "dhdlc: " << d.str() << "\n";
+        for (const auto& e : ctx.art.validationErrors)
+            std::cerr << "dhdlc:   " << e << "\n";
+        fatal("design '" + args.benchmark + "' failed the " +
+                  "analysis pipeline",
+              st.diag().code);
+    }
+    return Loaded{std::move(g), std::move(ctx.art)};
+}
+
+/** Output stem: the graph name for files, the CLI name otherwise. */
+std::string
+designStem(const Args& args, const Graph& g)
+{
+    if (args.benchmark.size() > 5 &&
+        args.benchmark.compare(args.benchmark.size() - 5, 5,
+                               ".dhdl") == 0)
+        return g.name();
+    return args.benchmark;
 }
 
 void
-printBinding(const Design& d, const ParamBinding& b)
+printBinding(const Graph& g, const ParamBinding& b)
 {
-    for (size_t i = 0; i < d.params().size(); ++i)
-        std::cout << (i ? " " : "") << d.params()[ParamId(i)].name
+    for (size_t i = 0; i < g.params().size(); ++i)
+        std::cout << (i ? " " : "") << g.params()[ParamId(i)].name
                   << "=" << b.values[i];
 }
 
 dse::ExploreResult
-explore(const Design& d, const Args& args)
+explore(const Graph& g, const Args& args)
 {
     static est::RuntimeEstimator rt;
     dse::Explorer ex(est::calibratedEstimator(), rt);
@@ -153,7 +204,7 @@ explore(const Design& d, const Args& args)
     cfg.timeBudgetSeconds = args.timeBudget;
     cfg.checkpointPath = args.checkpoint;
     cfg.resume = args.resume;
-    return ex.explore(d.graph(), cfg);
+    return ex.explore(g, cfg);
 }
 
 /** One-line sweep health summary: evaluated/failed/valid/Pareto. */
@@ -189,15 +240,16 @@ cmdList()
     std::cout << "benchmarks (Table II):\n";
     for (const auto& app : apps::allApps())
         std::cout << "  " << app.name << "\n";
+    std::cout << "  conv2d\n";
     return 0;
 }
 
 int
 cmdPrint(const Args& args)
 {
-    Design d = buildByName(args.benchmark, args.scale);
-    std::cout << printGraph(d.graph());
-    auto stats = computeStats(d.graph());
+    Loaded l = load(args);
+    std::cout << printGraph(l.graph);
+    const auto& stats = l.art.stats;
     std::cout << "\n# controllers=" << stats.controllers
               << " pipes=" << stats.pipes
               << " metapipes=" << stats.metaPipes
@@ -206,6 +258,14 @@ cmdPrint(const Args& args)
               << " primitives=" << stats.primitives
               << " depth=" << stats.maxDepth
               << " params=" << stats.params << "\n";
+    return 0;
+}
+
+int
+cmdEmitIR(const Args& args)
+{
+    Loaded l = load(args);
+    std::cout << emitIR(l.graph);
     return 0;
 }
 
@@ -239,8 +299,8 @@ printProfile(const dse::ExploreResult& res)
 int
 cmdExplore(const Args& args)
 {
-    Design d = buildByName(args.benchmark, args.scale);
-    auto res = explore(d, args);
+    Loaded l = load(args);
+    auto res = explore(l.graph, args);
     const auto& dev = est::calibratedEstimator().device();
     printStats(res);
     if (args.profile)
@@ -256,7 +316,7 @@ cmdExplore(const Args& args)
                   << "% bram=" << int64_t(100.0 * p.area.brams /
                                           double(dev.m20ks))
                   << "%  [";
-        printBinding(d, p.binding);
+        printBinding(l.graph, p.binding);
         std::cout << "]\n";
     }
     return 0;
@@ -265,8 +325,8 @@ cmdExplore(const Args& args)
 int
 cmdReport(const Args& args)
 {
-    Design d = buildByName(args.benchmark, args.scale);
-    auto res = explore(d, args);
+    Loaded l = load(args);
+    auto res = explore(l.graph, args);
     auto best = res.bestIndex();
     if (!best) {
         printStats(res);
@@ -274,12 +334,12 @@ cmdReport(const Args& args)
         return 1;
     }
     const auto& p = res.points[*best];
-    Inst inst(d.graph(), p.binding);
+    Inst inst(l.graph, p.binding);
     auto truth = est::defaultToolchain().synthesize(inst);
     auto timed = sim::TimingSim(inst).run();
 
     std::cout << "best design: [";
-    printBinding(d, p.binding);
+    printBinding(l.graph, p.binding);
     std::cout << "]\n";
     std::cout << "             estimate      synthesized/simulated\n";
     std::cout << "ALMs     " << int64_t(p.area.alms) << "  vs  "
@@ -303,18 +363,18 @@ cmdReport(const Args& args)
 int
 cmdEmit(const Args& args)
 {
-    Design d = buildByName(args.benchmark, args.scale);
-    auto res = explore(d, args);
+    Loaded l = load(args);
+    auto res = explore(l.graph, args);
     auto best = res.bestIndex();
     if (!best) {
         printStats(res);
         std::cerr << "no valid design found\n";
         return 1;
     }
-    Inst inst(d.graph(), res.points[*best].binding);
-    std::string kpath = args.out + "/" + args.benchmark + ".maxj";
-    std::string mpath =
-        args.out + "/" + args.benchmark + "Manager.maxj";
+    Inst inst(l.graph, res.points[*best].binding);
+    std::string stem = designStem(args, l.graph);
+    std::string kpath = args.out + "/" + stem + ".maxj";
+    std::string mpath = args.out + "/" + stem + "Manager.maxj";
     std::ofstream(kpath) << codegen::emitMaxj(inst);
     std::ofstream(mpath) << codegen::emitMaxjManager(inst);
     std::cout << "wrote " << kpath << " and " << mpath << "\n";
@@ -343,6 +403,8 @@ main(int argc, char** argv)
             return usage();
         if (args.command == "print")
             return cmdPrint(args);
+        if (args.command == "emit-ir")
+            return cmdEmitIR(args);
         if (args.command == "explore")
             return cmdExplore(args);
         if (args.command == "report")
