@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "obs/metrics.hh"
 
 using namespace dhdl;
 
@@ -40,6 +41,13 @@ struct Row {
     size_t evaluated = 0;
     double seconds = 0;
     double pointsPerSec = 0;
+    // Per-stage wall-clock for this app's sweep, in microseconds,
+    // read back from the obs metrics registry (snapshot delta).
+    uint64_t instantiateUs = 0;
+    uint64_t areaUs = 0;
+    uint64_t runtimeUs = 0;
+    uint64_t validateUs = 0;
+    uint64_t planUs = 0;
 };
 
 /**
@@ -67,6 +75,17 @@ measureApp(const apps::AppEntry& app, double scale, int points)
     r.seconds = dt;
     r.pointsPerSec = dt > 0 ? double(res.stats.evaluated) / dt : 0;
     return r;
+}
+
+/**
+ * Delta of a monotone obs counter across one measured sweep. The
+ * registry is process-global, so per-app numbers are snapshot diffs.
+ */
+uint64_t
+delta(const obs::MetricsSnapshot& before,
+      const obs::MetricsSnapshot& after, const std::string& name)
+{
+    return after.counter(name) - before.counter(name);
 }
 
 /** The headline series: GDA, tracked by the acceptance criterion. */
@@ -105,8 +124,12 @@ writeJson(const std::vector<Row>& rows, double scale, int points)
         os << "    {\"app\": \"" << r.app << "\", \"sampled\": "
            << r.sampled << ", \"evaluated\": " << r.evaluated
            << ", \"seconds\": " << r.seconds
-           << ", \"points_per_sec\": " << r.pointsPerSec << "}"
-           << (i + 1 < rows.size() ? "," : "") << "\n";
+           << ", \"points_per_sec\": " << r.pointsPerSec
+           << ",\n     \"stage_us\": {\"instantiate\": "
+           << r.instantiateUs << ", \"area\": " << r.areaUs
+           << ", \"runtime\": " << r.runtimeUs << ", \"validate\": "
+           << r.validateUs << ", \"plan_compile\": " << r.planUs
+           << "}}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
 }
@@ -118,6 +141,11 @@ main(int argc, char** argv)
 {
     double scale = bench::benchScale();
     int points = evalPoints();
+
+    // Per-stage breakdowns come from the obs registry; turn it on
+    // unless the environment explicitly says otherwise (DHDL_OBS=0
+    // measures the uninstrumented path).
+    obs::setEnabled(obs::envEnabled().value_or(true));
 
     std::cout << "Evaluation throughput (scale=" << scale << ", up to "
               << points << " points/app, serial)\n\n";
@@ -134,7 +162,14 @@ main(int argc, char** argv)
 
     std::vector<Row> rows;
     for (const auto& app : apps::allApps()) {
+        auto before = obs::snapshotMetrics();
         Row r = measureApp(app, scale, points);
+        auto after = obs::snapshotMetrics();
+        r.instantiateUs = delta(before, after, "dse.stage.instantiate.us");
+        r.areaUs = delta(before, after, "dse.stage.area.us");
+        r.runtimeUs = delta(before, after, "dse.stage.runtime.us");
+        r.validateUs = delta(before, after, "dse.stage.validate.us");
+        r.planUs = delta(before, after, "dse.plan.compile.us");
         rows.push_back(r);
         std::cout << std::left << std::setw(14) << r.app << std::right
                   << std::setw(10) << r.evaluated << std::setw(12)

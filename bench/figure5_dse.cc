@@ -6,12 +6,16 @@
  * legal design space, estimates every point, and emits:
  *   - a console summary (points, valid/invalid split, Pareto size,
  *     fastest design, and its parameters), and
- *   - one CSV per benchmark (figure5_<name>.csv) with columns
+ *   - one CSV per benchmark (out/figure5_<name>.csv) with columns
  *     alm_pct, dsp_pct, bram_pct, log10_cycles, valid, pareto —
  *     exactly the data plotted in the paper's scatter panels.
+ *
+ * Generated artifacts land under out/ (created on demand), never in
+ * the repo root.
  */
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -30,6 +34,8 @@ main()
 
     std::cout << "Figure 5: design space exploration (scale=" << scale
               << ", up to " << points << " legal points/benchmark)\n\n";
+    std::filesystem::create_directories("out");
+
     std::cout << std::left << std::setw(14) << "Benchmark"
               << std::right << std::setw(9) << "points"
               << std::setw(8) << "failed" << std::setw(9) << "valid"
@@ -47,7 +53,7 @@ main()
         std::set<size_t> pareto(res.pareto.begin(),
                                 res.pareto.end());
 
-        std::ofstream csv("figure5_" + app.name + ".csv");
+        std::ofstream csv("out/figure5_" + app.name + ".csv");
         csv << "alm_pct,dsp_pct,bram_pct,log10_cycles,valid,pareto\n";
         for (size_t i = 0; i < res.points.size(); ++i) {
             const auto& p = res.points[i];
@@ -120,6 +126,6 @@ main()
             std::cout << "]\n";
         }
     }
-    std::cout << "\nCSV panels written to figure5_<benchmark>.csv\n";
+    std::cout << "\nCSV panels written to out/figure5_<benchmark>.csv\n";
     return 0;
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "analysis/banking.hh"
+#include "obs/trace.hh"
 
 namespace dhdl::codegen {
 
@@ -323,12 +324,14 @@ class MaxjEmitter
 std::string
 emitMaxj(const Inst& inst)
 {
+    DHDL_OBS_SPAN("codegen", "emit-maxj");
     return MaxjEmitter(inst).kernel();
 }
 
 std::string
 emitMaxjManager(const Inst& inst)
 {
+    DHDL_OBS_SPAN("codegen", "emit-maxj-manager");
     return MaxjEmitter(inst).manager();
 }
 

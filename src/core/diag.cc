@@ -77,6 +77,8 @@ Diag::str() const
         os << " at " << stage;
     if (pointIndex >= 0)
         os << " (point " << pointIndex << ")";
+    if (!worker.empty())
+        os << " on " << worker;
     os << ": " << message;
     if (!context.empty())
         os << " {" << context << "}";

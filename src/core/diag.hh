@@ -44,6 +44,13 @@ struct Diag {
     std::string context;
     /** Index of the design point concerned; -1 when not point-bound. */
     int64_t pointIndex = -1;
+    /**
+     * Thread that produced the diagnostic, as a stable obs name
+     * ("worker-2", "main"), never a raw std::thread::id. Display
+     * only: excluded from checkpoints and golden fixtures because
+     * point-to-worker assignment depends on scheduling.
+     */
+    std::string worker;
 
     /** One-line human-readable rendering. */
     std::string str() const;

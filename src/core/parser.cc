@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/printer.hh"
+#include "obs/trace.hh"
 
 namespace dhdl {
 namespace {
@@ -997,12 +998,14 @@ class Parser
 ParseResult
 parseIR(std::string_view text)
 {
+    DHDL_OBS_SPAN("core", "parse-ir");
     return Parser(text).run();
 }
 
 ParseResult
 parseIRFile(const std::string& path)
 {
+    DHDL_OBS_SPAN("core", "parse-ir-file");
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         ParseResult out;

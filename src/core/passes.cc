@@ -1,19 +1,20 @@
 #include "core/passes.hh"
 
-#include <chrono>
-
 #include "core/validate.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace dhdl {
 
 Status
 PassManager::run(const Graph& g, PassContext& ctx)
 {
-    using clock = std::chrono::steady_clock;
-    timings_.clear();
-    timings_.reserve(passes_.size());
+    executed_.clear();
+    executed_.reserve(passes_.size());
     for (const Entry& e : passes_) {
-        auto t0 = clock::now();
+        executed_.push_back(e.name);
+        const bool rec = obs::enabled();
+        const uint64_t t0 = rec ? obs::nowMicros() : 0;
         Status st;
         try {
             st = e.fn(g, ctx);
@@ -21,10 +22,12 @@ PassManager::run(const Graph& g, PassContext& ctx)
             Diag d = diagFromCurrentException(e.name);
             st = Status::error(d);
         }
-        auto t1 = clock::now();
-        timings_.push_back(
-            {e.name,
-             std::chrono::duration<double>(t1 - t0).count()});
+        if (rec) {
+            const uint64_t dur = obs::nowMicros() - t0;
+            obs::recordSpan("pass", e.name.c_str(), t0, dur);
+            obs::addCounter("pass." + e.name + ".us", dur);
+            obs::addCounter("pass." + e.name + ".runs", 1);
+        }
         if (!st.ok()) {
             ctx.sink().report(st.diag());
             return st;

@@ -6,8 +6,10 @@
  * and anything that loads a `.dhdl` file — runs them through a
  * PassManager so that:
  *
- *  - every pass is wall-clock timed (mirroring the StageTimes
- *    breakdown the DSE evaluator reports per design point);
+ *  - every pass is recorded through the obs subsystem (a trace span
+ *    plus `pass.<name>.us` / `pass.<name>.runs` counters), the same
+ *    registry the DSE evaluator feeds, so `dhdlc --profile`,
+ *    `--trace` and `--metrics` all render one snapshot;
  *  - failures surface as structured Diags in a DiagSink instead of
  *    stringly exceptions, and the pipeline stops at the first failed
  *    pass;
@@ -28,12 +30,6 @@
 #include "core/transform.hh"
 
 namespace dhdl {
-
-/** Wall-clock cost of one executed pass. */
-struct PassTiming {
-    std::string name;
-    double seconds = 0.0;
-};
 
 /**
  * Results the standard passes leave behind. Passes write into this
@@ -69,9 +65,10 @@ class PassContext
 using PassFn = std::function<Status(const Graph&, PassContext&)>;
 
 /**
- * Ordered pass pipeline with per-pass timing. Runs passes in
- * registration order, stops at the first failure, and converts any
- * exception escaping a pass into a Diag — run() never throws.
+ * Ordered pass pipeline. Runs passes in registration order, stops at
+ * the first failure, and converts any exception escaping a pass into
+ * a Diag — run() never throws. Per-pass wall-clock lands in the obs
+ * registry and trace (category "pass") when recording is enabled.
  */
 class PassManager
 {
@@ -84,15 +81,18 @@ class PassManager
 
     /**
      * Execute the pipeline. Failed-pass diagnostics are reported to
-     * ctx.sink() and returned; timings() afterwards covers every pass
-     * that started (including a failing one).
+     * ctx.sink() and returned; executed() afterwards names every
+     * pass that started (including a failing one), in order.
      */
     Status run(const Graph& g, PassContext& ctx);
 
     size_t size() const { return passes_.size(); }
 
-    /** Timings of the most recent run(), in execution order. */
-    const std::vector<PassTiming>& timings() const { return timings_; }
+    /** Names of passes started by the most recent run(), in order. */
+    const std::vector<std::string>& executed() const
+    {
+        return executed_;
+    }
 
   private:
     struct Entry {
@@ -101,7 +101,7 @@ class PassManager
     };
 
     std::vector<Entry> passes_;
-    std::vector<PassTiming> timings_;
+    std::vector<std::string> executed_;
 };
 
 /**

@@ -4,15 +4,35 @@
 #include <utility>
 
 #include "core/error.hh"
+#include "obs/metrics.hh"
 
 namespace dhdl::cpu {
+
+namespace {
+
+/** Pool-wide observability: task volume and instantaneous backlog. */
+const obs::Counter&
+taskCounter()
+{
+    static const obs::Counter c("cpu.pool.tasks");
+    return c;
+}
+
+const obs::Gauge&
+queueDepth()
+{
+    static const obs::Gauge g("cpu.pool.queue_depth");
+    return g;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(int threads)
 {
     require(threads > 0, "thread pool needs at least one worker");
     workers_.reserve(size_t(threads));
     for (int i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -27,8 +47,9 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int index)
 {
+    obs::setThreadName("worker-" + std::to_string(index));
     for (;;) {
         std::function<void()> task;
         {
@@ -38,6 +59,7 @@ ThreadPool::workerLoop()
                 return;
             task = std::move(tasks_.front());
             tasks_.pop();
+            queueDepth().set(int64_t(tasks_.size()));
         }
         try {
             task();
@@ -63,7 +85,9 @@ ThreadPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lock(mu_);
         tasks_.push(std::move(task));
         ++pending_;
+        queueDepth().set(int64_t(tasks_.size()));
     }
+    taskCounter().add(1);
     cv_.notify_one();
 }
 

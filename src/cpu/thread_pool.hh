@@ -19,7 +19,12 @@
 
 namespace dhdl::cpu {
 
-/** Fixed-size worker pool executing submitted tasks. */
+/**
+ * Fixed-size worker pool executing submitted tasks. Workers register
+ * with the obs subsystem as "worker-0" ... "worker-N-1" (stable
+ * per-pool indices, never raw std::thread::id), so trace events and
+ * diagnostics produced on a worker attribute to a readable name.
+ */
 class ThreadPool
 {
   public:
@@ -50,7 +55,7 @@ class ThreadPool
                      const std::function<void(int64_t, int64_t)>& body);
 
   private:
-    void workerLoop();
+    void workerLoop(int index);
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;

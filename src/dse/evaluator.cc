@@ -3,6 +3,9 @@
 #include <chrono>
 #include <sstream>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace dhdl::dse {
 
 namespace {
@@ -96,6 +99,28 @@ Evaluator::run(DesignPoint& p, size_t idx, const Hook* hook,
     times_.runtime += secs(t2, t3);
     times_.validate += secs(t3, t4);
     times_.points += 1;
+
+    // Tracing rides the clock reads StageTimes already pays for: one
+    // complete span per stage, tagged with the point index, plus the
+    // whole-point latency histogram. Purely additive — no effect on
+    // p, so golden outputs are identical with tracing on or off.
+    if (obs::enabled()) {
+        static const obs::Histogram pointLatency(
+            "dse.eval.point.us",
+            {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+             16384});
+        const uint64_t u0 = obs::toMicros(t0);
+        const uint64_t u1 = obs::toMicros(t1);
+        const uint64_t u2 = obs::toMicros(t2);
+        const uint64_t u3 = obs::toMicros(t3);
+        const uint64_t u4 = obs::toMicros(t4);
+        const int64_t i = int64_t(idx);
+        obs::recordSpan("dse", "instantiate", u0, u1 - u0, i);
+        obs::recordSpan("dse", "area", u1, u2 - u1, i);
+        obs::recordSpan("dse", "runtime", u2, u3 - u2, i);
+        obs::recordSpan("dse", "validate", u3, u4 - u3, i);
+        pointLatency.observe(u4 - u0);
+    }
 }
 
 DesignPoint
@@ -119,6 +144,7 @@ Evaluator::evaluatePoint(DesignPoint& p, size_t idx, const Hook* hook)
         Diag d = diagFromCurrentException(stage);
         d.pointIndex = int64_t(idx);
         d.context = renderBinding(*g_, p.binding);
+        d.worker = obs::threadName();
         p.evaluated = true;
         p.failed = true;
         p.valid = false;

@@ -11,6 +11,8 @@
 #include <sstream>
 
 #include "cpu/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace dhdl::dse {
 
@@ -233,6 +235,7 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
 {
     using Clock = std::chrono::steady_clock;
     const auto t0 = Clock::now();
+    DHDL_OBS_SPAN("dse", "explore");
 
     ParamSpace space(g);
     ExploreResult res;
@@ -305,6 +308,8 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
     auto plan = Evaluator::tryCompile(g);
     res.stats.planSeconds =
         std::chrono::duration<double>(Clock::now() - planT0).count();
+    obs::recordSpan("dse", "plan-compile", obs::toMicros(planT0),
+                    uint64_t(res.stats.planSeconds * 1e6));
 
     const auto* hook = cfg.preEvaluate ? &cfg.preEvaluate : nullptr;
     auto evalOne = [&](Evaluator& ev, size_t idx) {
@@ -422,6 +427,40 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
 
     res.stats.seconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // Fold the run into the process-wide registry: these counters are
+    // what `dhdlc --profile`, `--metrics` and the throughput bench
+    // render. One source of truth with ExploreStats — same numbers,
+    // recorded once per explore() call.
+    if (obs::enabled()) {
+        static const obs::Counter cRuns("dse.explore.runs");
+        static const obs::Counter cUs("dse.explore.us");
+        static const obs::Counter cPlanUs("dse.plan.compile.us");
+        static const obs::Counter cEval("dse.points.evaluated");
+        static const obs::Counter cFail("dse.points.failed");
+        static const obs::Counter cValid("dse.points.valid");
+        static const obs::Counter cSkip("dse.points.skipped");
+        static const obs::Counter cDiags("dse.diags");
+        static const obs::Counter cInst("dse.stage.instantiate.us");
+        static const obs::Counter cArea("dse.stage.area.us");
+        static const obs::Counter cRt("dse.stage.runtime.us");
+        static const obs::Counter cVal("dse.stage.validate.us");
+        auto us = [](double s) {
+            return s > 0 ? uint64_t(s * 1e6) : uint64_t(0);
+        };
+        cRuns.add(1);
+        cUs.add(us(res.stats.seconds));
+        cPlanUs.add(us(res.stats.planSeconds));
+        cEval.add(res.stats.evaluated);
+        cFail.add(res.stats.failed);
+        cValid.add(res.stats.valid);
+        cSkip.add(res.stats.skipped);
+        cDiags.add(res.diags.size());
+        cInst.add(us(res.stats.stages.instantiate));
+        cArea.add(us(res.stats.stages.area));
+        cRt.add(us(res.stats.stages.runtime));
+        cVal.add(us(res.stats.stages.validate));
+    }
     return res;
 }
 

@@ -1,5 +1,7 @@
 #include "hls/hls_estimator.hh"
 
+#include "obs/trace.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -36,6 +38,7 @@ HlsEstimator::hierarchicalCycles(const Inst& inst, NodeId ctrl,
 HlsEstimate
 HlsEstimator::estimate(const Inst& inst, HlsMode mode) const
 {
+    DHDL_OBS_SPAN("hls", "hls-estimate");
     HlsEstimate e;
 
     // The expensive part: flatten + schedule. In Full mode, pipelined

@@ -1,5 +1,7 @@
 #include "sim/timing.hh"
 
+#include "obs/trace.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -208,6 +210,7 @@ TimingSim::ctrlCycles(NodeId ctrl)
 TimingResult
 TimingSim::run()
 {
+    DHDL_OBS_SPAN("sim", "timing-sim");
     require(g_.root != kNoNode, "design has no accel body");
     TimingResult r;
     r.cycles = ctrlCycles(g_.root);

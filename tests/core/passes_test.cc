@@ -1,9 +1,10 @@
 /**
- * PassManager contract: passes run in registration order with
- * per-pass wall-clock timings, the pipeline stops at the first
- * failure, escaping exceptions become structured Diags (run() never
- * throws), and the standard pipeline leaves its artifacts — folded
- * constants, dead nodes, stats — in the context.
+ * PassManager contract: passes run in registration order (executed()
+ * names every started pass), per-pass wall-clock lands in the obs
+ * registry, the pipeline stops at the first failure, escaping
+ * exceptions become structured Diags (run() never throws), and the
+ * standard pipeline leaves its artifacts — folded constants, dead
+ * nodes, stats — in the context.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 #include "core/parser.hh"
 #include "core/passes.hh"
 #include "core/printer.hh"
+#include "obs/metrics.hh"
 
 namespace dhdl {
 namespace {
@@ -35,7 +37,7 @@ tinyDesign()
     return d;
 }
 
-TEST(PassManagerTest, RunsInOrderWithTimings)
+TEST(PassManagerTest, RunsInOrderAndRecordsObsTimings)
 {
     Design d = tinyDesign();
     DiagSink sink;
@@ -50,12 +52,18 @@ TEST(PassManagerTest, RunsInOrderWithTimings)
         order.push_back("second");
         return Status();
     });
+    const bool was = obs::enabled();
+    obs::setEnabled(true);
     ASSERT_TRUE(pm.run(d.graph(), ctx).ok());
+    obs::setEnabled(was);
     EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
-    ASSERT_EQ(pm.timings().size(), 2u);
-    EXPECT_EQ(pm.timings()[0].name, "first");
-    EXPECT_EQ(pm.timings()[1].name, "second");
-    EXPECT_GE(pm.timings()[0].seconds, 0.0);
+    EXPECT_EQ(pm.executed(),
+              (std::vector<std::string>{"first", "second"}));
+    // Per-pass wall-clock is recorded through the obs registry, the
+    // same snapshot `dhdlc --profile` renders.
+    auto snap = obs::snapshotMetrics();
+    EXPECT_GE(snap.counter("pass.first.runs"), 1u);
+    EXPECT_GE(snap.counter("pass.second.runs"), 1u);
     EXPECT_EQ(sink.size(), 0u);
 }
 
@@ -83,10 +91,9 @@ TEST(PassManagerTest, StopsAtFirstFailureAndReportsToSink)
     EXPECT_EQ(st.diag().message, "deliberate failure");
     ASSERT_EQ(sink.size(), 1u);
     EXPECT_EQ(sink.snapshot()[0].stage, "boom");
-    // The failing pass still gets a timing entry; the skipped pass
+    // The failing pass still counts as executed; the skipped pass
     // does not.
-    ASSERT_EQ(pm.timings().size(), 1u);
-    EXPECT_EQ(pm.timings()[0].name, "boom");
+    EXPECT_EQ(pm.executed(), (std::vector<std::string>{"boom"}));
 }
 
 TEST(PassManagerTest, ExceptionsBecomeDiagsNotAborts)
@@ -119,9 +126,9 @@ TEST(PassManagerTest, StandardPipelineLeavesArtifacts)
     EXPECT_FALSE(ctx.art.foldedConstants.empty());
     EXPECT_GT(ctx.art.stats.controllers, 0);
     EXPECT_GT(ctx.art.stats.primitives, 0);
-    ASSERT_EQ(pm.timings().size(), 4u);
-    EXPECT_EQ(pm.timings()[0].name, "validate");
-    EXPECT_EQ(pm.timings()[3].name, "stats");
+    ASSERT_EQ(pm.executed().size(), 4u);
+    EXPECT_EQ(pm.executed()[0], "validate");
+    EXPECT_EQ(pm.executed()[3], "stats");
 }
 
 TEST(PassManagerTest, ValidateFailureCarriesFirstError)
@@ -139,7 +146,7 @@ TEST(PassManagerTest, ValidateFailureCarriesFirstError)
     EXPECT_EQ(st.diag().stage, "validate");
     EXPECT_FALSE(ctx.art.validationErrors.empty());
     // Pipeline stopped before stats ran.
-    EXPECT_EQ(pm.timings().size(), 1u);
+    EXPECT_EQ(pm.executed(), (std::vector<std::string>{"validate"}));
 }
 
 TEST(PassManagerTest, ParsedAndBuiltGraphsProduceIdenticalArtifacts)

@@ -3,9 +3,12 @@
 #include "core/error.hh"
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
 
 #include "cpu/thread_pool.hh"
+#include "obs/obs.hh"
 
 namespace dhdl::cpu {
 namespace {
@@ -114,6 +117,30 @@ TEST(ThreadPoolTest, ReusableAcrossParallelFors)
         });
         EXPECT_EQ(sum.load(), 4950);
     }
+}
+
+TEST(ThreadPoolTest, WorkersRegisterStableObsNames)
+{
+    // Workers introduce themselves to obs as worker-<index> — stable
+    // per-pool names, never a raw std::thread::id — so trace events
+    // and diagnostics carry a readable attribution.
+    ThreadPool pool(4);
+    std::mutex mu;
+    std::set<std::string> names;
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&] {
+            std::string n = obs::threadName();
+            std::lock_guard<std::mutex> lock(mu);
+            names.insert(n);
+        });
+    }
+    pool.barrier();
+    ASSERT_FALSE(names.empty());
+    EXPECT_LE(names.size(), 4u);
+    for (const auto& n : names)
+        EXPECT_TRUE(n == "worker-0" || n == "worker-1" ||
+                    n == "worker-2" || n == "worker-3")
+            << n;
 }
 
 } // namespace

@@ -26,6 +26,7 @@
 #include "core/parser.hh"
 #include "core/printer.hh"
 #include "dse/explorer.hh"
+#include "obs/obs.hh"
 
 #ifndef DHDL_TEST_DATA_DIR
 #define DHDL_TEST_DATA_DIR "."
@@ -158,6 +159,41 @@ TEST_F(GoldenFixture, SerialMatchesCommittedFixture)
 TEST_F(GoldenFixture, FourThreadsMatchCommittedFixture)
 {
     checkAgainstGolden(4);
+}
+
+/**
+ * Turning tracing/metrics collection on must not perturb results:
+ * checkpoint CSV, Pareto front and diagnostics are byte-identical
+ * with obs recording enabled and disabled, serial and threaded. This
+ * is the subsystem's core design rule — instrumentation writes only
+ * obs-owned state — pinned as a test.
+ */
+TEST_F(GoldenFixture, TracingEnabledIsByteIdenticalToDisabled)
+{
+    struct Run {
+        std::string ckpt, pareto, diags;
+    };
+    auto runWith = [&](bool traced, int threads) {
+        const bool was = obs::enabled();
+        obs::setEnabled(traced);
+        std::string ckpt = testing::TempDir() + "golden_obs_" +
+                           (traced ? "on" : "off") + "_t" +
+                           std::to_string(threads) + ".ckpt";
+        auto res = runPinned(threads, ckpt);
+        obs::setEnabled(was);
+        Run r{readFile(ckpt), renderPareto(res), renderDiags(res)};
+        std::remove(ckpt.c_str());
+        return r;
+    };
+
+    for (int threads : {1, 4}) {
+        Run off = runWith(false, threads);
+        Run on = runWith(true, threads);
+        ASSERT_FALSE(off.ckpt.empty());
+        EXPECT_EQ(off.ckpt, on.ckpt) << "threads=" << threads;
+        EXPECT_EQ(off.pareto, on.pareto) << "threads=" << threads;
+        EXPECT_EQ(off.diags, on.diags) << "threads=" << threads;
+    }
 }
 
 /**

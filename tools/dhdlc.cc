@@ -6,6 +6,7 @@
  *   dhdlc explore <design> [--scale S] [--points N] [--top K]
  *                 [--threads T] [--time-budget SEC]
  *                 [--checkpoint FILE] [--resume] [--profile]
+ *                 [--trace FILE] [--metrics FILE]
  *   dhdlc report <design> [--scale S] [--points N]
  *   dhdlc emit <design> [--scale S] [--points N] [--out DIR]
  *   dhdlc emit-ir <design> [--scale S]
@@ -28,7 +29,17 @@
  * Every load — built or parsed — runs the standard analysis pass
  * pipeline (validate, fold-constants, dead-nodes, stats); pass
  * failures are reported as structured diagnostics and abort the
- * command. `--profile` additionally prints per-pass wall-clock.
+ * command.
+ *
+ * Observability (src/obs) flags, accepted by every command:
+ *   --trace FILE    write a Chrome-trace / Perfetto JSON timeline
+ *                   (per-thread spans: passes, DSE stages per point,
+ *                   plan compile, sim, codegen)
+ *   --metrics FILE  write the metrics registry snapshot as JSON
+ *   --profile       print the same snapshot as text to stderr
+ * Any of the three enables recording; so does DHDL_OBS=ON in the
+ * environment. All three render one registry snapshot — there is no
+ * separate timing plumbing.
  */
 
 #include <fstream>
@@ -36,6 +47,8 @@
 #include <string>
 
 #include "apps/apps.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "codegen/maxj.hh"
 #include "core/passes.hh"
 #include "core/printer.hh"
@@ -62,6 +75,8 @@ struct Args {
     std::string checkpoint;
     bool resume = false;
     bool profile = false;
+    std::string trace;
+    std::string metrics;
 };
 
 int
@@ -73,6 +88,7 @@ usage()
            "[benchmark|file.dhdl] [--scale S] [--points N] [--top K]"
            " [--out DIR] [--threads T] [--time-budget SEC]"
            " [--checkpoint FILE] [--resume] [--profile]"
+           " [--trace FILE] [--metrics FILE]"
         << std::endl;
     return 2;
 }
@@ -130,6 +146,16 @@ parse(int argc, char** argv, Args& args)
             args.resume = true;
         } else if (flag == "--profile") {
             args.profile = true;
+        } else if (flag == "--trace") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.trace = v;
+        } else if (flag == "--metrics") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.metrics = v;
         } else {
             return false;
         }
@@ -156,12 +182,6 @@ load(const Args& args)
     PassContext ctx(sink);
     PassManager pm = standardPasses();
     Status st = pm.run(g, ctx);
-    if (args.profile) {
-        std::cerr << "pass profile:\n";
-        for (const auto& t : pm.timings())
-            std::cerr << "  " << t.name << "  " << t.seconds * 1e3
-                      << " ms\n";
-    }
     if (!st.ok()) {
         for (const auto& d : sink.snapshot())
             std::cerr << "dhdlc: " << d.str() << "\n";
@@ -269,33 +289,6 @@ cmdEmitIR(const Args& args)
     return 0;
 }
 
-/** Per-stage evaluation profile (dhdlc explore --profile). */
-void
-printProfile(const dse::ExploreResult& res)
-{
-    const auto& s = res.stats;
-    const auto& st = s.stages;
-    auto line = [&](const char* name, double secs) {
-        std::cout << "  " << name << "  " << secs * 1e3 << " ms";
-        if (st.total() > 0)
-            std::cout << " (" << int64_t(100.0 * secs / st.total())
-                      << "%)";
-        std::cout << "\n";
-    };
-    std::cout << "evaluation profile:\n";
-    std::cout << "  plan compile  " << s.planSeconds * 1e3
-              << " ms (once)\n";
-    line("instantiate ", st.instantiate);
-    line("area        ", st.area);
-    line("runtime     ", st.runtime);
-    line("validate    ", st.validate);
-    std::cout << "  total stage wall-clock " << st.total() * 1e3
-              << " ms over " << st.points << " point(s)\n";
-    if (s.seconds > 0)
-        std::cout << "  throughput " << double(s.evaluated) / s.seconds
-                  << " points/sec (" << s.seconds << " s elapsed)\n";
-}
-
 int
 cmdExplore(const Args& args)
 {
@@ -303,8 +296,6 @@ cmdExplore(const Args& args)
     auto res = explore(l.graph, args);
     const auto& dev = est::calibratedEstimator().device();
     printStats(res);
-    if (args.profile)
-        printProfile(res);
     int shown = 0;
     for (size_t idx : res.pareto) {
         if (shown++ >= args.top)
@@ -381,6 +372,64 @@ cmdEmit(const Args& args)
     return 0;
 }
 
+int
+runCommand(const Args& args)
+{
+    if (args.command == "list")
+        return cmdList();
+    if (args.command == "calibrate") {
+        std::string path = args.out + "/dhdl_calibration.txt";
+        std::ofstream out(path);
+        est::calibratedEstimator().save(out);
+        std::cout << "wrote " << path << "\n";
+        return 0;
+    }
+    if (args.benchmark.empty())
+        return usage();
+    if (args.command == "print")
+        return cmdPrint(args);
+    if (args.command == "emit-ir")
+        return cmdEmitIR(args);
+    if (args.command == "explore")
+        return cmdExplore(args);
+    if (args.command == "report")
+        return cmdReport(args);
+    if (args.command == "emit")
+        return cmdEmit(args);
+    return usage();
+}
+
+/**
+ * Flush observability output. Runs even when the command failed —
+ * a trace of a run that died mid-pipeline is exactly the trace worth
+ * keeping.
+ */
+void
+finishObs(const Args& args)
+{
+    if (args.profile)
+        obs::snapshotMetrics().renderText(std::cerr);
+    if (!args.metrics.empty()) {
+        std::ofstream os(args.metrics);
+        obs::snapshotMetrics().writeJson(os);
+        if (os)
+            std::cerr << "wrote metrics to " << args.metrics << "\n";
+        else
+            std::cerr << "dhdlc: cannot write metrics to "
+                      << args.metrics << "\n";
+    }
+    if (!args.trace.empty()) {
+        std::ofstream os(args.trace);
+        obs::writeChromeTrace(os);
+        if (os)
+            std::cerr << "wrote trace to " << args.trace
+                      << " (load at ui.perfetto.dev)\n";
+        else
+            std::cerr << "dhdlc: cannot write trace to " << args.trace
+                      << "\n";
+    }
+}
+
 } // namespace
 
 int
@@ -389,31 +438,15 @@ main(int argc, char** argv)
     Args args;
     if (!parse(argc, argv, args))
         return usage();
+    if (args.profile || !args.trace.empty() || !args.metrics.empty())
+        obs::setEnabled(true);
+    int rc;
     try {
-        if (args.command == "list")
-            return cmdList();
-        if (args.command == "calibrate") {
-            std::string path = args.out + "/dhdl_calibration.txt";
-            std::ofstream out(path);
-            est::calibratedEstimator().save(out);
-            std::cout << "wrote " << path << "\n";
-            return 0;
-        }
-        if (args.benchmark.empty())
-            return usage();
-        if (args.command == "print")
-            return cmdPrint(args);
-        if (args.command == "emit-ir")
-            return cmdEmitIR(args);
-        if (args.command == "explore")
-            return cmdExplore(args);
-        if (args.command == "report")
-            return cmdReport(args);
-        if (args.command == "emit")
-            return cmdEmit(args);
+        rc = runCommand(args);
     } catch (const std::exception& e) {
         std::cerr << "dhdlc: " << e.what() << "\n";
-        return 1;
+        rc = 1;
     }
-    return usage();
+    finishObs(args);
+    return rc;
 }
