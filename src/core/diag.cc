@@ -33,6 +33,10 @@ diagCodeName(DiagCode code)
         return "eval-budget-exceeded";
       case DiagCode::CheckpointIo:
         return "checkpoint-io";
+      case DiagCode::CheckpointMismatch:
+        return "checkpoint-mismatch";
+      case DiagCode::ShardFailed:
+        return "shard-failed";
       case DiagCode::HostApiMisuse:
         return "host-api-misuse";
       case DiagCode::ParseError:
@@ -57,6 +61,8 @@ diagCodeFromName(const std::string& name)
         DiagCode::TimeBudgetExceeded,
         DiagCode::EvalBudgetExceeded,
         DiagCode::CheckpointIo,
+        DiagCode::CheckpointMismatch,
+        DiagCode::ShardFailed,
         DiagCode::HostApiMisuse,
         DiagCode::ParseError,
     };

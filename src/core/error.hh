@@ -38,7 +38,9 @@ enum class DiagCode : uint8_t {
     DeviceCapacityExceeded, //!< Design does not fit the target device.
     TimeBudgetExceeded,     //!< Exploration wall-clock budget hit.
     EvalBudgetExceeded,     //!< Exploration point-count budget hit.
-    CheckpointIo,           //!< Checkpoint file unreadable/mismatched.
+    CheckpointIo,           //!< Checkpoint file unreadable/corrupt.
+    CheckpointMismatch,     //!< Checkpoint from a different run refused.
+    ShardFailed,            //!< A supervised shard died/hung for good.
     HostApiMisuse,          //!< host::Accelerator called out of contract.
     ParseError,             //!< Malformed `.dhdl` IR text.
 };

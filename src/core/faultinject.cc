@@ -1,0 +1,176 @@
+#include "core/faultinject.hh"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+
+#include "core/error.hh"
+#include "obs/metrics.hh"
+
+namespace dhdl::fault {
+
+namespace {
+
+constexpr size_t kPoints = size_t(Point::kCount);
+
+struct State {
+    /** Armed threshold per point; 0 = disarmed. */
+    std::atomic<int64_t> armed[kPoints];
+    /** Occurrences counted per point since configure(). */
+    std::atomic<int64_t> count[kPoints];
+    std::atomic<bool> anyArmed{false};
+    std::atomic<double> hangSeconds{3600.0};
+};
+
+State&
+state()
+{
+    static State s;
+    return s;
+}
+
+std::optional<Point>
+pointFromName(const std::string& name)
+{
+    for (size_t i = 0; i < kPoints; ++i) {
+        if (name == pointName(Point(i)))
+            return Point(i);
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+const char*
+pointName(Point p)
+{
+    switch (p) {
+      case Point::CrashAfterEvals:
+        return "crash-after-evals";
+      case Point::HangAfterEvals:
+        return "hang-after-evals";
+      case Point::TornCheckpoint:
+        return "torn-checkpoint";
+      case Point::CorruptRecord:
+        return "corrupt-record";
+      case Point::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+void
+configure(const std::string& spec)
+{
+    reset();
+    State& s = state();
+    size_t pos = 0;
+    bool any = false;
+    while (pos < spec.size()) {
+        size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty())
+            continue;
+        size_t eq = item.find('=');
+        require(eq != std::string::npos,
+                "fault spec item '" + item + "' is not key=value");
+        std::string key = item.substr(0, eq);
+        int64_t value = 0;
+        try {
+            value = std::stoll(item.substr(eq + 1));
+        } catch (const std::exception&) {
+            fatal("fault spec value in '" + item +
+                  "' is not an integer");
+        }
+        require(value > 0, "fault spec value in '" + item +
+                               "' must be positive");
+        if (key == "hang-seconds") {
+            s.hangSeconds.store(double(value));
+            continue;
+        }
+        auto p = pointFromName(key);
+        require(p.has_value(), "unknown fault point '" + key + "'");
+        s.armed[size_t(*p)].store(value);
+        any = true;
+    }
+    s.anyArmed.store(any);
+}
+
+bool
+configureFromEnv()
+{
+    const char* v = std::getenv("DHDL_FAULT");
+    if (!v || !*v)
+        return false;
+    configure(v);
+    return true;
+}
+
+void
+reset()
+{
+    State& s = state();
+    s.anyArmed.store(false);
+    for (size_t i = 0; i < kPoints; ++i) {
+        s.armed[i].store(0);
+        s.count[i].store(0);
+    }
+    s.hangSeconds.store(3600.0);
+}
+
+bool
+active()
+{
+    return state().anyArmed.load(std::memory_order_relaxed);
+}
+
+std::optional<int64_t>
+armed(Point p)
+{
+    int64_t n = state().armed[size_t(p)].load(
+        std::memory_order_relaxed);
+    return n > 0 ? std::optional<int64_t>(n) : std::nullopt;
+}
+
+bool
+hit(Point p)
+{
+    State& s = state();
+    if (!s.anyArmed.load(std::memory_order_relaxed))
+        return false;
+    int64_t n = s.armed[size_t(p)].load(std::memory_order_relaxed);
+    if (n <= 0)
+        return false;
+    int64_t seen = s.count[size_t(p)].fetch_add(1) + 1;
+    if (seen != n)
+        return false;
+    obs::addCounter(std::string("fault.fired.") + pointName(p), 1);
+    return true;
+}
+
+double
+hangSeconds()
+{
+    return state().hangSeconds.load(std::memory_order_relaxed);
+}
+
+void
+crashHard()
+{
+    std::raise(SIGKILL);
+    std::_Exit(137); // unreachable unless raise itself failed
+}
+
+void
+sleepFor(double seconds)
+{
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds));
+}
+
+} // namespace dhdl::fault

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Durable exploration checkpoints: the crash-safe, self-validating
+ * on-disk format shared by explore(), resume, and shard merge.
+ *
+ * Format (v2), line-oriented text:
+ *
+ *   # dhdl-explore-checkpoint v2
+ *   # design=<16-hex> space=<16-hex> seed=<u64> total=<n> nparams=<n>
+ *   # columns: index,valid,failed,failcode,failstage,alms,luts,
+ *   #          regs,dsps,brams,cycles,binding,failreason,crc32
+ *   <record>,<8-hex crc32>
+ *   ...
+ *
+ * Guarantees:
+ *
+ *  - **Atomic writes**: write-temp + flush (fsync) + rename per
+ *    checkpoint batch. A kill at any instant leaves either the old
+ *    complete file or the new complete file.
+ *  - **Self-validating header**: `design` is the FNV-1a hash of the
+ *    canonical `.dhdl` serialization, `space` fingerprints the legal
+ *    parameter space. Resuming or merging a checkpoint written by a
+ *    different design, seed, sample count or space is *refused* with
+ *    a structured Diag (CheckpointMismatch) — never a crash, never a
+ *    silent wrong merge.
+ *  - **Per-record CRC-32**: the last comma-field of every record is
+ *    the CRC of everything before it. A torn tail (partial final
+ *    record, e.g. from a non-atomic writer or a cut download) is
+ *    detected and logically truncated: the valid prefix restores,
+ *    the tail is dropped and counted. A CRC failure mid-file marks
+ *    the record corrupt; it is skipped and counted, and the point
+ *    re-evaluates. Recovery is observable: counts land in
+ *    CheckpointLoadStats, warning Diags, and obs counters
+ *    (`dse.checkpoint.truncated` / `.corrupt` / `.stale`).
+ *  - **Diag fidelity**: records persist the failing pipeline stage,
+ *    so a restored failure re-surfaces a diagnostic byte-identical
+ *    (in code/stage/message/point) to the live run's.
+ *
+ * The v1 format (no CRC, no design/space hashes) is still read:
+ * malformed or torn trailing lines are skipped and counted instead
+ * of mis-parsing, and header fields that v1 carries are validated.
+ */
+
+#ifndef DHDL_DSE_CHECKPOINT_HH
+#define DHDL_DSE_CHECKPOINT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/diag.hh"
+#include "dse/evaluator.hh"
+#include "dse/space.hh"
+
+namespace dhdl::dse {
+
+/** Identity of one exploration, carried in the checkpoint header. */
+struct CheckpointMeta {
+    uint64_t designHash = 0; //!< FNV-1a of emitIR(graph).
+    uint64_t spaceHash = 0;  //!< FNV-1a of the legal value sets.
+    uint64_t seed = 0;
+    uint64_t total = 0;      //!< Global sample count.
+    uint64_t nparams = 0;
+
+    bool operator==(const CheckpointMeta&) const = default;
+};
+
+/** Fingerprint a run: design-IR hash, space hash, seed, total. */
+CheckpointMeta makeCheckpointMeta(const Graph& g,
+                                  const ParamSpace& space,
+                                  uint64_t seed, size_t total);
+
+/**
+ * Serialize every evaluated point under the header. Deterministic:
+ * identical points yield identical bytes, which shard-merge
+ * byte-identity and the golden suite pin.
+ */
+std::string renderCheckpoint(const CheckpointMeta& meta,
+                             const std::vector<DesignPoint>& points);
+
+/**
+ * Atomically persist a checkpoint batch: temp file in the same
+ * directory, fsync, rename. Returns false on I/O failure (caller
+ * reports; exploration continues). Fault-injection points
+ * `torn-checkpoint` and `corrupt-record` act here.
+ */
+bool writeCheckpointFile(const std::string& path,
+                         const CheckpointMeta& meta,
+                         const std::vector<DesignPoint>& points);
+
+/** What a load recovered — every recovery is observable. */
+struct CheckpointLoadStats {
+    size_t restored = 0;  //!< Points restored into the sample set.
+    size_t truncated = 0; //!< Torn-tail records dropped.
+    size_t corrupt = 0;   //!< Mid-file CRC failures skipped.
+    size_t stale = 0;     //!< Index/binding mismatches skipped.
+    bool legacy = false;  //!< File was the v1 format.
+};
+
+/**
+ * Restore evaluated points from `path` into `points` (whose bindings
+ * must already hold this run's sample set).
+ *
+ * Returns an error Status — with nothing restored — when the file is
+ * missing (CheckpointIo) or when its header identifies a different
+ * exploration (CheckpointMismatch: design, space, seed, sample count
+ * or parameter count disagree). The caller chooses the policy:
+ * resume downgrades to a warning and starts fresh; shard merge
+ * reports the shard missing.
+ *
+ * Row-level damage never fails the load: torn tails are truncated,
+ * corrupt and stale records skipped, each counted in `statsOut` and
+ * reported as warning Diags on `sink`. Restored failures re-surface
+ * their original error Diag (code, stage, message, binding context).
+ */
+Status loadCheckpointFile(const std::string& path, const Graph& g,
+                          const CheckpointMeta& expect,
+                          std::vector<DesignPoint>& points,
+                          DiagSink& sink,
+                          CheckpointLoadStats* statsOut = nullptr);
+
+} // namespace dhdl::dse
+
+#endif // DHDL_DSE_CHECKPOINT_HH

@@ -8,9 +8,6 @@
 
 namespace dhdl::dse {
 
-namespace {
-
-/** Render a binding as "name=value ..." for diagnostic context. */
 std::string
 renderBinding(const Graph& g, const ParamBinding& b)
 {
@@ -24,8 +21,6 @@ renderBinding(const Graph& g, const ParamBinding& b)
     }
     return os.str();
 }
-
-} // namespace
 
 std::shared_ptr<const DesignPlan>
 Evaluator::tryCompile(const Graph& g) noexcept
@@ -149,6 +144,7 @@ Evaluator::evaluatePoint(DesignPoint& p, size_t idx, const Hook* hook)
         p.failed = true;
         p.valid = false;
         p.failCode = d.code;
+        p.failStage = stage;
         p.failReason = d.message;
         return Status::error(std::move(d));
     }

@@ -43,11 +43,18 @@ struct DesignPoint {
     bool valid = false; //!< Fits every device resource capacity.
     /** The point went through evaluation (false = budget-skipped). */
     bool evaluated = false;
-    /** Evaluation threw; failCode/failReason say why. */
+    /** Evaluation threw; failCode/failStage/failReason say why. */
     bool failed = false;
     DiagCode failCode = DiagCode::Ok;
+    /** Pipeline stage that threw ("area", ...); empty when !failed.
+     *  Persisted in checkpoints so a restored failure re-surfaces
+     *  the identical diagnostic a live run would have produced. */
+    std::string failStage;
     std::string failReason;
 };
+
+/** Render a binding as "name=value ..." for diagnostic context. */
+std::string renderBinding(const Graph& g, const ParamBinding& b);
 
 /** Accumulated wall-clock per evaluation stage, in seconds. */
 struct StageTimes {

@@ -3,199 +3,60 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdio>
-#include <fstream>
-#include <iomanip>
 #include <memory>
 #include <mutex>
-#include <sstream>
 
+#include "core/faultinject.hh"
 #include "cpu/thread_pool.hh"
+#include "dse/checkpoint.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace dhdl::dse {
 
-namespace {
-
-constexpr const char* kCheckpointMagic = "# dhdl-explore-checkpoint v1";
-
-/**
- * Persist every evaluated point. The checkpoint carries the fields
- * that reports and the Pareto extraction consume (resource totals,
- * cycles, validity, failure data), not the full per-effect area
- * breakdown; a resumed run reproduces the identical front and stats.
- * The write is atomic (temp file + rename) so an interrupt mid-write
- * cannot corrupt an existing checkpoint.
- */
-bool
-writeCheckpoint(const std::string& path, uint64_t seed, size_t nparams,
-                const std::vector<DesignPoint>& points)
+std::vector<ParamBinding>
+sampleGlobal(const ParamSpace& space, const ExploreConfig& cfg)
 {
-    std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::trunc);
-        if (!os)
-            return false;
-        os << kCheckpointMagic << "\n";
-        os << "# seed=" << seed << " total=" << points.size()
-           << " nparams=" << nparams << "\n";
-        os << "# columns: index,valid,failed,failcode,alms,luts,regs,"
-              "dsps,brams,cycles,binding,failreason\n";
-        os << std::setprecision(17);
-        for (size_t i = 0; i < points.size(); ++i) {
-            const DesignPoint& p = points[i];
-            if (!p.evaluated)
-                continue;
-            os << i << "," << (p.valid ? 1 : 0) << ","
-               << (p.failed ? 1 : 0) << ","
-               << diagCodeName(p.failCode) << "," << p.area.alms
-               << "," << p.area.luts << "," << p.area.regs << ","
-               << p.area.dsps << "," << p.area.brams << ","
-               << p.cycles << ",";
-            for (size_t j = 0; j < p.binding.values.size(); ++j)
-                os << (j ? " " : "") << p.binding.values[j];
-            // The reason goes last so it may contain commas; strip
-            // newlines to keep the format line-oriented.
-            std::string reason = p.failReason;
-            std::replace(reason.begin(), reason.end(), '\n', ' ');
-            os << "," << reason << "\n";
-        }
-        if (!os)
-            return false;
-    }
-    return std::rename(tmp.c_str(), path.c_str()) == 0;
+    // Small pruned spaces are walked exhaustively; larger ones are
+    // randomly sampled (the paper samples up to 75,000 legal points).
+    // Either path is deterministic per seed, which checkpoint/resume,
+    // shard merge and the thread-count invariance all rely on.
+    return space.sizeEstimate() <= double(cfg.maxPoints)
+               ? space.enumerate(cfg.maxPoints)
+               : space.sample(cfg.maxPoints, cfg.seed);
 }
 
-/** Split a row on the first n commas; element n is the remainder. */
-std::vector<std::string>
-splitFields(const std::string& line, size_t n)
+void
+sortDiags(std::vector<Diag>& diags)
 {
-    std::vector<std::string> out;
-    size_t pos = 0;
-    for (size_t i = 0; i < n; ++i) {
-        size_t comma = line.find(',', pos);
-        if (comma == std::string::npos)
-            return out; // short row; caller rejects
-        out.push_back(line.substr(pos, comma - pos));
-        pos = comma + 1;
+    std::sort(diags.begin(), diags.end(),
+              [](const Diag& a, const Diag& b) {
+                  if (a.pointIndex != b.pointIndex)
+                      return a.pointIndex < b.pointIndex;
+                  if (a.stage != b.stage)
+                      return a.stage < b.stage;
+                  return a.message < b.message;
+              });
+}
+
+std::vector<size_t>
+paretoOf(const std::vector<DesignPoint>& points)
+{
+    std::vector<size_t> valid;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (points[i].valid)
+            valid.push_back(i);
     }
-    out.push_back(line.substr(pos));
+    auto front = paretoFront(
+        valid.size(),
+        [&](size_t i) { return points[valid[i]].area.alms; },
+        [&](size_t i) { return points[valid[i]].cycles; });
+    std::vector<size_t> out;
+    out.reserve(front.size());
+    for (size_t i : front)
+        out.push_back(valid[i]);
     return out;
 }
-
-/**
- * Restore evaluated points from a checkpoint. A missing file or a
- * header that disagrees with this run (seed, sample count, parameter
- * count) yields a warning diagnostic and restores nothing; rows whose
- * binding does not match the freshly sampled binding at that index
- * are skipped the same way. Returns the number of restored points.
- */
-size_t
-loadCheckpoint(const std::string& path, uint64_t seed, size_t nparams,
-               std::vector<DesignPoint>& points, DiagSink& sink)
-{
-    auto warn = [&](const std::string& msg) {
-        Diag d;
-        d.code = DiagCode::CheckpointIo;
-        d.severity = DiagSeverity::Warning;
-        d.stage = "checkpoint";
-        d.message = msg;
-        sink.report(d);
-        return size_t(0);
-    };
-
-    std::ifstream is(path);
-    if (!is)
-        return warn("checkpoint '" + path +
-                    "' not found; starting fresh");
-    std::string line;
-    if (!std::getline(is, line) || line != kCheckpointMagic)
-        return warn("checkpoint '" + path +
-                    "' has an unknown format; ignored");
-    unsigned long long ck_seed = 0;
-    size_t ck_total = 0, ck_nparams = 0;
-    if (!std::getline(is, line) ||
-        std::sscanf(line.c_str(), "# seed=%llu total=%zu nparams=%zu",
-                    &ck_seed, &ck_total, &ck_nparams) != 3)
-        return warn("checkpoint '" + path +
-                    "' has a malformed header; ignored");
-    if (ck_seed != seed || ck_total != points.size() ||
-        ck_nparams != nparams)
-        return warn("checkpoint '" + path +
-                    "' was written by a different exploration "
-                    "(seed/points/params mismatch); ignored");
-
-    size_t restored = 0, rejected = 0;
-    while (std::getline(is, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        auto f = splitFields(line, 11);
-        if (f.size() != 12) {
-            ++rejected;
-            continue;
-        }
-        size_t idx = 0;
-        try {
-            idx = size_t(std::stoull(f[0]));
-        } catch (const std::exception&) {
-            ++rejected;
-            continue;
-        }
-        if (idx >= points.size() || points[idx].evaluated) {
-            ++rejected;
-            continue;
-        }
-        DesignPoint& p = points[idx];
-        // Guard against a stale file: the stored binding must match
-        // the binding sampled at this index this run.
-        std::istringstream bs(f[10]);
-        std::vector<int64_t> vals;
-        int64_t v;
-        while (bs >> v)
-            vals.push_back(v);
-        if (vals != p.binding.values) {
-            ++rejected;
-            continue;
-        }
-        try {
-            p.valid = f[1] == "1";
-            p.failed = f[2] == "1";
-            p.failCode = diagCodeFromName(f[3]);
-            p.area.alms = std::stod(f[4]);
-            p.area.luts = std::stod(f[5]);
-            p.area.regs = std::stod(f[6]);
-            p.area.dsps = std::stod(f[7]);
-            p.area.brams = std::stod(f[8]);
-            p.cycles = std::stod(f[9]);
-        } catch (const std::exception&) {
-            p.valid = p.failed = false;
-            p.failCode = DiagCode::Ok;
-            ++rejected;
-            continue;
-        }
-        p.failReason = f[11];
-        p.evaluated = true;
-        ++restored;
-        if (p.failed) {
-            // Re-surface the failure so failureSummary() covers
-            // restored points too.
-            Diag d;
-            d.code = p.failCode;
-            d.severity = DiagSeverity::Error;
-            d.stage = "checkpoint";
-            d.message = p.failReason;
-            d.pointIndex = int64_t(idx);
-            sink.report(d);
-        }
-    }
-    if (rejected > 0)
-        warn("checkpoint '" + path + "': " + std::to_string(rejected) +
-             " stale/malformed row(s) ignored");
-    return restored;
-}
-
-} // namespace
 
 std::optional<size_t>
 ExploreResult::bestIndex() const
@@ -237,35 +98,53 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
     const auto t0 = Clock::now();
     DHDL_OBS_SPAN("dse", "explore");
 
+    require(cfg.shardCount >= 1 && cfg.shardIndex >= 0 &&
+                cfg.shardIndex < cfg.shardCount,
+            "shard index must satisfy 0 <= index < count");
+
     ParamSpace space(g);
     ExploreResult res;
     DiagSink sink;
 
-    // Small pruned spaces are walked exhaustively; larger ones are
-    // randomly sampled (the paper samples up to 75,000 legal points).
-    // Either path is deterministic per seed, which checkpoint/resume
-    // and the thread-count invariance both rely on.
-    auto bindings =
-        space.sizeEstimate() <= double(cfg.maxPoints)
-            ? space.enumerate(cfg.maxPoints)
-            : space.sample(cfg.maxPoints, cfg.seed);
+    auto bindings = sampleGlobal(space, cfg);
     res.points.resize(bindings.size());
     for (size_t i = 0; i < bindings.size(); ++i)
         res.points[i].binding = std::move(bindings[i]);
     res.stats.total = res.points.size();
 
-    const size_t nparams = g.params().size();
-    if (cfg.resume && !cfg.checkpointPath.empty())
-        res.stats.resumed = loadCheckpoint(
-            cfg.checkpointPath, cfg.seed, nparams, res.points, sink);
+    const CheckpointMeta meta =
+        makeCheckpointMeta(g, space, cfg.seed, res.points.size());
+    if (cfg.resume && !cfg.checkpointPath.empty()) {
+        CheckpointLoadStats ls;
+        Status st = loadCheckpointFile(cfg.checkpointPath, g, meta,
+                                       res.points, sink, &ls);
+        if (!st.ok()) {
+            // A refused checkpoint (missing, or written by a
+            // different design/seed/space) never merges; the run
+            // restarts fresh and says so.
+            Diag d = st.diag();
+            d.severity = DiagSeverity::Warning;
+            d.message += "; starting fresh";
+            sink.report(d);
+        }
+        res.stats.resumed = ls.restored;
+        res.stats.ckptTruncated = ls.truncated;
+        res.stats.ckptCorrupt = ls.corrupt;
+    }
 
-    // Work list: everything not restored from the checkpoint, capped
-    // by the evaluation-count budget.
+    // Work list: this shard's slice of everything not restored from
+    // the checkpoint, capped by the evaluation-count budget.
     std::vector<size_t> todo;
     todo.reserve(res.points.size());
     for (size_t i = 0; i < res.points.size(); ++i) {
-        if (!res.points[i].evaluated)
-            todo.push_back(i);
+        if (res.points[i].evaluated)
+            continue;
+        if (cfg.shardCount > 1 &&
+            int(i % size_t(cfg.shardCount)) != cfg.shardIndex) {
+            ++res.stats.notInShard;
+            continue;
+        }
+        todo.push_back(i);
     }
     if (cfg.evalBudget > 0 && int64_t(todo.size()) > cfg.evalBudget) {
         res.stats.evalBudgetHit = true;
@@ -318,6 +197,15 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
         Status s = ev.evaluatePoint(res.points[idx], idx, hook);
         if (!s.ok())
             sink.report(s.diag());
+        // Chaos seams (disarmed: one relaxed load). The crash is a
+        // real SIGKILL — exactly what the durable checkpoint format
+        // and the shard supervisor exist to survive.
+        if (fault::active()) {
+            if (fault::hit(fault::Point::CrashAfterEvals))
+                fault::crashHard();
+            if (fault::hit(fault::Point::HangAfterEvals))
+                fault::sleepFor(fault::hangSeconds());
+        }
     };
 
     std::mutex statsMu;
@@ -346,8 +234,8 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
     auto checkpoint = [&]() {
         if (cfg.checkpointPath.empty())
             return;
-        if (!writeCheckpoint(cfg.checkpointPath, cfg.seed, nparams,
-                             res.points) &&
+        if (!writeCheckpointFile(cfg.checkpointPath, meta,
+                                 res.points) &&
             !ckFailed) {
             ckFailed = true;
             Diag d;
@@ -386,7 +274,8 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
         res.stats.failed += p.failed ? 1 : 0;
         res.stats.valid += p.valid ? 1 : 0;
     }
-    res.stats.skipped = res.stats.total - res.stats.evaluated;
+    res.stats.skipped =
+        res.stats.total - res.stats.evaluated - res.stats.notInShard;
     if (outOfTime.load()) {
         res.stats.timeBudgetHit = true;
         Diag d;
@@ -400,30 +289,11 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
         sink.report(d);
     }
 
-    // Deterministic diagnostic order regardless of thread count.
+    // Deterministic diagnostic order regardless of thread count,
+    // then the Pareto front over valid points.
     res.diags = sink.drain();
-    std::sort(res.diags.begin(), res.diags.end(),
-              [](const Diag& a, const Diag& b) {
-                  if (a.pointIndex != b.pointIndex)
-                      return a.pointIndex < b.pointIndex;
-                  if (a.stage != b.stage)
-                      return a.stage < b.stage;
-                  return a.message < b.message;
-              });
-
-    // Pareto over valid points only, then map back to full indices.
-    std::vector<size_t> valid;
-    for (size_t i = 0; i < res.points.size(); ++i) {
-        if (res.points[i].valid)
-            valid.push_back(i);
-    }
-    auto front = paretoFront(
-        valid.size(),
-        [&](size_t i) { return res.points[valid[i]].area.alms; },
-        [&](size_t i) { return res.points[valid[i]].cycles; });
-    res.pareto.reserve(front.size());
-    for (size_t i : front)
-        res.pareto.push_back(valid[i]);
+    sortDiags(res.diags);
+    res.pareto = paretoOf(res.points);
 
     res.stats.seconds =
         std::chrono::duration<double>(Clock::now() - t0).count();

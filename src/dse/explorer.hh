@@ -64,6 +64,18 @@ struct ExploreConfig {
     int64_t checkpointEvery = 1000;
 
     /**
+     * Deterministic shard assignment: this call evaluates only the
+     * sample-set indices congruent to shardIndex modulo shardCount.
+     * Every shard of the same (design, seed, maxPoints) derives the
+     * identical global sample set, so any assignment of shards to
+     * processes reproduces the same points and
+     * dse::mergeShards() reassembles the exact unsharded result.
+     * The default 0/1 is the unsharded run.
+     */
+    int shardIndex = 0;
+    int shardCount = 1;
+
+    /**
      * Restore previously evaluated points from checkpointPath before
      * evaluating; a missing or mismatched file (different seed,
      * sample count or parameter count) is reported as a warning and
@@ -88,6 +100,9 @@ struct ExploreStats {
     size_t failed = 0;    //!< Points whose evaluation threw.
     size_t valid = 0;     //!< Points that fit the device.
     size_t skipped = 0;   //!< Points dropped by a budget.
+    size_t notInShard = 0; //!< Points owned by other shards.
+    size_t ckptTruncated = 0; //!< Torn-tail records dropped on resume.
+    size_t ckptCorrupt = 0;   //!< Corrupt records skipped on resume.
     bool timeBudgetHit = false;
     bool evalBudgetHit = false;
     double seconds = 0;   //!< Wall-clock of this explore() call.
@@ -145,6 +160,25 @@ class Explorer
     const est::AreaEstimator& area_;
     const est::RuntimeEstimator& runtime_;
 };
+
+/**
+ * The deterministic global sample set explore() evaluates for this
+ * configuration: exhaustively enumerated when the pruned space fits
+ * in cfg.maxPoints, randomly sampled per cfg.seed otherwise. Shard
+ * runs and shard merge derive the identical set from the identical
+ * config — the foundation of merge ≡ unsharded byte-identity.
+ */
+std::vector<ParamBinding> sampleGlobal(const ParamSpace& space,
+                                       const ExploreConfig& cfg);
+
+/**
+ * Canonical diagnostic order (pointIndex, stage, message): results
+ * are identical for any thread count and for merged shard runs.
+ */
+void sortDiags(std::vector<Diag>& diags);
+
+/** Pareto front (cycles vs ALMs) over the valid points, by index. */
+std::vector<size_t> paretoOf(const std::vector<DesignPoint>& points);
 
 } // namespace dhdl::dse
 

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shard supervisor: launches worker subprocesses (one per shard),
+ * watches them, and retries the ones that die or hang.
+ *
+ * Failure model — each attempt of each task can end three ways:
+ *
+ *  - **exit 0**: success, task done;
+ *  - **non-zero exit / killed by a signal** (including a crash
+ *    injected by the fault harness): retried up to
+ *    SupervisorConfig::maxRetries times with exponential backoff
+ *    plus deterministic jitter;
+ *  - **watchdog timeout**: the attempt has run longer than
+ *    timeoutSeconds; the supervisor SIGKILLs the process group and
+ *    retries like any other failure.
+ *
+ * A task that exhausts its retries is a *permanent* failure: the
+ * supervisor records a ShardFailed warning Diag and keeps going —
+ * the caller merges whatever shards completed (graceful
+ * degradation; see dse::mergeShards). The supervisor itself never
+ * throws for subprocess misbehaviour.
+ *
+ * Because every shard re-derives the same deterministic sample set
+ * and checkpoints durably, a retried shard resumes from its own
+ * checkpoint and loses no completed work — crash-restart loops make
+ * forward progress as long as checkpointEvery points complete
+ * between crashes.
+ */
+
+#ifndef DHDL_DSE_SUPERVISOR_HH
+#define DHDL_DSE_SUPERVISOR_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/diag.hh"
+
+namespace dhdl::dse {
+
+/** One subprocess the supervisor owns (typically one shard). */
+struct SupervisorTask {
+    /** argv[0] is the executable (resolved via PATH when relative). */
+    std::vector<std::string> argv;
+    /** Extra environment entries set in the child (name, value). */
+    std::vector<std::pair<std::string, std::string>> env;
+    /** stdout+stderr are appended here when non-empty. */
+    std::string logPath;
+    /** Display name ("shard 2/4") used in diagnostics. */
+    std::string label;
+};
+
+/** Retry/backoff/watchdog policy, shared by all tasks of one run. */
+struct SupervisorConfig {
+    /** Watchdog per attempt, seconds; 0 disables the timeout. */
+    double timeoutSeconds = 0;
+    /** Retries after the first attempt (total attempts = 1+retries). */
+    int maxRetries = 2;
+    /** First backoff delay; doubles per retry up to backoffMax. */
+    double backoffBaseSeconds = 0.25;
+    double backoffMaxSeconds = 30;
+    /**
+     * Seed for the deterministic jitter (hashMix of seed, task and
+     * attempt) added to each backoff so retrying shards de-correlate
+     * without making test runs flaky.
+     */
+    uint64_t jitterSeed = 0;
+    /** Max concurrently running tasks; 0 = all at once. */
+    int maxParallel = 0;
+    /** waitpid poll cadence. */
+    double pollIntervalSeconds = 0.02;
+};
+
+/** What happened to one task across all its attempts. */
+struct TaskOutcome {
+    bool succeeded = false;
+    int attempts = 0;     //!< Attempts actually launched.
+    int exitCode = -1;    //!< Last exit code; -1 if signalled/spawn-failed.
+    int termSignal = 0;   //!< Signal that killed the last attempt, if any.
+    bool timedOut = false; //!< Last failure was a watchdog kill.
+    std::string detail;   //!< One-line human-readable summary.
+};
+
+/** Aggregate result of one supervised run. */
+struct SupervisorResult {
+    std::vector<TaskOutcome> tasks; //!< Indexed like the input tasks.
+    /** ShardFailed warnings for tasks that exhausted their retries. */
+    std::vector<Diag> diags;
+    size_t retries = 0;  //!< Re-launches across all tasks.
+    size_t timeouts = 0; //!< Watchdog kills across all tasks.
+
+    bool allSucceeded() const;
+    /** Indices of tasks that never succeeded. */
+    std::vector<int> failedTasks() const;
+};
+
+/**
+ * Deterministic backoff before retry `attempt` (0-based count of
+ * prior failures) of task `task`: min(max, base * 2^attempt) plus up
+ * to 25% jitter derived from hashMix(seed, task, attempt). Exposed
+ * for the unit tests.
+ */
+double backoffSeconds(const SupervisorConfig& cfg, int task,
+                      int attempt);
+
+/**
+ * Run every task to success or permanent failure. Tasks run
+ * concurrently (bounded by maxParallel); the call returns when all
+ * have settled. Throws FatalError only for caller errors (empty
+ * argv); subprocess failure is data, not an exception.
+ */
+SupervisorResult runSupervised(const std::vector<SupervisorTask>& tasks,
+                               const SupervisorConfig& cfg);
+
+} // namespace dhdl::dse
+
+#endif // DHDL_DSE_SUPERVISOR_HH

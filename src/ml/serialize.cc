@@ -1,5 +1,6 @@
 #include "ml/serialize.hh"
 
+#include <cmath>
 #include <iomanip>
 #include <limits>
 
@@ -7,10 +8,45 @@
 
 namespace dhdl::ml {
 
+namespace {
+
+constexpr const char* kMagic = "# dhdl-model v1";
+constexpr const char* kMagicPrefix = "# dhdl-model";
+
+/** require() that always classifies the failure as a parse error. */
+void
+check(bool cond, const std::string& msg)
+{
+    if (!cond)
+        fatal(msg, DiagCode::ParseError);
+}
+
+/**
+ * Consume comment lines before a record header, validating any
+ * magic line against the versions this reader understands. Files
+ * from before the magic existed start straight at the record header
+ * and are accepted as-is.
+ */
+void
+skipHeaderLines(std::istream& is)
+{
+    while (is >> std::ws && is.peek() == '#') {
+        std::string line;
+        std::getline(is, line);
+        if (line.compare(0, std::string(kMagicPrefix).size(),
+                         kMagicPrefix) == 0)
+            check(line == kMagic,
+                  "unsupported model file version: '" + line + "'");
+    }
+}
+
+} // namespace
+
 void
 writeDoubles(std::ostream& os, const std::string& tag,
              const std::vector<double>& v)
 {
+    os << kMagic << "\n";
     os << tag << " " << v.size() << " v1\n";
     os << std::setprecision(std::numeric_limits<double>::max_digits10);
     for (size_t i = 0; i < v.size(); ++i)
@@ -22,18 +58,27 @@ writeDoubles(std::ostream& os, const std::string& tag,
 std::vector<double>
 readDoubles(std::istream& is, const std::string& tag)
 {
+    skipHeaderLines(is);
     std::string got_tag, version;
     size_t count = 0;
     is >> got_tag >> count >> version;
-    require(bool(is), "truncated model file reading '" + tag + "'");
-    require(got_tag == tag, "model file tag mismatch: expected '" +
-                                tag + "', got '" + got_tag + "'");
-    require(version == "v1",
-            "unsupported model format version " + version);
+    check(bool(is), "truncated model file reading '" + tag + "'");
+    check(got_tag == tag, "model file tag mismatch: expected '" + tag +
+                              "', got '" + got_tag + "'");
+    check(version == "v1",
+          "unsupported model format version " + version);
+    // Validate the count before trusting it with an allocation: a
+    // corrupted header must fail a parse, not exhaust memory.
+    check(count <= kMaxModelDoubles,
+          "model record '" + tag + "' claims " + std::to_string(count) +
+              " values; limit is " + std::to_string(kMaxModelDoubles));
     std::vector<double> v(count);
-    for (auto& x : v)
+    for (auto& x : v) {
         is >> x;
-    require(bool(is), "truncated payload for '" + tag + "'");
+        check(bool(is), "truncated payload for '" + tag + "'");
+        check(std::isfinite(x),
+              "non-finite value in model record '" + tag + "'");
+    }
     return v;
 }
 
@@ -49,7 +94,7 @@ LinearModel
 loadLinear(std::istream& is)
 {
     auto coeffs = readDoubles(is, "linear");
-    require(!coeffs.empty(), "linear model payload empty");
+    check(!coeffs.empty(), "linear model payload empty");
     double b = coeffs.back();
     coeffs.pop_back();
     return LinearModel::fromWeights(std::move(coeffs), b);
@@ -68,14 +113,23 @@ Mlp
 loadMlp(std::istream& is)
 {
     auto layer_doubles = readDoubles(is, "mlp_layers");
+    // Every layer size is validated before the Mlp is constructed:
+    // a corrupted record must not turn into a giant or negative
+    // allocation inside the network.
+    check(layer_doubles.size() >= 2 && layer_doubles.size() <= 64,
+          "MLP layer count out of range in model file");
     std::vector<int> layers;
     layers.reserve(layer_doubles.size());
-    for (double d : layer_doubles)
+    for (double d : layer_doubles) {
+        check(std::isfinite(d) && d == std::floor(d) && d >= 1 &&
+                  d <= 1e6,
+              "MLP layer size out of range in model file");
         layers.push_back(int(d));
+    }
     Mlp net(layers);
     auto weights = readDoubles(is, "mlp_weights");
-    require(weights.size() == net.numWeights(),
-            "MLP weight count mismatch in model file");
+    check(weights.size() == net.numWeights(),
+          "MLP weight count mismatch in model file");
     net.params() = std::move(weights);
     return net;
 }
@@ -92,8 +146,55 @@ loadScaler(std::istream& is)
 {
     auto lo = readDoubles(is, "scaler_lo");
     auto hi = readDoubles(is, "scaler_hi");
-    require(lo.size() == hi.size(), "scaler bound size mismatch");
+    check(lo.size() == hi.size(), "scaler bound size mismatch");
     return MinMaxScaler::fromBounds(std::move(lo), std::move(hi));
+}
+
+namespace {
+
+template <typename Load, typename Out>
+Status
+tryLoad(std::istream& is, Out& out, Load load, const char* what)
+{
+    try {
+        out = load(is);
+        return {};
+    } catch (const FatalError& e) {
+        Diag d;
+        d.code = e.code();
+        d.stage = "model-load";
+        d.message = std::string(what) + ": " + e.what();
+        return Status::error(std::move(d));
+    } catch (const std::exception& e) {
+        Diag d;
+        d.code = DiagCode::ParseError;
+        d.stage = "model-load";
+        d.message = std::string(what) + ": " + e.what();
+        return Status::error(std::move(d));
+    }
+}
+
+} // namespace
+
+Status
+tryLoadLinear(std::istream& is, LinearModel& out)
+{
+    return tryLoad(is, out, [](std::istream& s) { return loadLinear(s); },
+                   "linear model");
+}
+
+Status
+tryLoadMlp(std::istream& is, Mlp& out)
+{
+    return tryLoad(is, out, [](std::istream& s) { return loadMlp(s); },
+                   "mlp model");
+}
+
+Status
+tryLoadScaler(std::istream& is, MinMaxScaler& out)
+{
+    return tryLoad(is, out, [](std::istream& s) { return loadScaler(s); },
+                   "scaler");
 }
 
 } // namespace dhdl::ml

@@ -4,9 +4,20 @@
  * estimators (template characterization + ANN training) is a one-off
  * per device + toolchain; persisting the fitted models lets tools
  * skip recalibration across processes. The format is line-oriented
- * and versioned: `<tag> <count> v1` headers followed by whitespace-
- * separated doubles, written with max_digits10 so round-trips are
- * bit-exact.
+ * and versioned: a `# dhdl-model v1` magic line, then a
+ * `<tag> <count> v1` record header, then whitespace-separated
+ * doubles written with max_digits10 so round-trips are bit-exact.
+ *
+ * Robustness: loaders validate everything before allocating or
+ * constructing — unknown magic versions, tag mismatches, absurd
+ * element counts (a corrupted count line must not become a
+ * multi-gigabyte allocation), non-integral or out-of-range MLP layer
+ * sizes, and truncated payloads are all rejected with a FatalError
+ * carrying DiagCode::ParseError; a short read can never yield
+ * uninitialized doubles or UB. Files written before the magic line
+ * existed (starting directly with the record header) still load.
+ * The tryLoad*() wrappers return the failure as a structured Status
+ * for callers that must not throw.
  */
 
 #ifndef DHDL_ML_SERIALIZE_HH
@@ -16,17 +27,25 @@
 #include <string>
 #include <vector>
 
+#include "core/diag.hh"
 #include "ml/linreg.hh"
 #include "ml/mlp.hh"
 #include "ml/scaler.hh"
 
 namespace dhdl::ml {
 
-/** Write a tagged vector of doubles. */
+/** Hard ceiling on doubles per record: rejects corrupted counts. */
+inline constexpr size_t kMaxModelDoubles = 16u << 20;
+
+/** Write a tagged vector of doubles (with the magic line). */
 void writeDoubles(std::ostream& os, const std::string& tag,
                   const std::vector<double>& v);
 
-/** Read a tagged vector of doubles; throws FatalError on mismatch. */
+/**
+ * Read a tagged vector of doubles. Throws FatalError
+ * (DiagCode::ParseError) on unknown magic version, tag mismatch,
+ * out-of-range count, or truncated payload.
+ */
 std::vector<double> readDoubles(std::istream& is,
                                 const std::string& tag);
 
@@ -38,6 +57,15 @@ Mlp loadMlp(std::istream& is);
 
 void saveScaler(std::ostream& os, const MinMaxScaler& s);
 MinMaxScaler loadScaler(std::istream& is);
+
+/**
+ * Non-throwing loaders: the ParseError comes back as an error
+ * Status instead of an exception, for callers (tools, services)
+ * where a damaged calibration file must degrade, not die.
+ */
+Status tryLoadLinear(std::istream& is, LinearModel& out);
+Status tryLoadMlp(std::istream& is, Mlp& out);
+Status tryLoadScaler(std::istream& is, MinMaxScaler& out);
 
 } // namespace dhdl::ml
 

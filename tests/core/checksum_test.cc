@@ -1,0 +1,57 @@
+#include "core/checksum.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dhdl {
+namespace {
+
+TEST(Crc32, MatchesIeeeCheckValue)
+{
+    // The canonical CRC-32/ISO-HDLC check value.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero)
+{
+    EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Crc32, SingleBitDamageChangesChecksum)
+{
+    const std::string base =
+        "42,1,0,ok,,123.5,456.25,789,8,16,1000,64 4 2 1,";
+    const uint32_t ref = crc32(base);
+    for (size_t i = 0; i < base.size(); ++i) {
+        std::string mutated = base;
+        mutated[i] ^= 0x01;
+        EXPECT_NE(crc32(mutated), ref)
+            << "flip at offset " << i << " went undetected";
+    }
+}
+
+TEST(Crc32, DetectsTruncation)
+{
+    const std::string base = "0,1,0,ok,,1,2,3,4,5,6,7 8 9,";
+    const uint32_t ref = crc32(base);
+    for (size_t len = 0; len < base.size(); ++len)
+        EXPECT_NE(crc32(base.substr(0, len)), ref);
+}
+
+TEST(Fnv1a, KnownVectors)
+{
+    // FNV-1a 64-bit reference values.
+    EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, DistinguishesDesigns)
+{
+    EXPECT_NE(fnv1a("design-a"), fnv1a("design-b"));
+    EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+}
+
+} // namespace
+} // namespace dhdl

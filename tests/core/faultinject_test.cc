@@ -1,0 +1,96 @@
+#include "core/faultinject.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+
+namespace dhdl {
+namespace {
+
+/** Every test leaves the process-wide harness disarmed. */
+class FaultInjectTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::reset(); }
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_F(FaultInjectTest, DisarmedByDefault)
+{
+    EXPECT_FALSE(fault::active());
+    for (int p = 0; p < int(fault::Point::kCount); ++p)
+        EXPECT_FALSE(fault::armed(fault::Point(p)).has_value());
+    // Counting while disarmed never fires.
+    EXPECT_FALSE(fault::hit(fault::Point::CrashAfterEvals));
+}
+
+TEST_F(FaultInjectTest, ConfigureArmsNamedPoints)
+{
+    fault::configure("crash-after-evals=3,corrupt-record=7");
+    EXPECT_TRUE(fault::active());
+    ASSERT_TRUE(fault::armed(fault::Point::CrashAfterEvals));
+    EXPECT_EQ(*fault::armed(fault::Point::CrashAfterEvals), 3);
+    ASSERT_TRUE(fault::armed(fault::Point::CorruptRecord));
+    EXPECT_EQ(*fault::armed(fault::Point::CorruptRecord), 7);
+    EXPECT_FALSE(fault::armed(fault::Point::TornCheckpoint));
+}
+
+TEST_F(FaultInjectTest, HitFiresExactlyOnceOnNthOccurrence)
+{
+    fault::configure("torn-checkpoint=3");
+    EXPECT_FALSE(fault::hit(fault::Point::TornCheckpoint)); // 1st
+    EXPECT_FALSE(fault::hit(fault::Point::TornCheckpoint)); // 2nd
+    EXPECT_TRUE(fault::hit(fault::Point::TornCheckpoint));  // 3rd
+    // One-shot: later occurrences never fire again.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(fault::hit(fault::Point::TornCheckpoint));
+}
+
+TEST_F(FaultInjectTest, ReconfigureRestartsCounters)
+{
+    fault::configure("torn-checkpoint=2");
+    EXPECT_FALSE(fault::hit(fault::Point::TornCheckpoint));
+    fault::configure("torn-checkpoint=2");
+    EXPECT_FALSE(fault::hit(fault::Point::TornCheckpoint));
+    EXPECT_TRUE(fault::hit(fault::Point::TornCheckpoint));
+}
+
+TEST_F(FaultInjectTest, ResetDisarms)
+{
+    fault::configure("crash-after-evals=1");
+    fault::reset();
+    EXPECT_FALSE(fault::active());
+    EXPECT_FALSE(fault::hit(fault::Point::CrashAfterEvals));
+}
+
+TEST_F(FaultInjectTest, HangSecondsParsedWithDefault)
+{
+    EXPECT_DOUBLE_EQ(fault::hangSeconds(), 3600.0);
+    fault::configure("hang-after-evals=5,hang-seconds=2");
+    EXPECT_DOUBLE_EQ(fault::hangSeconds(), 2.0);
+}
+
+TEST_F(FaultInjectTest, BadSpecsAreRejected)
+{
+    EXPECT_THROW(fault::configure("no-such-point=1"), FatalError);
+    EXPECT_THROW(fault::configure("crash-after-evals=0"), FatalError);
+    EXPECT_THROW(fault::configure("crash-after-evals=-2"), FatalError);
+    EXPECT_THROW(fault::configure("crash-after-evals"), FatalError);
+    // A failed configure leaves the harness disarmed.
+    EXPECT_FALSE(fault::active());
+}
+
+TEST_F(FaultInjectTest, PointNamesRoundTripTheSpecKeys)
+{
+    EXPECT_STREQ(fault::pointName(fault::Point::CrashAfterEvals),
+                 "crash-after-evals");
+    EXPECT_STREQ(fault::pointName(fault::Point::HangAfterEvals),
+                 "hang-after-evals");
+    EXPECT_STREQ(fault::pointName(fault::Point::TornCheckpoint),
+                 "torn-checkpoint");
+    EXPECT_STREQ(fault::pointName(fault::Point::CorruptRecord),
+                 "corrupt-record");
+}
+
+} // namespace
+} // namespace dhdl

@@ -276,9 +276,12 @@ TEST(RobustnessTest, MismatchedCheckpointIsIgnoredWithWarning)
     auto res = explorer().explore(d.graph(), cfg);
     EXPECT_EQ(res.stats.resumed, 0u);
     EXPECT_EQ(res.stats.evaluated, res.stats.total);
+    // A checkpoint from a different run is refused with a structured
+    // CheckpointMismatch — downgraded to a warning on resume, since
+    // the policy there is "start fresh and say so".
     bool warned = false;
     for (const auto& diag : res.diags)
-        warned |= diag.code == DiagCode::CheckpointIo &&
+        warned |= diag.code == DiagCode::CheckpointMismatch &&
                   diag.severity == DiagSeverity::Warning;
     EXPECT_TRUE(warned);
     std::remove(path.c_str());

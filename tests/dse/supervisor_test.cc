@@ -1,0 +1,212 @@
+/**
+ * The shard supervisor as a generic process supervisor: success,
+ * crash-then-recover via retry, permanent failure with a structured
+ * diagnostic, watchdog kills of hung workers, environment injection
+ * and log capture. Workers are /bin/sh one-liners so the tests pin
+ * supervision semantics, not exploration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dse/supervisor.hh"
+
+namespace dhdl::dse {
+namespace {
+
+SupervisorTask
+shTask(const std::string& script)
+{
+    SupervisorTask t;
+    t.argv = {"/bin/sh", "-c", script};
+    return t;
+}
+
+SupervisorConfig
+fastConfig()
+{
+    SupervisorConfig cfg;
+    cfg.maxRetries = 2;
+    cfg.backoffBaseSeconds = 0.01;
+    cfg.backoffMaxSeconds = 0.05;
+    cfg.pollIntervalSeconds = 0.005;
+    return cfg;
+}
+
+TEST(SupervisorTest, AllTasksSucceedFirstTry)
+{
+    auto res = runSupervised(
+        {shTask("exit 0"), shTask("true"), shTask("exit 0")},
+        fastConfig());
+    EXPECT_TRUE(res.allSucceeded());
+    EXPECT_TRUE(res.failedTasks().empty());
+    EXPECT_EQ(res.retries, 0u);
+    EXPECT_TRUE(res.diags.empty());
+    for (const auto& t : res.tasks) {
+        EXPECT_TRUE(t.succeeded);
+        EXPECT_EQ(t.attempts, 1);
+        EXPECT_EQ(t.exitCode, 0);
+        EXPECT_FALSE(t.timedOut);
+    }
+}
+
+TEST(SupervisorTest, CrashedTaskIsRetriedAndRecovers)
+{
+    // First attempt leaves a marker and fails; the retry sees the
+    // marker and succeeds — the shape of a shard that crashes once
+    // and then resumes from its checkpoint.
+    const std::string marker =
+        ::testing::TempDir() + "dhdl_sup_marker";
+    std::remove(marker.c_str());
+    auto res = runSupervised(
+        {shTask("if [ -f " + marker + " ]; then exit 0; else touch " +
+                marker + "; exit 3; fi")},
+        fastConfig());
+    EXPECT_TRUE(res.allSucceeded());
+    EXPECT_EQ(res.tasks[0].attempts, 2);
+    EXPECT_EQ(res.retries, 1u);
+    std::remove(marker.c_str());
+}
+
+TEST(SupervisorTest, SignalledTaskIsRetriedLikeAnExit)
+{
+    const std::string marker =
+        ::testing::TempDir() + "dhdl_sup_sigmarker";
+    std::remove(marker.c_str());
+    // The first attempt dies of SIGKILL, as a fault-injected shard
+    // does; the retry succeeds.
+    auto res = runSupervised(
+        {shTask("if [ -f " + marker + " ]; then exit 0; else touch " +
+                marker + "; kill -9 $$; fi")},
+        fastConfig());
+    EXPECT_TRUE(res.allSucceeded());
+    EXPECT_EQ(res.tasks[0].attempts, 2);
+    std::remove(marker.c_str());
+}
+
+TEST(SupervisorTest, PermanentFailureIsReportedNotThrown)
+{
+    auto cfg = fastConfig();
+    cfg.maxRetries = 1;
+    auto res =
+        runSupervised({shTask("exit 0"), shTask("exit 7")}, cfg);
+    EXPECT_FALSE(res.allSucceeded());
+    ASSERT_EQ(res.failedTasks().size(), 1u);
+    EXPECT_EQ(res.failedTasks()[0], 1);
+    EXPECT_TRUE(res.tasks[0].succeeded);
+    EXPECT_FALSE(res.tasks[1].succeeded);
+    EXPECT_EQ(res.tasks[1].attempts, 2); // 1 + maxRetries
+    EXPECT_EQ(res.tasks[1].exitCode, 7);
+    // Degradation is structured: a ShardFailed warning, no throw.
+    ASSERT_EQ(res.diags.size(), 1u);
+    EXPECT_EQ(res.diags[0].code, DiagCode::ShardFailed);
+    EXPECT_EQ(res.diags[0].severity, DiagSeverity::Warning);
+}
+
+TEST(SupervisorTest, HungTaskIsKilledByWatchdogAndRetried)
+{
+    const std::string marker =
+        ::testing::TempDir() + "dhdl_sup_hangmarker";
+    std::remove(marker.c_str());
+    auto cfg = fastConfig();
+    cfg.timeoutSeconds = 0.3;
+    cfg.maxRetries = 1;
+    // First attempt hangs far beyond the watchdog; the retry exits
+    // promptly.
+    auto res = runSupervised(
+        {shTask("if [ -f " + marker + " ]; then exit 0; else touch " +
+                marker + "; sleep 30; fi")},
+        cfg);
+    EXPECT_TRUE(res.allSucceeded());
+    EXPECT_EQ(res.tasks[0].attempts, 2);
+    EXPECT_EQ(res.timeouts, 1u);
+    std::remove(marker.c_str());
+}
+
+TEST(SupervisorTest, PermanentlyHungTaskTimesOutPermanently)
+{
+    auto cfg = fastConfig();
+    cfg.timeoutSeconds = 0.2;
+    cfg.maxRetries = 1;
+    auto res = runSupervised({shTask("sleep 30")}, cfg);
+    EXPECT_FALSE(res.allSucceeded());
+    EXPECT_TRUE(res.tasks[0].timedOut);
+    EXPECT_EQ(res.tasks[0].termSignal, SIGKILL);
+    EXPECT_EQ(res.timeouts, 2u); // every attempt hit the watchdog
+    ASSERT_EQ(res.diags.size(), 1u);
+    EXPECT_NE(res.diags[0].message.find("watchdog"),
+              std::string::npos);
+}
+
+TEST(SupervisorTest, EnvIsInjectedPerTask)
+{
+    SupervisorTask t =
+        shTask("test \"$DHDL_SUP_TEST\" = expected-value");
+    t.env = {{"DHDL_SUP_TEST", "expected-value"}};
+    auto res = runSupervised({t}, fastConfig());
+    EXPECT_TRUE(res.allSucceeded());
+}
+
+TEST(SupervisorTest, OutputIsCapturedToLogFile)
+{
+    const std::string log = ::testing::TempDir() + "dhdl_sup.log";
+    std::remove(log.c_str());
+    SupervisorTask t = shTask("echo from-the-worker");
+    t.logPath = log;
+    auto res = runSupervised({t}, fastConfig());
+    EXPECT_TRUE(res.allSucceeded());
+    std::ifstream is(log);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_NE(ss.str().find("from-the-worker"), std::string::npos);
+    std::remove(log.c_str());
+}
+
+TEST(SupervisorTest, ParallelismCapIsHonored)
+{
+    // Four tasks that each assert no more than two markers exist at
+    // once would be racy; instead just verify capped runs complete.
+    auto cfg = fastConfig();
+    cfg.maxParallel = 2;
+    auto res = runSupervised({shTask("exit 0"), shTask("exit 0"),
+                              shTask("exit 0"), shTask("exit 0")},
+                             cfg);
+    EXPECT_TRUE(res.allSucceeded());
+}
+
+TEST(SupervisorTest, BackoffIsExponentialBoundedAndDeterministic)
+{
+    SupervisorConfig cfg;
+    cfg.backoffBaseSeconds = 0.5;
+    cfg.backoffMaxSeconds = 4.0;
+    cfg.jitterSeed = 99;
+    for (int task = 0; task < 3; ++task) {
+        for (int attempt = 0; attempt < 6; ++attempt) {
+            const double d = backoffSeconds(cfg, task, attempt);
+            const double ideal =
+                std::min(0.5 * std::pow(2.0, attempt), 4.0);
+            EXPECT_GE(d, ideal);
+            EXPECT_LE(d, ideal * 1.25);
+            // Same inputs, same delay: no wall-clock nondeterminism.
+            EXPECT_DOUBLE_EQ(d, backoffSeconds(cfg, task, attempt));
+        }
+    }
+    // Jitter de-correlates tasks retrying at the same attempt.
+    EXPECT_NE(backoffSeconds(cfg, 0, 0), backoffSeconds(cfg, 1, 0));
+}
+
+TEST(SupervisorTest, EmptyArgvIsACallerError)
+{
+    EXPECT_THROW(runSupervised({SupervisorTask{}}, fastConfig()),
+                 FatalError);
+}
+
+} // namespace
+} // namespace dhdl::dse

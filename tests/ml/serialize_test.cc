@@ -106,5 +106,107 @@ TEST(SerializeTest, ConcatenatedStreamsReadInOrder)
     EXPECT_DOUBLE_EQ(tail.front(), 42.0);
 }
 
+TEST(SerializeHardening, MagicHeaderIsWrittenAndAccepted)
+{
+    std::stringstream ss;
+    writeDoubles(ss, "vec", {1.0, 2.0});
+    EXPECT_EQ(ss.str().rfind("# dhdl-model v1\n", 0), 0u);
+    EXPECT_EQ(readDoubles(ss, "vec"),
+              (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(SerializeHardening, HeaderlessLegacyFilesStillLoad)
+{
+    // Files written before the magic line start at the record header.
+    std::stringstream ss("vec 2 v1\n1.5 -2.5\n");
+    EXPECT_EQ(readDoubles(ss, "vec"),
+              (std::vector<double>{1.5, -2.5}));
+}
+
+TEST(SerializeHardening, UnknownMagicVersionIsRejected)
+{
+    std::stringstream ss("# dhdl-model v99\nvec 1 v1\n1.0\n");
+    EXPECT_THROW(readDoubles(ss, "vec"), FatalError);
+}
+
+TEST(SerializeHardening, AbsurdCountIsRejectedBeforeAllocation)
+{
+    // A corrupted count line must fail a parse, not allocate
+    // petabytes and then discover the stream is short.
+    std::stringstream ss("vec 99999999999999999 v1\n1.0\n");
+    EXPECT_THROW(readDoubles(ss, "vec"), FatalError);
+}
+
+TEST(SerializeHardening, NonFiniteValuesAreRejected)
+{
+    std::stringstream ss("vec 2 v1\n1.0 nan\n");
+    EXPECT_THROW(readDoubles(ss, "vec"), FatalError);
+}
+
+TEST(SerializeHardening, CorruptMlpLayersAreRejected)
+{
+    {
+        // Non-integral layer size.
+        std::stringstream ss;
+        writeDoubles(ss, "mlp_layers", {2.5, 3});
+        writeDoubles(ss, "mlp_weights", {});
+        EXPECT_THROW(loadMlp(ss), FatalError);
+    }
+    {
+        // A giant layer must not turn into a giant allocation.
+        std::stringstream ss;
+        writeDoubles(ss, "mlp_layers", {2, 1e15});
+        writeDoubles(ss, "mlp_weights", {});
+        EXPECT_THROW(loadMlp(ss), FatalError);
+    }
+    {
+        // A single layer is not a network.
+        std::stringstream ss;
+        writeDoubles(ss, "mlp_layers", {3});
+        writeDoubles(ss, "mlp_weights", {});
+        EXPECT_THROW(loadMlp(ss), FatalError);
+    }
+}
+
+TEST(SerializeHardening, ParseFailuresCarryParseErrorCode)
+{
+    std::stringstream ss("vec 3 v1\n1.0 2.0");
+    try {
+        readDoubles(ss, "vec");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), DiagCode::ParseError);
+    }
+}
+
+TEST(SerializeHardening, TryLoadReturnsStructuredStatus)
+{
+    // Damaged input: an error Status with a ParseError Diag, no
+    // exception crossing the boundary.
+    std::stringstream bad("mlp_layers 1 v1\nnot-a-number\n");
+    Mlp net({2, 2});
+    Status st = tryLoadMlp(bad, net);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.diag().code, DiagCode::ParseError);
+    EXPECT_EQ(st.diag().stage, "model-load");
+
+    // Intact input: loads and reports ok.
+    std::stringstream good;
+    Mlp ref({3, 4, 1}, 11);
+    saveMlp(good, ref);
+    Status ok = tryLoadMlp(good, net);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(net.params(), ref.params());
+
+    std::stringstream badLin("linear 0 v1\n\n");
+    LinearModel lm;
+    EXPECT_FALSE(tryLoadLinear(badLin, lm).ok());
+
+    std::stringstream badScaler("scaler_lo 1 v1\n1.0\nscaler_hi 2 "
+                                "v1\n1.0 2.0\n");
+    MinMaxScaler sc;
+    EXPECT_FALSE(tryLoadScaler(badScaler, sc).ok());
+}
+
 } // namespace
 } // namespace dhdl::ml

@@ -4,9 +4,12 @@
  * Usage:
  *   dhdlc list
  *   dhdlc explore <design> [--scale S] [--points N] [--top K]
- *                 [--threads T] [--time-budget SEC]
+ *                 [--threads T] [--time-budget SEC] [--seed SEED]
  *                 [--checkpoint FILE] [--resume] [--profile]
- *                 [--trace FILE] [--metrics FILE]
+ *                 [--shard I/N] [--shards N] [--shard-timeout SEC]
+ *                 [--retries R] [--trace FILE] [--metrics FILE]
+ *   dhdlc merge <design> --shards N --checkpoint FILE
+ *                 [--scale S] [--points N] [--seed SEED] [--top K]
  *   dhdlc report <design> [--scale S] [--points N]
  *   dhdlc emit <design> [--scale S] [--points N] [--out DIR]
  *   dhdlc emit-ir <design> [--scale S]
@@ -40,20 +43,42 @@
  * Any of the three enables recording; so does DHDL_OBS=ON in the
  * environment. All three render one registry snapshot — there is no
  * separate timing plumbing.
+ *
+ * Sharded exploration (crash-safe distribution, DESIGN.md §10):
+ *   --shard I/N     evaluate only shard I of an N-way deterministic
+ *                   partition; the checkpoint goes to
+ *                   <FILE>.shard-I-of-N
+ *   --shards N      supervisor mode: launch all N shards of this
+ *                   machine as subprocesses, watchdog + retry each
+ *                   (--shard-timeout, --retries), then merge the
+ *                   shard checkpoints and print the global result
+ *   merge           reassemble shard checkpoints without running
+ *                   anything; shards that are missing or belong to a
+ *                   different run degrade to an explicit partial
+ *                   merge
+ *
+ * Fault injection (chaos testing): DHDL_FAULT=point=value[,...] in
+ * the environment arms crash/hang/torn-write/corrupt-record seams
+ * (src/core/faultinject.hh); dhdlc is the only place that reads it.
  */
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include <unistd.h>
+
 #include "apps/apps.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "codegen/maxj.hh"
+#include "core/faultinject.hh"
 #include "core/passes.hh"
 #include "core/printer.hh"
 #include "core/transform.hh"
 #include "dse/explorer.hh"
+#include "dse/shard.hh"
+#include "dse/supervisor.hh"
 #include "estimate/power_model.hh"
 #include "fpga/toolchain.hh"
 #include "sim/report.hh"
@@ -77,6 +102,12 @@ struct Args {
     bool profile = false;
     std::string trace;
     std::string metrics;
+    long long seed = -1;   //!< -1 keeps the ExploreConfig default.
+    long long checkpointEvery = 0; //!< 0 keeps the default cadence.
+    std::string shard;     //!< "I/N": run one shard of a partition.
+    int shards = 0;        //!< >0: supervise all N shards locally.
+    double shardTimeout = 0; //!< Watchdog per shard attempt.
+    int retries = 2;       //!< Supervisor retries per shard.
 };
 
 int
@@ -84,11 +115,13 @@ usage()
 {
     std::cerr
         << "usage: dhdlc "
-           "<list|print|explore|report|emit|emit-ir|calibrate> "
+           "<list|print|explore|merge|report|emit|emit-ir|calibrate> "
            "[benchmark|file.dhdl] [--scale S] [--points N] [--top K]"
            " [--out DIR] [--threads T] [--time-budget SEC]"
-           " [--checkpoint FILE] [--resume] [--profile]"
-           " [--trace FILE] [--metrics FILE]"
+           " [--seed SEED] [--checkpoint FILE] [--resume]"
+           " [--shard I/N] [--shards N] [--shard-timeout SEC]"
+           " [--retries R] [--profile] [--trace FILE]"
+           " [--metrics FILE]"
         << std::endl;
     return 2;
 }
@@ -142,6 +175,36 @@ parse(int argc, char** argv, Args& args)
             if (!v)
                 return false;
             args.checkpoint = v;
+        } else if (flag == "--seed") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.seed = std::atoll(v);
+        } else if (flag == "--checkpoint-every") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.checkpointEvery = std::atoll(v);
+        } else if (flag == "--shard") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.shard = v;
+        } else if (flag == "--shards") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.shards = std::atoi(v);
+        } else if (flag == "--shard-timeout") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.shardTimeout = std::atof(v);
+        } else if (flag == "--retries") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.retries = std::atoi(v);
         } else if (flag == "--resume") {
             args.resume = true;
         } else if (flag == "--profile") {
@@ -213,18 +276,47 @@ printBinding(const Graph& g, const ParamBinding& b)
                   << "=" << b.values[i];
 }
 
-dse::ExploreResult
-explore(const Graph& g, const Args& args)
+/**
+ * The one ExploreConfig builder every command shares: shard runs,
+ * the supervisor and `merge` must all derive the identical global
+ * sample set, so they must all come through here.
+ */
+dse::ExploreConfig
+makeConfig(const Args& args)
 {
-    static est::RuntimeEstimator rt;
-    dse::Explorer ex(est::calibratedEstimator(), rt);
     dse::ExploreConfig cfg;
     cfg.maxPoints = args.points;
     cfg.threads = args.threads;
     cfg.timeBudgetSeconds = args.timeBudget;
     cfg.checkpointPath = args.checkpoint;
     cfg.resume = args.resume;
-    return ex.explore(g, cfg);
+    if (args.seed >= 0)
+        cfg.seed = uint64_t(args.seed);
+    if (args.checkpointEvery > 0)
+        cfg.checkpointEvery = args.checkpointEvery;
+    if (!args.shard.empty()) {
+        dse::ShardSpec spec;
+        Status st = dse::parseShard(args.shard, spec);
+        if (!st.ok())
+            fatal(st.diag().message, st.diag().code);
+        cfg.shardIndex = spec.index;
+        cfg.shardCount = spec.count;
+        // Each shard checkpoints to its own file next to the base
+        // path, so concurrent shards never contend on one file and
+        // merge knows where to look.
+        if (!args.checkpoint.empty())
+            cfg.checkpointPath = dse::shardCheckpointPath(
+                args.checkpoint, spec.index, spec.count);
+    }
+    return cfg;
+}
+
+dse::ExploreResult
+explore(const Graph& g, const Args& args)
+{
+    static est::RuntimeEstimator rt;
+    dse::Explorer ex(est::calibratedEstimator(), rt);
+    return ex.explore(g, makeConfig(args));
 }
 
 /** One-line sweep health summary: evaluated/failed/valid/Pareto. */
@@ -236,10 +328,12 @@ printStats(const dse::ExploreResult& res)
               << " evaluated";
     if (s.resumed)
         std::cout << " (" << s.resumed << " from checkpoint)";
-    if (s.skipped)
-        std::cout << ", " << s.skipped << " skipped ("
-                  << (s.timeBudgetHit ? "time" : "eval")
-                  << " budget)";
+    if (s.skipped) {
+        std::cout << ", " << s.skipped << " un-evaluated";
+        if (s.timeBudgetHit || s.evalBudgetHit)
+            std::cout << " (" << (s.timeBudgetHit ? "time" : "eval")
+                      << " budget)";
+    }
     std::cout << ", " << s.failed << " failed, " << s.valid
               << " valid, " << res.pareto.size()
               << " Pareto-optimal\n";
@@ -289,16 +383,13 @@ cmdEmitIR(const Args& args)
     return 0;
 }
 
-int
-cmdExplore(const Args& args)
+void
+printPareto(const Graph& g, const dse::ExploreResult& res, int top)
 {
-    Loaded l = load(args);
-    auto res = explore(l.graph, args);
     const auto& dev = est::calibratedEstimator().device();
-    printStats(res);
     int shown = 0;
     for (size_t idx : res.pareto) {
-        if (shown++ >= args.top)
+        if (shown++ >= top)
             break;
         const auto& p = res.points[idx];
         std::cout << "cycles=" << int64_t(p.cycles)
@@ -307,10 +398,137 @@ cmdExplore(const Args& args)
                   << "% bram=" << int64_t(100.0 * p.area.brams /
                                           double(dev.m20ks))
                   << "%  [";
-        printBinding(l.graph, p.binding);
+        printBinding(g, p.binding);
         std::cout << "]\n";
     }
+}
+
+/** Path of this binary, for relaunching ourselves as shard workers. */
+std::string
+selfExe(const char* argv0)
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+const char* gArgv0 = "dhdlc";
+
+/**
+ * Supervisor mode (`--shards N`): run every shard of this design as
+ * a watched subprocess of this same binary, retrying crashed or hung
+ * shards with backoff, then merge whatever completed. A permanently
+ * failed shard degrades the merge to partial — reported, not fatal.
+ */
+int
+cmdSupervise(const Args& args)
+{
+    require(!args.checkpoint.empty(),
+            "--shards needs --checkpoint (shard files derive from it)");
+    require(args.shards >= 1, "--shards must be >= 1");
+    Loaded l = load(args); // Validate the design before spawning.
+
+    const std::string exe = selfExe(gArgv0);
+    std::vector<dse::SupervisorTask> tasks;
+    for (int s = 0; s < args.shards; ++s) {
+        dse::SupervisorTask t;
+        const std::string spec =
+            std::to_string(s) + "/" + std::to_string(args.shards);
+        t.argv = {exe,
+                  "explore",
+                  args.benchmark,
+                  "--scale",
+                  std::to_string(args.scale),
+                  "--points",
+                  std::to_string(args.points),
+                  "--threads",
+                  std::to_string(args.threads),
+                  "--shard",
+                  spec,
+                  "--checkpoint",
+                  args.checkpoint,
+                  "--resume"};
+        if (args.seed >= 0) {
+            t.argv.push_back("--seed");
+            t.argv.push_back(std::to_string(args.seed));
+        }
+        if (args.checkpointEvery > 0) {
+            t.argv.push_back("--checkpoint-every");
+            t.argv.push_back(std::to_string(args.checkpointEvery));
+        }
+        if (args.timeBudget > 0) {
+            t.argv.push_back("--time-budget");
+            t.argv.push_back(std::to_string(args.timeBudget));
+        }
+        t.logPath = dse::shardCheckpointPath(args.checkpoint, s,
+                                             args.shards) +
+                    ".log";
+        t.label = "shard " + spec;
+        tasks.push_back(std::move(t));
+    }
+
+    dse::SupervisorConfig sc;
+    sc.timeoutSeconds = args.shardTimeout;
+    sc.maxRetries = args.retries;
+    sc.jitterSeed = args.seed >= 0 ? uint64_t(args.seed) : 0xD5Eull;
+    auto sup = dse::runSupervised(tasks, sc);
+    for (const auto& t : sup.tasks)
+        std::cout << (t.succeeded ? "done: " : "FAILED: ") << t.detail
+                  << "\n";
+    if (sup.retries)
+        std::cout << sup.retries << " retried attempt(s), "
+                  << sup.timeouts << " watchdog timeout(s)\n";
+
+    auto merged = dse::mergeShards(l.graph, makeConfig(args),
+                                   args.shards, args.checkpoint);
+    if (!merged.complete()) {
+        std::cout << "partial merge; missing shard(s):";
+        for (int s : merged.missingShards)
+            std::cout << " " << s;
+        std::cout << "\n";
+    }
+    printStats(merged.result);
+    printPareto(l.graph, merged.result, args.top);
+    return merged.complete() && sup.allSucceeded() ? 0 : 1;
+}
+
+int
+cmdExplore(const Args& args)
+{
+    if (args.shards > 0)
+        return cmdSupervise(args);
+    Loaded l = load(args);
+    auto res = explore(l.graph, args);
+    printStats(res);
+    printPareto(l.graph, res, args.top);
     return 0;
+}
+
+/**
+ * Merge shard checkpoints into the global result without evaluating
+ * anything — the off-machine half of a distributed sweep.
+ */
+int
+cmdMerge(const Args& args)
+{
+    require(!args.checkpoint.empty(), "merge needs --checkpoint");
+    require(args.shards >= 1, "merge needs --shards N");
+    Loaded l = load(args);
+    auto merged = dse::mergeShards(l.graph, makeConfig(args),
+                                   args.shards, args.checkpoint);
+    if (!merged.complete()) {
+        std::cout << "partial merge; missing shard(s):";
+        for (int s : merged.missingShards)
+            std::cout << " " << s;
+        std::cout << "\n";
+    }
+    printStats(merged.result);
+    printPareto(l.graph, merged.result, args.top);
+    return merged.complete() ? 0 : 1;
 }
 
 int
@@ -392,6 +610,8 @@ runCommand(const Args& args)
         return cmdEmitIR(args);
     if (args.command == "explore")
         return cmdExplore(args);
+    if (args.command == "merge")
+        return cmdMerge(args);
     if (args.command == "report")
         return cmdReport(args);
     if (args.command == "emit")
@@ -435,11 +655,16 @@ finishObs(const Args& args)
 int
 main(int argc, char** argv)
 {
+    gArgv0 = argv[0];
     Args args;
     if (!parse(argc, argv, args))
         return usage();
     if (args.profile || !args.trace.empty() || !args.metrics.empty())
         obs::setEnabled(true);
+    // Chaos seams (DHDL_FAULT=...) are armed only here, at process
+    // scope — library consumers and unit tests stay deterministic
+    // unless they call fault::configure() themselves.
+    fault::configureFromEnv();
     int rc;
     try {
         rc = runCommand(args);
