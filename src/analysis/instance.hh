@@ -167,6 +167,38 @@ class Inst
     std::vector<std::pair<NodeId, int64_t>> bankScratch_;
 };
 
+/**
+ * Plan-side scratch for batched sweeps: a pool of Inst overlays, one
+ * per point of the current batch, grown on demand and rebound in
+ * place thereafter. Like a single reused Inst, the steady state
+ * allocates nothing; unlike one, a whole batch of points stays
+ * instantiated at once so the per-slot estimation loops can run
+ * structure-of-arrays (slot-outer, point-inner) over it.
+ */
+class InstPool
+{
+  public:
+    /** Overlay binding `b` on slot `i` of the pool (grow or rebind). */
+    Inst&
+    assign(size_t i, const DesignPlan& plan, const ParamBinding& b)
+    {
+        if (i < insts_.size()) {
+            insts_[i].rebind(b);
+        } else {
+            invariant(i == insts_.size(), "InstPool grows densely");
+            insts_.emplace_back(plan, b);
+        }
+        return insts_[i];
+    }
+
+    const Inst& operator[](size_t i) const { return insts_[i]; }
+    Inst& operator[](size_t i) { return insts_[i]; }
+    size_t size() const { return insts_.size(); }
+
+  private:
+    std::vector<Inst> insts_;
+};
+
 } // namespace dhdl
 
 #endif // DHDL_ANALYSIS_INSTANCE_HH

@@ -79,6 +79,16 @@ std::vector<TemplateInst> expandTemplates(const Inst& inst);
 void expandTemplates(const Inst& inst, std::vector<TemplateInst>& out);
 
 /**
+ * Patch one pre-compiled template slot against a binding: copy the
+ * slot's invariant base and overwrite only the binding-dependent
+ * fields. expandTemplates() is this applied to every slot in order;
+ * the batched evaluator applies it slot-by-slot across a whole batch
+ * of instances instead, so both paths share one patch rule.
+ */
+void patchTemplate(const TemplateSlot& s, const Inst& inst,
+                   TemplateInst& t);
+
+/**
  * Pipeline latency, in cycles, of one primitive operation at the
  * 150 MHz fabric clock used throughout the paper's evaluation.
  */

@@ -125,6 +125,24 @@ class Evaluator
     Status evaluatePoint(DesignPoint& p, size_t idx,
                          const Hook* hook = nullptr);
 
+    /**
+     * Evaluate the n points points[idxs[0..n)] as one batch:
+     * structure-of-arrays instantiation against the shared plan, the
+     * batched area kernel, then per-point runtime and a batched
+     * validate. Every per-point value and every failure diagnostic is
+     * bit-identical to n evaluatePoint() calls — batching reorders
+     * work across points, never within a point's arithmetic. Failing
+     * points (hook, instantiate or runtime) are marked exactly as
+     * evaluatePoint() marks them, reported to `sink`, and drop out of
+     * the remaining stages; the rest of the batch proceeds. Falls
+     * back to the scalar path when the plan is null or has an
+     * uncharacterized template class, so those failures keep their
+     * scalar per-point diagnostics.
+     */
+    void evaluateBatch(std::vector<DesignPoint>& points,
+                       const size_t* idxs, size_t n, const Hook* hook,
+                       DiagSink& sink);
+
     /** Per-stage wall-clock accumulated by this evaluator. */
     const StageTimes& times() const { return times_; }
 
@@ -133,6 +151,15 @@ class Evaluator
     void run(DesignPoint& p, size_t idx, const Hook* hook,
              const char*& stage);
 
+    /** Mark `p` failed from the in-flight exception, mirroring the
+     *  evaluatePoint() catch block, and report the diagnostic. */
+    void failPoint(DesignPoint& p, size_t idx, const char* stage,
+                   DiagSink& sink);
+
+    /** Build the batched area plan on first use; false = fall back
+     *  to the scalar path (null or uncharacterizable plan). */
+    bool ensureBatchPlan();
+
     const est::AreaEstimator& area_;
     const est::RuntimeEstimator& runtime_;
     const Graph* g_;
@@ -140,6 +167,15 @@ class Evaluator
     std::optional<Inst> inst_; //!< Reused across points.
     est::AreaWorkspace ws_;
     StageTimes times_;
+
+    // Batched-path state, all reused across batches.
+    InstPool pool_;            //!< Rebind-reusing instance rows.
+    est::AreaBatchPlan batchPlan_;
+    bool batchPlanTried_ = false;
+    est::AreaBatchWorkspace bws_;
+    std::vector<est::AreaEstimate> areaOut_;
+    std::vector<size_t> liveIdx_;  //!< Point index per pool row.
+    std::vector<char> rowFailed_;  //!< Runtime-stage failures.
 };
 
 } // namespace dhdl::dse

@@ -42,19 +42,38 @@ sortDiags(std::vector<Diag>& diags)
 std::vector<size_t>
 paretoOf(const std::vector<DesignPoint>& points)
 {
+    // Same algorithm as paretoFront, with the objectives gathered
+    // into flat arrays first: the sort comparator then reads two
+    // doubles instead of calling through std::function four times,
+    // which matters when every explore() call ends here. The
+    // comparison outcomes (and hence the sorted order and front) are
+    // exactly paretoFront's.
     std::vector<size_t> valid;
+    std::vector<double> xs, ys;
     for (size_t i = 0; i < points.size(); ++i) {
-        if (points[i].valid)
+        if (points[i].valid) {
             valid.push_back(i);
+            xs.push_back(points[i].area.alms);
+            ys.push_back(double(points[i].cycles));
+        }
     }
-    auto front = paretoFront(
-        valid.size(),
-        [&](size_t i) { return points[valid[i]].area.alms; },
-        [&](size_t i) { return points[valid[i]].cycles; });
+    std::vector<size_t> order(valid.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (xs[a] != xs[b])
+            return xs[a] < xs[b];
+        return ys[a] < ys[b];
+    });
+
     std::vector<size_t> out;
-    out.reserve(front.size());
-    for (size_t i : front)
-        out.push_back(valid[i]);
+    double best_y = 1e300;
+    for (size_t i : order) {
+        if (ys[i] < best_y) {
+            out.push_back(valid[i]);
+            best_y = ys[i];
+        }
+    }
     return out;
 }
 
@@ -110,10 +129,14 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
     res.points.resize(bindings.size());
     for (size_t i = 0; i < bindings.size(); ++i)
         res.points[i].binding = std::move(bindings[i]);
+    res.stats.requested = size_t(std::max(0, cfg.maxPoints));
     res.stats.total = res.points.size();
 
-    const CheckpointMeta meta =
-        makeCheckpointMeta(g, space, cfg.seed, res.points.size());
+    // The meta block re-serializes the design and the space to hash
+    // them; skip that entirely when no checkpoint file is involved.
+    CheckpointMeta meta;
+    if (!cfg.checkpointPath.empty())
+        meta = makeCheckpointMeta(g, space, cfg.seed, res.points.size());
     if (cfg.resume && !cfg.checkpointPath.empty()) {
         CheckpointLoadStats ls;
         Status st = loadCheckpointFile(cfg.checkpointPath, g, meta,
@@ -191,20 +214,42 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
                     uint64_t(res.stats.planSeconds * 1e6));
 
     const auto* hook = cfg.preEvaluate ? &cfg.preEvaluate : nullptr;
+    // Chaos seams (disarmed: one relaxed load). The crash is a real
+    // SIGKILL — exactly what the durable checkpoint format and the
+    // shard supervisor exist to survive. The batched path fires the
+    // seams once per point after its batch, so crash-after-N-evals
+    // counting is unchanged (the crash lands on a batch boundary,
+    // which resume converges from identically).
+    auto faultSeams = [&](size_t evals) {
+        if (!fault::active())
+            return;
+        for (size_t k = 0; k < evals; ++k) {
+            if (fault::hit(fault::Point::CrashAfterEvals))
+                fault::crashHard();
+            if (fault::hit(fault::Point::HangAfterEvals))
+                fault::sleepFor(fault::hangSeconds());
+        }
+    };
     auto evalOne = [&](Evaluator& ev, size_t idx) {
         if (expired())
             return;
         Status s = ev.evaluatePoint(res.points[idx], idx, hook);
         if (!s.ok())
             sink.report(s.diag());
-        // Chaos seams (disarmed: one relaxed load). The crash is a
-        // real SIGKILL — exactly what the durable checkpoint format
-        // and the shard supervisor exist to survive.
-        if (fault::active()) {
-            if (fault::hit(fault::Point::CrashAfterEvals))
-                fault::crashHard();
-            if (fault::hit(fault::Point::HangAfterEvals))
-                fault::sleepFor(fault::hangSeconds());
+        faultSeams(1);
+    };
+    // Batched handout: contiguous runs of the todo list, inside one
+    // worker's range, inside one checkpoint slice. Result order is
+    // indexed by global point index, so batching cannot reorder it.
+    const int64_t bsz = std::max<int64_t>(1, cfg.batchSize);
+    auto evalRange = [&](Evaluator& ev, int64_t a, int64_t b) {
+        for (int64_t s = a; s < b; s += bsz) {
+            if (expired())
+                return;
+            const size_t bn = size_t(std::min(bsz, b - s));
+            ev.evaluateBatch(res.points, &todo[size_t(s)], bn, hook,
+                             sink);
+            faultSeams(bn);
         }
     };
 
@@ -248,15 +293,21 @@ Explorer::explore(const Graph& g, const ExploreConfig& cfg) const
         }
     };
 
+    const bool batched = cfg.batchSize > 0;
     for (int64_t lo = 0; lo < n; lo += slice) {
         const int64_t hi = std::min(n, lo + slice);
         if (pool) {
             pool->parallelFor(hi - lo, [&](int64_t a, int64_t b) {
                 Evaluator ev(area_, runtime_, g, plan);
-                for (int64_t i = a; i < b; ++i)
-                    evalOne(ev, todo[size_t(lo + i)]);
+                if (batched)
+                    evalRange(ev, lo + a, lo + b);
+                else
+                    for (int64_t i = a; i < b; ++i)
+                        evalOne(ev, todo[size_t(lo + i)]);
                 mergeTimes(ev);
             });
+        } else if (batched) {
+            evalRange(*serial, lo, hi);
         } else {
             for (int64_t i = lo; i < hi; ++i)
                 evalOne(*serial, todo[size_t(i)]);

@@ -47,6 +47,17 @@ struct ExploreConfig {
     /** Worker threads for point evaluation; <=1 evaluates inline. */
     int threads = 1;
 
+    /**
+     * Points handed to each Evaluator::evaluateBatch call. Batching
+     * never changes a result bit — it only restructures the work into
+     * structure-of-arrays kernels — so the default is purely a
+     * throughput tuning knob. 0 selects the legacy point-at-a-time
+     * path (the reference the batch-equivalence suite compares
+     * against). Batches nest inside checkpoint slices and per-worker
+     * ranges, so checkpoint cadence and sharding are unaffected.
+     */
+    int batchSize = 64;
+
     /** Wall-clock budget in seconds; 0 = unlimited. */
     double timeBudgetSeconds = 0;
 
@@ -94,6 +105,10 @@ struct ExploreConfig {
 
 /** Aggregate counters for one explore() call. */
 struct ExploreStats {
+    /** Points asked of the sampler (cfg.maxPoints). When the legal
+     *  space is smaller, total < requested — recorded so no sweep
+     *  silently caps its sample set. */
+    size_t requested = 0;
     size_t total = 0;     //!< Points sampled from the space.
     size_t evaluated = 0; //!< Points evaluated (incl. restored).
     size_t resumed = 0;   //!< Points restored from a checkpoint.

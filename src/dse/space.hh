@@ -62,11 +62,68 @@ class ParamSpace
     std::vector<ParamBinding> enumerate(int64_t cap) const;
 
   private:
+    /** One postfix instruction of a compiled constraint program. */
+    struct CInstr {
+        enum class K : uint8_t { Const, Param, Arith };
+        K kind = K::Const;
+        CArith op = CArith::Add;
+        ParamId param = kNoParam;
+        int64_t value = 0;
+    };
+
+    /**
+     * A legality constraint flattened to a postfix program (lhs
+     * operands then rhs, compared at the end). Evaluating the
+     * program on a small stack gives exactly Constraint::eval's
+     * result — same overflow, division-by-zero and out-of-range
+     * semantics — without walking the shared-pointer expression
+     * tree on every sampling attempt.
+     */
+    struct CompiledConstraint {
+        /**
+         * Recognized program shapes. Nearly every design constraint
+         * is a divisibility condition — `pa % pb == k` or
+         * `(ca / pa) % pb == k` — so those run as straight-line code;
+         * anything else goes through the postfix interpreter.
+         */
+        enum class Shape : uint8_t { Generic, PModP, CDivPModP };
+
+        std::vector<CInstr> ops;
+        CCmp cmp = CCmp::Eq;
+        Shape shape = Shape::Generic;
+        ParamId pa = kNoParam, pb = kNoParam;
+        int64_t ca = 0;  //!< Leading constant (CDivPModP).
+        int64_t rhs = 0; //!< Trailing constant comparand.
+        /** Fallback for programs deeper than the fixed eval stack. */
+        const Constraint* tree = nullptr;
+    };
+
+    bool evalCompiled(const CompiledConstraint& c,
+                      const ParamBinding& b) const;
+
+    /**
+     * One local memory's size cap, flattened: the bit count is
+     * `Π dims · typeBits` where every dimension is an affine Sym
+     * (param + offset, or a constant). Storing the terms as plain
+     * (param, constant) pairs keeps the hot mem check in isLegal()
+     * off the graph entirely — same multiplies, same order, same
+     * wraparound as MemNode::numElems.
+     */
+    struct MemCheck {
+        struct Term {
+            ParamId param = kNoParam; //!< kNoParam → constant term
+            int64_t c = 0;            //!< offset (param) or value
+        };
+        std::vector<Term> terms; //!< dims in declaration order
+        int64_t typeBits = 0;
+    };
+
     const Graph& g_;
     std::vector<std::vector<int64_t>> legal_;
     //!< Size-capped local memories (Bram/Queue) in node-id order,
-    //!< resolved once so isLegal() skips the full node walk.
-    std::vector<const MemNode*> localMems_;
+    //!< compiled once so isLegal() skips the full node walk.
+    std::vector<MemCheck> memChecks_;
+    std::vector<CompiledConstraint> constraints_;
 };
 
 } // namespace dhdl::dse

@@ -22,6 +22,7 @@
 #include <iostream>
 #include <memory>
 
+#include "analysis/instance.hh"
 #include "estimate/area_model.hh"
 #include "ml/mlp.hh"
 #include "ml/scaler.hh"
@@ -59,8 +60,101 @@ struct AreaWorkspace {
     std::vector<double> feat;       //!< per-template feature scratch
     std::vector<double> designFeat; //!< 11 ANN design features
     std::vector<double> scaled;     //!< scaled ANN input
-    std::vector<double> mlpA;       //!< MLP ping-pong scratch
-    std::vector<double> mlpB;       //!< MLP ping-pong scratch
+    ml::MlpWorkspace mlp;           //!< MLP ping-pong scratch
+};
+
+/**
+ * Binding-invariant compilation of one design's area estimate: every
+ * template slot's linear-model bundle resolved and packed into
+ * contiguous weight rows, plus the seven ANN design features that do
+ * not depend on the binding (template-kind counts and bit widths are
+ * fixed by the plan; only the raw resource totals vary per point).
+ * Built once per explored design, shared read-only by every worker.
+ *
+ * A CtrlSeqOrMeta slot toggles between SeqCtrl and MetaPipeCtrl per
+ * binding, so it carries both kinds' bundles and the batch kernel
+ * selects per point. Both kinds count as control templates and share
+ * a feature layout, so the invariant features stay invariant.
+ */
+class AreaBatchPlan
+{
+  public:
+    AreaBatchPlan() = default;
+
+    /**
+     * False when some slot's template class is uncharacterized (or
+     * fitted with a mismatched arity): batched evaluation must then
+     * fall back to the scalar path, which reports the failure with
+     * per-point diagnostics instead of throwing mid-batch.
+     */
+    bool ok() const { return ok_; }
+
+    const DesignPlan* plan() const { return plan_; }
+
+    /**
+     * Fused patch+featurize recipe per slot, resolved from the slot's
+     * (patch, base kind) pair at plan build. Each recipe computes the
+     * slot kind's exact featuresInto() expressions straight from the
+     * bound instance — same value provenance, same conversions, same
+     * operation order — without materializing the TemplateInst copy
+     * the scalar path patches. Generic covers any unexpected combo by
+     * running the scalar patch+featurize per point.
+     */
+    enum class Recipe : uint8_t {
+        Prim,
+        LoadStore,
+        Bram,
+        Reg,
+        Queue,
+        Counter,
+        PipeCtrl,
+        Ctrl,          //!< Seq/Par/Meta via the static Ctrl patch.
+        CtrlSeqOrMeta, //!< Ctrl features + per-point bundle toggle.
+        Reduce,
+        DelayLine,
+        Tile,
+        Generic,
+    };
+
+  private:
+    friend class AreaEstimator;
+
+    /** One slot's packed model bundle(s): weights laid out for a
+     *  single fused pass over the feature row. */
+    struct SlotKernel {
+        const TemplateSlot* slot = nullptr;
+        uint32_t nf = 0;    //!< feature count of the slot's kind
+        Recipe recipe = Recipe::Generic;
+        bool dual = false;  //!< CtrlSeqOrMeta: [1] = MetaPipeCtrl
+        /** [variant][lutsPack,lutsNoPack,regs,dsps,brams][feature] */
+        double w[2][5][AreaModel::kMaxFeatures] = {};
+        double b[2][5] = {};
+    };
+
+    std::vector<SlotKernel> kernels_;
+    const DesignPlan* plan_ = nullptr;
+    double nCtrl_ = 0;     //!< control-template count
+    double nMem_ = 0;      //!< on-chip memory template count
+    double nXfer_ = 0;     //!< tile-transfer template count
+    double log2n_ = 0;     //!< log2(1 + template count)
+    double bitsOverN_ = 0; //!< mean template bit width
+    double lutsDenom_ = 1; //!< device LUT capacity (ratio feature)
+    bool ok_ = false;
+};
+
+/**
+ * Structure-of-arrays scratch for batched estimation: per-point raw
+ * totals from the fused slot kernels, then the batched ANN tail. One
+ * workspace per evaluating thread; steady state allocates nothing.
+ */
+struct AreaBatchWorkspace {
+    std::vector<Resources> raw;        //!< per-point raw totals
+    std::vector<double> designFeat;    //!< n x 11 ANN features
+    std::vector<double> scaled;        //!< n x 11 scaled rows
+    std::vector<double> route;         //!< routeNet outputs
+    std::vector<double> dupReg;        //!< dupRegNet outputs
+    std::vector<double> unavail;       //!< unavailNet outputs
+    ml::MlpWorkspace mlp;
 };
 
 /** Calibrated hybrid area estimator. */
@@ -108,6 +202,28 @@ class AreaEstimator
                               AreaWorkspace& ws) const;
 
     /**
+     * Resolve every template slot of `plan` against the calibrated
+     * models. Check ok() before using the result with estimateBatch;
+     * a failed plan means the design has an uncharacterized template
+     * class and points must take the scalar path.
+     */
+    AreaBatchPlan makeBatchPlan(const DesignPlan& plan) const;
+
+    /**
+     * Estimate insts[0..n) — n bindings of the batch plan's design —
+     * into out[0..n). Iterates slot-outer: each template slot is
+     * patched, featurized and costed across the whole batch before
+     * moving to the next slot, which turns the per-point model
+     * lookups into contiguous SIMD-friendly loops. Every per-point
+     * arithmetic expression and accumulation order matches the scalar
+     * estimate() path exactly, so out[i] is bit-identical to
+     * estimate(insts[i], ws).
+     */
+    void estimateBatch(const AreaBatchPlan& bp, const InstPool& insts,
+                       size_t n, AreaBatchWorkspace& ws,
+                       AreaEstimate* out) const;
+
+    /**
      * Ablation: analytic-only estimate with fixed average correction
      * factors instead of the ANNs (used by bench/ablation_estimator).
      */
@@ -130,8 +246,7 @@ class AreaEstimator
 
   private:
     AreaEstimate
-    assemble(const std::vector<TemplateInst>& ts, Resources raw,
-             double route_frac, double dup_reg_frac,
+    assemble(Resources raw, double route_frac, double dup_reg_frac,
              double unavail_frac, double pack_rate) const;
 
     fpga::Device dev_;

@@ -19,8 +19,8 @@ AreaModel::classKey(const TemplateInst& t)
     return k;
 }
 
-void
-AreaModel::featuresInto(const TemplateInst& t, std::vector<double>& out)
+size_t
+AreaModel::featuresInto(const TemplateInst& t, double* out)
 {
     double lanes = double(t.lanes);
     double vec = double(std::max<int64_t>(1, t.vec));
@@ -28,16 +28,18 @@ AreaModel::featuresInto(const TemplateInst& t, std::vector<double>& out)
     double banks = double(std::max(1, t.banks));
     double copies = lanes * (t.doubleBuf ? 2.0 : 1.0);
 
-    // assign() from a braced list reuses the vector's capacity, so a
-    // sweep pays no allocation per template after warm-up.
     switch (t.tkind) {
       case TemplateKind::PrimOp:
-        out.assign({lanes, lanes * bits, lanes * bits * bits / 64.0});
-        return;
+        out[0] = lanes;
+        out[1] = lanes * bits;
+        out[2] = lanes * bits * bits / 64.0;
+        return 3;
       case TemplateKind::LoadStore:
-        out.assign({lanes, lanes * bits, lanes * banks,
-                    lanes * bits * std::log2(std::max(1.0, banks))});
-        return;
+        out[0] = lanes;
+        out[1] = lanes * bits;
+        out[2] = lanes * banks;
+        out[3] = lanes * bits * std::log2(std::max(1.0, banks));
+        return 4;
       case TemplateKind::BramInst: {
         // Physical block count is a deterministic function of the
         // geometry; give it to the regression as a feature. Banks of
@@ -49,50 +51,83 @@ AreaModel::featuresInto(const TemplateInst& t, std::vector<double>& out)
                                       std::ceil(bits / 40.0)) *
                                  banks * copies;
         double mlab_bits = mlab ? depth * bits * banks * copies : 0.0;
-        out.assign({phys, mlab_bits, lanes, lanes * banks,
-                    lanes * bits * banks / 32.0,
-                    copies * bits * banks / 32.0});
-        return;
+        out[0] = phys;
+        out[1] = mlab_bits;
+        out[2] = lanes;
+        out[3] = lanes * banks;
+        out[4] = lanes * bits * banks / 32.0;
+        out[5] = copies * bits * banks / 32.0;
+        return 6;
       }
       case TemplateKind::RegInst:
-        out.assign({copies * bits, lanes, lanes * bits});
-        return;
+        out[0] = copies * bits;
+        out[1] = lanes;
+        out[2] = lanes * bits;
+        return 3;
       case TemplateKind::QueueInst:
-        out.assign({lanes * double(t.depth) * bits, lanes});
-        return;
+        out[0] = lanes * double(t.depth) * bits;
+        out[1] = lanes;
+        return 2;
       case TemplateKind::CounterInst:
-        out.assign({lanes * double(t.ctrDims), lanes * vec, lanes});
-        return;
+        out[0] = lanes * double(t.ctrDims);
+        out[1] = lanes * vec;
+        out[2] = lanes;
+        return 3;
       case TemplateKind::PipeCtrl:
-        out.assign({lanes, lanes * vec});
-        return;
+        out[0] = lanes;
+        out[1] = lanes * vec;
+        return 2;
       case TemplateKind::SeqCtrl:
       case TemplateKind::ParCtrl:
       case TemplateKind::MetaPipeCtrl:
-        out.assign({lanes, lanes * double(t.stages), lanes * vec});
-        return;
+        out[0] = lanes;
+        out[1] = lanes * double(t.stages);
+        out[2] = lanes * vec;
+        return 3;
       case TemplateKind::TileTransfer: {
         double width = bits * vec;
-        out.assign({lanes, lanes * width,
-                    lanes * std::log2(1.0 + double(t.tileElems)),
-                    lanes * std::ceil(512.0 * width / 20480.0)});
-        return;
+        out[0] = lanes;
+        out[1] = lanes * width;
+        out[2] = lanes * std::log2(1.0 + double(t.tileElems));
+        out[3] = lanes * std::ceil(512.0 * width / 20480.0);
+        return 4;
       }
       case TemplateKind::ReduceTree:
-        out.assign({lanes * std::max(0.0, vec - 1.0),
-                    lanes * std::log2(1.0 + vec) * bits / 32.0, lanes});
-        return;
+        out[0] = lanes * std::max(0.0, vec - 1.0);
+        out[1] = lanes * std::log2(1.0 + vec) * bits / 32.0;
+        out[2] = lanes;
+        return 3;
       case TemplateKind::DelayLine: {
         bool fifo = t.depth > kBramDelayThreshold;
         double bits_total = t.delayBits * lanes;
-        out.assign({fifo ? 0.0 : bits_total,
-                    fifo ? std::ceil(t.delayBits / 20480.0) * lanes
-                         : 0.0,
-                    lanes});
-        return;
+        out[0] = fifo ? 0.0 : bits_total;
+        out[1] = fifo ? std::ceil(t.delayBits / 20480.0) * lanes : 0.0;
+        out[2] = lanes;
+        return 3;
       }
     }
-    out.assign({lanes});
+    out[0] = lanes;
+    return 1;
+}
+
+void
+AreaModel::featuresInto(const TemplateInst& t, std::vector<double>& out)
+{
+    // Range-assign from warm capacity allocates nothing per template;
+    // the raw overload holds the one copy of the feature expressions.
+    double buf[kMaxFeatures];
+    size_t n = featuresInto(t, buf);
+    out.assign(buf, buf + n);
+}
+
+size_t
+AreaModel::featuresBatchInto(const TemplateInst* ts, size_t n,
+                             double* out)
+{
+    size_t nf = 0;
+    for (size_t i = 0; i < n; ++i)
+        nf = featuresInto(ts[i], out + i * kMaxFeatures);
+    return nf;
 }
 
 std::vector<double>
@@ -152,12 +187,12 @@ AreaModel::resolve()
     }
 }
 
-const std::array<ml::LinearModel, 5>&
-AreaModel::modelsFor(const TemplateInst& t) const
+const std::array<ml::LinearModel, 5>*
+AreaModel::tryModelsFor(const TemplateInst& t) const noexcept
 {
     const auto& fast = resolved_[size_t(t.tkind)];
     if (fast.present)
-        return fast.models;
+        return &fast.models;
     auto it = models_.find(classKey(t));
     if (it == models_.end()) {
         // Fall back to the kind-wide default class (op Add, fixed).
@@ -165,11 +200,20 @@ AreaModel::modelsFor(const TemplateInst& t) const
         d.op = Op::Add;
         d.isFloat = false;
         it = models_.find(classKey(d));
-        require(it != models_.end(),
-                std::string("uncharacterized template class: ") +
-                    templateKindName(t.tkind));
+        if (it == models_.end())
+            return nullptr;
     }
-    return it->second;
+    return &it->second;
+}
+
+const std::array<ml::LinearModel, 5>&
+AreaModel::modelsFor(const TemplateInst& t) const
+{
+    const auto* ms = tryModelsFor(t);
+    require(ms != nullptr,
+            std::string("uncharacterized template class: ") +
+                templateKindName(t.tkind));
+    return *ms;
 }
 
 Resources

@@ -53,6 +53,40 @@ class AreaModel
     static void featuresInto(const TemplateInst& t,
                              std::vector<double>& out);
 
+    /** Upper bound on the per-template feature count (BramInst). */
+    static constexpr size_t kMaxFeatures = 6;
+
+    /**
+     * features() into a raw buffer of at least kMaxFeatures slots;
+     * returns the kind's feature count. This is the one definition of
+     * the feature expressions — the vector overload and the batched
+     * matrix form both delegate here, so every path computes
+     * bit-identical values.
+     */
+    static size_t featuresInto(const TemplateInst& t, double* out);
+
+    /**
+     * Matrix form for batched sweeps: fill one row of kMaxFeatures
+     * per instance (row-major, n x kMaxFeatures; unused tail columns
+     * are left as-is). Returns the feature count of the instances'
+     * kind, which is uniform for the template-slot batches this
+     * serves (a CtrlSeqOrMeta slot alternates between SeqCtrl and
+     * MetaPipeCtrl, which share a feature layout).
+     */
+    static size_t featuresBatchInto(const TemplateInst* ts, size_t n,
+                                    double* out);
+
+    /**
+     * The class's fitted 5-model bundle (after the kind-wide default
+     * fallback), or null when the class is uncharacterized. The
+     * batched evaluator resolves every slot through this at batch-
+     * plan build time so an uncharacterized class degrades to the
+     * scalar path's per-point diagnostics instead of throwing from
+     * inside a batch kernel.
+     */
+    const std::array<ml::LinearModel, 5>*
+    tryModelsFor(const TemplateInst& t) const noexcept;
+
     size_t numClasses() const { return models_.size(); }
 
     /** Persist the fitted per-class models (text, versioned). */

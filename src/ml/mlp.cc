@@ -79,6 +79,65 @@ Mlp::forwardInto(const std::vector<double>& in, std::vector<double>& s0,
     return *act;
 }
 
+void
+Mlp::forwardBatch(const double* in, size_t n, double* out,
+                  MlpWorkspace& ws) const
+{
+    size_t maxw = 0;
+    for (int w : layers_)
+        maxw = std::max(maxw, size_t(w));
+    ws.a.resize(n * maxw);
+    ws.b.resize(n * maxw);
+
+    // Feature-major activations: row j of `act` holds feature j of
+    // all n points, so each weight's contribution sweeps a contiguous
+    // row of the batch (vectorizable). Per point the arithmetic is
+    // the exact scalar loop nest — the sum starts at the bias, adds
+    // the weighted features in ascending j, and applies tanh on
+    // hidden layers — so every activation bit matches forwardInto();
+    // only the loop interchange across points differs.
+    size_t act_w = size_t(layers_.front());
+    double* cur = ws.b.data();
+    double* other = ws.a.data();
+    for (size_t j = 0; j < act_w; ++j)
+        for (size_t p = 0; p < n; ++p)
+            other[j * n + p] = in[p * act_w + j];
+    const double* act = other;
+    for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+        const size_t next_w = size_t(layers_[l + 1]);
+        const bool last = l + 2 == layers_.size();
+        const double* W = weights_.data() + wOffset_[l];
+        const double* B = weights_.data() + bOffset_[l];
+        // A single-output final layer lands feature-major and
+        // point-major alike; write it straight into `out`.
+        double* dst = (last && next_w == 1) ? out : cur;
+        for (size_t i = 0; i < next_w; ++i) {
+            const double* wi = W + i * act_w;
+            double* di = dst + i * n;
+            const double bi = B[i];
+            for (size_t p = 0; p < n; ++p)
+                di[p] = bi;
+            for (size_t j = 0; j < act_w; ++j) {
+                const double wij = wi[j];
+                const double* aj = act + j * n;
+                for (size_t p = 0; p < n; ++p)
+                    di[p] += wij * aj[p];
+            }
+            if (!last)
+                for (size_t p = 0; p < n; ++p)
+                    di[p] = std::tanh(di[p]);
+        }
+        act = dst;
+        act_w = next_w;
+        if (dst == cur)
+            std::swap(cur, other);
+    }
+    if (act != out)
+        for (size_t p = 0; p < n; ++p)
+            for (size_t i = 0; i < act_w; ++i)
+                out[p * act_w + i] = act[i * n + p];
+}
+
 double
 Mlp::predictScalar(const std::vector<double>& in) const
 {

@@ -20,6 +20,18 @@
 
 namespace dhdl::ml {
 
+/**
+ * Reusable forward-pass scratch. The scalar path uses `a`/`b` as
+ * ping-pong activation buffers for one sample; the batch path sizes
+ * them as row-major activation matrices (points x layer width). One
+ * workspace per evaluating thread; capacity survives across calls so
+ * the steady state allocates nothing.
+ */
+struct MlpWorkspace {
+    std::vector<double> a;
+    std::vector<double> b;
+};
+
 /** A dense feed-forward network with tanh hidden units. */
 class Mlp
 {
@@ -42,6 +54,26 @@ class Mlp
     forwardInto(const std::vector<double>& in, std::vector<double>& s0,
                 std::vector<double>& s1) const;
 
+    /** forwardInto() against a shared workspace (the two ping-pong
+     *  buffers live in `ws` instead of at every call site). */
+    const std::vector<double>&
+    forwardInto(const std::vector<double>& in, MlpWorkspace& ws) const
+    {
+        return forwardInto(in, ws.a, ws.b);
+    }
+
+    /**
+     * Batched forward pass: `in` is a row-major matrix of n input
+     * rows (n x input width), `out` receives n output rows (n x
+     * output width). Each row goes through exactly the scalar
+     * forward-pass arithmetic — same accumulation order, same tanh
+     * calls — so a batched prediction is bit-identical to n scalar
+     * ones; the batch form only restructures the loops so the (tiny)
+     * weight matrix stays hot across the whole batch.
+     */
+    void forwardBatch(const double* in, size_t n, double* out,
+                      MlpWorkspace& ws) const;
+
     /** Convenience for single-output networks. */
     double predictScalar(const std::vector<double>& in) const;
 
@@ -49,6 +81,13 @@ class Mlp
     double predictScalar(const std::vector<double>& in,
                          std::vector<double>& s0,
                          std::vector<double>& s1) const;
+
+    /** predictScalar() against a shared workspace. */
+    double
+    predictScalar(const std::vector<double>& in, MlpWorkspace& ws) const
+    {
+        return predictScalar(in, ws.a, ws.b);
+    }
 
     size_t numWeights() const { return weights_.size(); }
     const std::vector<int>& layers() const { return layers_; }

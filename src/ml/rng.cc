@@ -13,37 +13,6 @@ hashMix(uint64_t x)
     return x ^ (x >> 31);
 }
 
-uint64_t
-Rng::next()
-{
-    state_ += 0x9e3779b97f4a7c15ull;
-    uint64_t z = state_;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-double
-Rng::uniform()
-{
-    return double(next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
-}
-
-int64_t
-Rng::uniformInt(int64_t lo, int64_t hi)
-{
-    if (hi <= lo)
-        return lo;
-    uint64_t span = uint64_t(hi - lo) + 1;
-    return lo + int64_t(next() % span);
-}
-
 double
 Rng::normal()
 {

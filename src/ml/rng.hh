@@ -19,17 +19,40 @@ class Rng
   public:
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
 
-    /** Next raw 64-bit value. */
-    uint64_t next();
+    /**
+     * Next raw 64-bit value. Inline: DSE sampling draws one value
+     * per parameter per attempt, and the call overhead was showing
+     * up in sampling-dominated sweeps.
+     */
+    uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform() { return double(next() >> 11) * 0x1.0p-53; }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    int64_t uniformInt(int64_t lo, int64_t hi);
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        uint64_t span = uint64_t(hi - lo) + 1;
+        return lo + int64_t(next() % span);
+    }
 
     /** Standard normal via Box-Muller. */
     double normal();

@@ -53,6 +53,16 @@ MinMaxScaler::transformInto(const std::vector<double>& row,
         out[c] = scaleColumn(c, row[c]);
 }
 
+void
+MinMaxScaler::transformBatch(const double* rows, size_t n,
+                             double* out) const
+{
+    const size_t cols = lo_.size();
+    for (size_t p = 0; p < n; ++p)
+        for (size_t c = 0; c < cols; ++c)
+            out[p * cols + c] = scaleColumn(c, rows[p * cols + c]);
+}
+
 double
 MinMaxScaler::scaleColumn(size_t col, double v) const
 {

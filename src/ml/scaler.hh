@@ -31,6 +31,14 @@ class MinMaxScaler
     void transformInto(const std::vector<double>& row,
                        std::vector<double>& out) const;
 
+    /**
+     * Scale n row-major rows (n x columns()) into `out` (same
+     * shape). Each element goes through the exact scaleColumn()
+     * expression, so batched scaling is bit-identical to row-at-a-
+     * time scaling.
+     */
+    void transformBatch(const double* rows, size_t n, double* out) const;
+
     /** Invert the scaling of one column value. */
     double inverseColumn(size_t col, double v) const;
 

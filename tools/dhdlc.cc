@@ -96,6 +96,7 @@ struct Args {
     int top = 10;
     std::string out = ".";
     int threads = 1;
+    int batch = -1; //!< -1 keeps the ExploreConfig default; 0 = scalar.
     double timeBudget = 0;
     std::string checkpoint;
     bool resume = false;
@@ -117,7 +118,8 @@ usage()
         << "usage: dhdlc "
            "<list|print|explore|merge|report|emit|emit-ir|calibrate> "
            "[benchmark|file.dhdl] [--scale S] [--points N] [--top K]"
-           " [--out DIR] [--threads T] [--time-budget SEC]"
+           " [--out DIR] [--threads T] [--batch B]"
+           " [--time-budget SEC]"
            " [--seed SEED] [--checkpoint FILE] [--resume]"
            " [--shard I/N] [--shards N] [--shard-timeout SEC]"
            " [--retries R] [--profile] [--trace FILE]"
@@ -165,6 +167,11 @@ parse(int argc, char** argv, Args& args)
             if (!v)
                 return false;
             args.threads = std::atoi(v);
+        } else if (flag == "--batch") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.batch = std::atoi(v);
         } else if (flag == "--time-budget") {
             const char* v = next();
             if (!v)
@@ -287,6 +294,8 @@ makeConfig(const Args& args)
     dse::ExploreConfig cfg;
     cfg.maxPoints = args.points;
     cfg.threads = args.threads;
+    if (args.batch >= 0)
+        cfg.batchSize = args.batch;
     cfg.timeBudgetSeconds = args.timeBudget;
     cfg.checkpointPath = args.checkpoint;
     cfg.resume = args.resume;
@@ -455,6 +464,10 @@ cmdSupervise(const Args& args)
         if (args.seed >= 0) {
             t.argv.push_back("--seed");
             t.argv.push_back(std::to_string(args.seed));
+        }
+        if (args.batch >= 0) {
+            t.argv.push_back("--batch");
+            t.argv.push_back(std::to_string(args.batch));
         }
         if (args.checkpointEvery > 0) {
             t.argv.push_back("--checkpoint-every");
