@@ -40,6 +40,40 @@ inline constexpr size_t kNumTemplateKinds =
 /** Name of a template kind, e.g. "PrimOp". */
 const char* templateKindName(TemplateKind k);
 
+/**
+ * Coarse template classes used by design-level feature vectors: the
+ * area ANN inputs count control / on-chip-memory / tile-transfer
+ * templates (Section IV-B2), and the DSE surrogate features reuse the
+ * same classification of a plan's template slots.
+ */
+enum class TemplateClass : uint8_t {
+    Control,  //!< Pipe/Seq/Par/MetaPipe controller FSMs.
+    Memory,   //!< Bram/Reg/Queue on-chip memories.
+    Transfer, //!< TileLd/TileSt command generators.
+    Other,    //!< Datapath and glue (PrimOp, counters, delays, ...).
+};
+
+/** Classify a template kind into its coarse feature class. */
+constexpr TemplateClass
+templateClassOf(TemplateKind k)
+{
+    switch (k) {
+      case TemplateKind::PipeCtrl:
+      case TemplateKind::SeqCtrl:
+      case TemplateKind::ParCtrl:
+      case TemplateKind::MetaPipeCtrl:
+        return TemplateClass::Control;
+      case TemplateKind::BramInst:
+      case TemplateKind::RegInst:
+      case TemplateKind::QueueInst:
+        return TemplateClass::Memory;
+      case TemplateKind::TileTransfer:
+        return TemplateClass::Transfer;
+      default:
+        return TemplateClass::Other;
+    }
+}
+
 /** One instantiated template with its concrete cost parameters. */
 struct TemplateInst {
     TemplateKind tkind = TemplateKind::PrimOp;

@@ -41,6 +41,8 @@ diagCodeName(DiagCode code)
         return "host-api-misuse";
       case DiagCode::ParseError:
         return "parse-error";
+      case DiagCode::SamplingShortfall:
+        return "sampling-shortfall";
     }
     return "unknown";
 }
@@ -65,6 +67,7 @@ diagCodeFromName(const std::string& name)
         DiagCode::ShardFailed,
         DiagCode::HostApiMisuse,
         DiagCode::ParseError,
+        DiagCode::SamplingShortfall,
     };
     for (DiagCode c : all) {
         if (name == diagCodeName(c))

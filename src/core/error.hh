@@ -43,6 +43,7 @@ enum class DiagCode : uint8_t {
     ShardFailed,            //!< A supervised shard died/hung for good.
     HostApiMisuse,          //!< host::Accelerator called out of contract.
     ParseError,             //!< Malformed `.dhdl` IR text.
+    SamplingShortfall,      //!< Legal space yielded fewer points than asked.
 };
 
 /** Stable short name of a code (used in checkpoints and reports). */

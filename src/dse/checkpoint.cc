@@ -55,9 +55,11 @@ splitFields(const std::string& line, size_t n)
     return out;
 }
 
-/** One record's payload (everything before the trailing CRC field). */
+/** One record's payload (everything before the trailing CRC field).
+ *  `withRound` inserts the search-round column (non-random
+ *  strategies only, keeping historical files byte-identical). */
 std::string
-renderRecord(size_t index, const DesignPoint& p)
+renderRecord(size_t index, const DesignPoint& p, bool withRound)
 {
     std::ostringstream os;
     os << std::setprecision(17);
@@ -77,6 +79,8 @@ renderRecord(size_t index, const DesignPoint& p)
        << ",";
     for (size_t j = 0; j < p.binding.values.size(); ++j)
         os << (j ? " " : "") << p.binding.values[j];
+    if (withRound)
+        os << "," << p.round;
     // The reason may contain commas; it is delimited by the CRC
     // being the *last* comma-field of the line.
     os << "," << clean(p.failReason, false);
@@ -183,18 +187,27 @@ std::string
 renderCheckpoint(const CheckpointMeta& meta,
                  const std::vector<DesignPoint>& points)
 {
+    const bool withRound =
+        !meta.strategy.empty() && meta.strategy != "random";
     std::ostringstream os;
     os << kMagicV2 << "\n";
     os << "# design=" << hex16(meta.designHash)
        << " space=" << hex16(meta.spaceHash) << " seed=" << meta.seed
        << " total=" << meta.total << " nparams=" << meta.nparams
        << "\n";
-    os << "# columns: index,valid,failed,failcode,failstage,alms,"
-          "luts,regs,dsps,brams,cycles,binding,failreason,crc32\n";
+    if (withRound) {
+        os << "# strategy=" << meta.strategy << "\n";
+        os << "# columns: index,valid,failed,failcode,failstage,alms,"
+              "luts,regs,dsps,brams,cycles,binding,round,failreason,"
+              "crc32\n";
+    } else {
+        os << "# columns: index,valid,failed,failcode,failstage,alms,"
+              "luts,regs,dsps,brams,cycles,binding,failreason,crc32\n";
+    }
     for (size_t i = 0; i < points.size(); ++i) {
         if (!points[i].evaluated)
             continue;
-        std::string payload = renderRecord(i, points[i]);
+        std::string payload = renderRecord(i, points[i], withRound);
         os << payload << "," << hex8(crc32(payload)) << "\n";
     }
     return os.str();
@@ -329,6 +342,17 @@ loadCheckpointFile(const std::string& path, const Graph& g,
                                   why + " mismatch)");
     }
 
+    // A `# strategy=` header comment marks the round-tagged record
+    // layout (one extra column before failreason). Comments run from
+    // line 2 to the first data line.
+    bool hasRound = false;
+    for (size_t li = 2; li < lines.size(); ++li) {
+        if (lines[li].empty() || lines[li][0] != '#')
+            break;
+        if (lines[li].rfind("# strategy=", 0) == 0)
+            hasRound = true;
+    }
+
     // Index of the last data line: a record that fails its CRC there
     // is a torn tail (truncate); anywhere else it is corruption.
     size_t lastData = lines.size();
@@ -363,9 +387,11 @@ loadCheckpointFile(const std::string& path, const Graph& g,
                 continue;
             }
         }
-        // v2 payloads carry failstage between failcode and alms.
-        auto f = splitFields(payload, legacy ? 11 : 12);
-        if (f.size() != (legacy ? 12u : 13u)) {
+        // v2 payloads carry failstage between failcode and alms (and
+        // a round column before failreason when strategy-tagged).
+        const size_t ncommas = legacy ? 11 : (hasRound ? 13 : 12);
+        auto f = splitFields(payload, ncommas);
+        if (f.size() != ncommas + 1) {
             damaged();
             continue;
         }
@@ -405,6 +431,8 @@ loadCheckpointFile(const std::string& path, const Graph& g,
             p.area.dsps = std::stod(f[numAt + 3]);
             p.area.brams = std::stod(f[numAt + 4]);
             p.cycles = std::stod(f[numAt + 5]);
+            p.round = hasRound ? int32_t(std::stol(f[bindAt + 1]))
+                               : int32_t(-1);
         } catch (const std::exception&) {
             p = DesignPoint{};
             p.binding.values = std::move(vals);
@@ -412,7 +440,7 @@ loadCheckpointFile(const std::string& path, const Graph& g,
             continue;
         }
         p.failStage = stageAt ? f[stageAt] : "";
-        p.failReason = f[bindAt + 1];
+        p.failReason = f[bindAt + (hasRound ? 2 : 1)];
         p.evaluated = true;
         ++ls.restored;
         if (p.failed) {

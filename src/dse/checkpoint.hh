@@ -60,6 +60,16 @@ struct CheckpointMeta {
     uint64_t seed = 0;
     uint64_t total = 0;      //!< Global sample count.
     uint64_t nparams = 0;
+    /**
+     * Search strategy that wrote the file. "random" renders the
+     * historical v2 layout byte-for-byte; any other name adds a
+     * `# strategy=<name>` header line and a per-record round column
+     * (still v2: strategy-less readers are the only thing that
+     * changed, and loading tolerates either layout). Not part of the
+     * identity check — a resumed run may switch strategies and keep
+     * its evaluated points.
+     */
+    std::string strategy = "random";
 
     bool operator==(const CheckpointMeta&) const = default;
 };

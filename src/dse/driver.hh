@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The round-based search driver: the engine behind
+ * Explorer::explore(). One run owns the full evaluate/checkpoint/
+ * Pareto machinery; a pluggable SearchStrategy (dse/strategy.hh)
+ * decides only *which* candidates each round spends budget on.
+ *
+ * Per round r the driver:
+ *
+ *  1. asks the strategy to propose up to the remaining budget from
+ *     the pool (un-evaluated, in-shard candidates, ascending index);
+ *  2. evaluates the proposal — threaded, batched, in checkpoint
+ *     slices — exactly as the historical one-shot sweep did;
+ *  3. feeds the results back via observe(), folds valid points into
+ *     the incremental ParetoFront, and drops evaluated candidates
+ *     from the pool.
+ *
+ * The loop ends on an empty proposal, an exhausted budget, or an
+ * expired wall clock. With RandomStrategy (one round proposing the
+ * whole pool in sample order) every byte of the result — points,
+ * diagnostic order, Pareto front, checkpoint files — is identical to
+ * the pre-driver explore(): the golden, shard-merge and
+ * batch-equivalence suites pin this.
+ */
+
+#ifndef DHDL_DSE_DRIVER_HH
+#define DHDL_DSE_DRIVER_HH
+
+#include "dse/explorer.hh"
+
+namespace dhdl::dse {
+
+/** One exploration engine bound to calibrated estimators. */
+class SearchDriver
+{
+  public:
+    SearchDriver(const est::AreaEstimator& area,
+                 const est::RuntimeEstimator& runtime)
+        : area_(area), runtime_(runtime) {}
+
+    /** Run the round loop; the workhorse of Explorer::explore(). */
+    ExploreResult run(const Graph& g, const ExploreConfig& cfg) const;
+
+  private:
+    const est::AreaEstimator& area_;
+    const est::RuntimeEstimator& runtime_;
+};
+
+} // namespace dhdl::dse
+
+#endif // DHDL_DSE_DRIVER_HH

@@ -43,6 +43,11 @@ struct DesignPoint {
     bool valid = false; //!< Fits every device resource capacity.
     /** The point went through evaluation (false = budget-skipped). */
     bool evaluated = false;
+    /** Search round that evaluated the point (-1 = unknown, e.g.
+     *  restored from a strategy-less checkpoint). Serialized only by
+     *  non-random strategies, so historical checkpoints stay
+     *  byte-identical. */
+    int32_t round = -1;
     /** Evaluation threw; failCode/failStage/failReason say why. */
     bool failed = false;
     DiagCode failCode = DiagCode::Ok;

@@ -38,6 +38,53 @@
 
 namespace dhdl::dse {
 
+/** Selection of the round-based search strategy (dse/strategy.hh). */
+enum class StrategyKind : uint8_t {
+    /** One round proposing the whole pool in sample order — exactly
+     *  the historical sample-everything-then-evaluate sweep. */
+    Random,
+    /** Surrogate-guided active search: train ml models on evaluated
+     *  points between rounds, rank the remaining pool by predicted
+     *  Pareto-dominance distance, spend the budget on the top slice
+     *  with an ε-greedy floor and geometrically growing rounds. */
+    Surrogate,
+};
+
+/** Stable CLI/checkpoint name of a strategy ("random", ...). */
+const char* strategyName(StrategyKind k);
+
+/** Knobs of the surrogate strategy (ignored by Random). */
+struct SurrogateConfig {
+    /** Random seed points evaluated in round 0 (the first training
+     *  set); also the base of the geometric round-size schedule.
+     *  0 = auto: four points per design parameter, clamped to
+     *  [8, 16] — small spaces get a cheap cold start, larger ones
+     *  enough rows for a stable first fit. */
+    int initialPoints = 0;
+    /** ε-greedy floor: fraction of every guided round spent on
+     *  uniform-random picks so the model never starves of coverage. */
+    double epsilon = 0.1;
+    /** Successive round-size growth factor: round r proposes about
+     *  initialPoints * roundGrowth^r points (successive-halving in
+     *  reverse — cheap rounds while the model is weak, bigger
+     *  commitments as it sharpens). Slow growth buys more refits
+     *  per evaluation, which measures strictly better on the
+     *  evals-to-front metric; the extra propose() overhead is model
+     *  compute, not evaluation budget. */
+    double roundGrowth = 1.25;
+    /** Hard cap on guided rounds; 0 = until pool/budget exhausted. */
+    int maxRounds = 0;
+    /** RPROP epochs per model refit between rounds. */
+    int trainEpochs = 200;
+    /** Train Mlps ({nf, 8, 1}) once enough rows exist; a ridge
+     *  LinearModel handles the small-sample rounds either way. */
+    bool useMlp = true;
+    /** Warm-start from a saved surrogate bundle (ml/serialize). */
+    std::string loadModelPath;
+    /** Persist the final trained bundle for later runs. */
+    std::string saveModelPath;
+};
+
 /** Exploration configuration. */
 struct ExploreConfig {
     /** Points sampled from the legal space (paper: up to 75,000). */
@@ -101,6 +148,29 @@ struct ExploreConfig {
      * that point.
      */
     std::function<void(const ParamBinding&, size_t)> preEvaluate;
+
+    /** Round-based search strategy; Random reproduces the historical
+     *  one-shot sweep bit-identically. */
+    StrategyKind strategy = StrategyKind::Random;
+    SurrogateConfig surrogate;
+};
+
+/** Per-round accounting of the search driver. */
+struct RoundStats {
+    int round = 0;
+    size_t poolBefore = 0; //!< Un-evaluated candidates before round.
+    size_t proposed = 0;   //!< Points the strategy proposed.
+    size_t evaluated = 0;  //!< Points actually evaluated (budgets).
+    size_t frontSize = 0;  //!< Incremental Pareto front after round.
+    double proposeSeconds = 0; //!< propose() incl. train + rank.
+    double trainSeconds = 0;   //!< Surrogate refit inside propose().
+    double rankSeconds = 0;    //!< Pool scoring inside propose().
+    double evalSeconds = 0;    //!< Evaluation slice loop.
+    /** Indices evaluated this round, in evaluation order (the
+     *  strategy's ranked proposal order). Lets quality benches
+     *  measure evals-to-front at single-evaluation granularity
+     *  instead of round granularity. */
+    std::vector<size_t> evalOrder;
 };
 
 /** Aggregate counters for one explore() call. */
@@ -125,6 +195,8 @@ struct ExploreStats {
     double planSeconds = 0;
     /** Per-stage evaluation wall-clock, summed over all workers. */
     StageTimes stages;
+    /** One entry per search round, in order. */
+    std::vector<RoundStats> rounds;
 };
 
 /** Exploration output: all evaluated points + the Pareto front. */
@@ -181,10 +253,13 @@ class Explorer
  * configuration: exhaustively enumerated when the pruned space fits
  * in cfg.maxPoints, randomly sampled per cfg.seed otherwise. Shard
  * runs and shard merge derive the identical set from the identical
- * config — the foundation of merge ≡ unsharded byte-identity.
+ * config — the foundation of merge ≡ unsharded byte-identity. A
+ * sampling shortfall is reported on `sink` (when given) so explore()
+ * and mergeShards() surface the identical warning.
  */
 std::vector<ParamBinding> sampleGlobal(const ParamSpace& space,
-                                       const ExploreConfig& cfg);
+                                       const ExploreConfig& cfg,
+                                       DiagSink* sink = nullptr);
 
 /**
  * Canonical diagnostic order (pointIndex, stage, message): results

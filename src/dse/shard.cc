@@ -69,12 +69,13 @@ mergeShards(const Graph& g, const ExploreConfig& cfg, int shardCount,
     // sampleGlobal() is pure in (design, seed, maxPoints) — so each
     // restored record lands in its original global slot.
     ParamSpace space(g);
-    auto bindings = sampleGlobal(space, cfg);
+    auto bindings = sampleGlobal(space, cfg, &sink);
     res.points.resize(bindings.size());
     for (size_t i = 0; i < bindings.size(); ++i)
         res.points[i].binding = std::move(bindings[i]);
     res.stats.total = res.points.size();
     out.meta = makeCheckpointMeta(g, space, cfg.seed, res.points.size());
+    out.meta.strategy = strategyName(cfg.strategy);
 
     out.shardLoads.resize(size_t(shardCount));
     for (int s = 0; s < shardCount; ++s) {

@@ -16,6 +16,7 @@
 #define DHDL_DSE_SPACE_HH
 
 #include "analysis/instance.hh"
+#include "core/diag.hh"
 #include "ml/rng.hh"
 
 namespace dhdl::dse {
@@ -50,9 +51,21 @@ class ParamSpace
 
     /**
      * Sample up to n distinct legal bindings. May return fewer when
-     * the legal space is smaller than n.
+     * the legal space is smaller than n (or too sparse for the
+     * bounded rejection sampling to fill); the shortfall is then
+     * reported on `sink` as a structured SamplingShortfall warning,
+     * so no sweep silently caps its sample set.
      */
-    std::vector<ParamBinding> sample(int n, uint64_t seed) const;
+    std::vector<ParamBinding> sample(int n, uint64_t seed,
+                                     DiagSink* sink = nullptr) const;
+
+    /**
+     * Total on-chip memory bits implied by a binding, summed over the
+     * size-capped local memories — the same flattened terms, multiply
+     * order and wraparound as isLegal()'s per-memory check. Used as a
+     * surrogate search feature (dse/features).
+     */
+    int64_t localMemBits(const ParamBinding& b) const;
 
     /**
      * Exhaustively enumerate legal bindings (odometer order), up to

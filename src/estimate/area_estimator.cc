@@ -29,22 +29,17 @@ AreaEstimator::designFeaturesInto(const AreaModel& model,
     (void)model;
     double n_ctrl = 0, n_mem = 0, n_xfer = 0, bits_sum = 0;
     for (const auto& t : ts) {
-        switch (t.tkind) {
-          case TemplateKind::PipeCtrl:
-          case TemplateKind::SeqCtrl:
-          case TemplateKind::ParCtrl:
-          case TemplateKind::MetaPipeCtrl:
+        switch (templateClassOf(t.tkind)) {
+          case TemplateClass::Control:
             n_ctrl += 1;
             break;
-          case TemplateKind::BramInst:
-          case TemplateKind::RegInst:
-          case TemplateKind::QueueInst:
+          case TemplateClass::Memory:
             n_mem += 1;
             break;
-          case TemplateKind::TileTransfer:
+          case TemplateClass::Transfer:
             n_xfer += 1;
             break;
-          default:
+          case TemplateClass::Other:
             break;
         }
         bits_sum += t.bits;
@@ -439,22 +434,18 @@ AreaEstimator::makeBatchPlan(const DesignPlan& plan) const
             }
         }
 
-        switch (k.dual ? TemplateKind::SeqCtrl : s.base.tkind) {
-          case TemplateKind::PipeCtrl:
-          case TemplateKind::SeqCtrl:
-          case TemplateKind::ParCtrl:
-          case TemplateKind::MetaPipeCtrl:
+        switch (templateClassOf(k.dual ? TemplateKind::SeqCtrl
+                                       : s.base.tkind)) {
+          case TemplateClass::Control:
             bp.nCtrl_ += 1;
             break;
-          case TemplateKind::BramInst:
-          case TemplateKind::RegInst:
-          case TemplateKind::QueueInst:
+          case TemplateClass::Memory:
             bp.nMem_ += 1;
             break;
-          case TemplateKind::TileTransfer:
+          case TemplateClass::Transfer:
             bp.nXfer_ += 1;
             break;
-          default:
+          case TemplateClass::Other:
             break;
         }
         bits_sum += s.base.bits;

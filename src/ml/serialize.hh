@@ -67,6 +67,43 @@ Status tryLoadLinear(std::istream& is, LinearModel& out);
 Status tryLoadMlp(std::istream& is, Mlp& out);
 Status tryLoadScaler(std::istream& is, MinMaxScaler& out);
 
+/**
+ * A complete surrogate artifact: the feature and target scalers plus
+ * the per-target models, bundled so `dhdlc explore --strategy
+ * surrogate --save-model/--load-model` moves one self-validating
+ * file. Either the Mlp or the LinearModel vector is populated
+ * (`useMlp` says which); models are per-target, in target order.
+ */
+struct SurrogateBundle {
+    MinMaxScaler features;
+    MinMaxScaler targets;
+    bool useMlp = true;
+    std::vector<Mlp> nets;
+    std::vector<LinearModel> linears;
+
+    size_t
+    numModels() const
+    {
+        return useMlp ? nets.size() : linears.size();
+    }
+};
+
+/**
+ * Bundle framing hardens the whole artifact, not just each record: a
+ * `# dhdl-surrogate v1 <bytes> <crc32>` header carries the byte count
+ * and IEEE CRC-32 of the serialized body, verified before any record
+ * is parsed. Truncation, bit flips and foreign files all fail as
+ * structured ParseErrors (exercised by the misuse corpus), never as
+ * partial loads.
+ */
+void saveSurrogateBundle(std::ostream& os, const SurrogateBundle& b);
+
+/** Load and fully validate a bundle; throws FatalError(ParseError). */
+SurrogateBundle loadSurrogateBundle(std::istream& is);
+
+/** Non-throwing form of loadSurrogateBundle(). */
+Status tryLoadSurrogateBundle(std::istream& is, SurrogateBundle& out);
+
 } // namespace dhdl::ml
 
 #endif // DHDL_ML_SERIALIZE_HH

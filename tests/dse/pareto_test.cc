@@ -77,5 +77,92 @@ TEST(ParetoTest, FrontIsSortedByXAndDecreasingY)
     }
 }
 
+// ---------------------------------------------------------------
+// Incremental front ≡ batch rebuild: the property the round-based
+// driver rests on. paretoFront() over any point set must equal
+// ParetoFront::insert() over any insertion order of the same set —
+// including duplicate coordinates (the (x, y, index) tie rule) and
+// skipped points (failed/invalid ones are simply never inserted).
+// ---------------------------------------------------------------
+
+TEST(ParetoFrontTest, InsertReportsFrontMembership)
+{
+    ParetoFront f;
+    EXPECT_TRUE(f.insert(0, 5, 5));
+    EXPECT_TRUE(f.insert(1, 3, 7));   // new knee
+    EXPECT_FALSE(f.insert(2, 6, 6));  // dominated by (5,5)
+    EXPECT_TRUE(f.insert(3, 4, 1));   // evicts (5,5)
+    EXPECT_EQ(f.indices(), (std::vector<size_t>{1, 3}));
+    EXPECT_TRUE(f.dominated(10, 10));
+    EXPECT_FALSE(f.dominated(2, 2));
+}
+
+TEST(ParetoFrontTest, DuplicatePointKeepsLowestIndex)
+{
+    ParetoFront a, b;
+    a.insert(4, 1, 1);
+    a.insert(9, 1, 1);
+    b.insert(9, 1, 1);
+    b.insert(4, 1, 1);
+    EXPECT_EQ(a.indices(), (std::vector<size_t>{4}));
+    EXPECT_EQ(b.indices(), (std::vector<size_t>{4}));
+}
+
+TEST(ParetoFrontTest, AnyInsertionOrderMatchesBatchRebuild)
+{
+    // Deterministic xorshift; values drawn from a tiny grid so exact
+    // ties in x, in y, and in both are common.
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next = [&]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+
+    for (int trial = 0; trial < 50; ++trial) {
+        const size_t n = 1 + size_t(next() % 120);
+        std::vector<std::pair<double, double>> pts;
+        std::vector<bool> usable;
+        for (size_t i = 0; i < n; ++i) {
+            pts.push_back({double(next() % 12), double(next() % 12)});
+            // ~1 in 4 points plays a failed/invalid point: part of
+            // the array, never inserted, never in the front.
+            usable.push_back(next() % 4 != 0);
+        }
+
+        // Reference: the batch scan over the usable points only.
+        std::vector<size_t> keep;
+        for (size_t i = 0; i < n; ++i)
+            if (usable[i])
+                keep.push_back(i);
+        auto ref = paretoFront(
+            keep.size(),
+            [&](size_t k) { return pts[keep[k]].first; },
+            [&](size_t k) { return pts[keep[k]].second; });
+        for (size_t& k : ref)
+            k = keep[k];
+
+        // Incremental: three different insertion orders, same front.
+        std::vector<size_t> order(keep);
+        for (int shuffle = 0; shuffle < 3; ++shuffle) {
+            for (size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[next() % i]);
+            ParetoFront f;
+            for (size_t i : order)
+                f.insert(i, pts[i].first, pts[i].second);
+            EXPECT_EQ(f.indices(), ref)
+                << "trial " << trial << " shuffle " << shuffle;
+            // Entries stay strictly ascending in x, strictly
+            // descending in y — the structural front invariant.
+            const auto& es = f.entries();
+            for (size_t i = 1; i < es.size(); ++i) {
+                EXPECT_LT(es[i - 1].x, es[i].x);
+                EXPECT_GT(es[i - 1].y, es[i].y);
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace dhdl::dse

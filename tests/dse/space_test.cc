@@ -101,5 +101,44 @@ TEST(SpaceTest, SmallSpaceExhaustedGracefully)
     EXPECT_EQ(samples.size(), 2u); // only toggle 0/1 exist
 }
 
+TEST(SpaceTest, SamplingShortfallReportsStructuredWarning)
+{
+    Design d("tiny");
+    d.toggleParam("t");
+    d.accel([&](Scope&) {});
+    ParamSpace sp(d.graph());
+    DiagSink sink;
+    auto samples = sp.sample(100, 5, &sink);
+    EXPECT_EQ(samples.size(), 2u);
+    auto diags = sink.drain();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].code, DiagCode::SamplingShortfall);
+    EXPECT_EQ(diags[0].severity, DiagSeverity::Warning);
+    EXPECT_EQ(diags[0].stage, "sample");
+    EXPECT_NE(diags[0].message.find("drew 2 of 100"),
+              std::string::npos);
+}
+
+TEST(SpaceTest, NoShortfallWarningWhenSampleFills)
+{
+    Design d = spaceDesign();
+    ParamSpace sp(d.graph());
+    DiagSink sink;
+    auto samples = sp.sample(10, 7, &sink);
+    EXPECT_EQ(samples.size(), 10u);
+    EXPECT_TRUE(sink.drain().empty());
+}
+
+TEST(SpaceTest, LocalMemBitsMatchesLegalityTerms)
+{
+    Design d = spaceDesign();
+    ParamSpace sp(d.graph());
+    // One f32 bram of ts elements: 32 * ts bits.
+    ParamBinding b{{128, 4, 1}};
+    EXPECT_EQ(sp.localMemBits(b), 32 * 128);
+    ParamBinding b2{{512, 2, 0}};
+    EXPECT_EQ(sp.localMemBits(b2), 32 * 512);
+}
+
 } // namespace
 } // namespace dhdl::dse

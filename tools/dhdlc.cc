@@ -62,7 +62,9 @@
  * (src/core/faultinject.hh); dhdlc is the only place that reads it.
  */
 
+#include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
 
@@ -109,6 +111,11 @@ struct Args {
     int shards = 0;        //!< >0: supervise all N shards locally.
     double shardTimeout = 0; //!< Watchdog per shard attempt.
     int retries = 2;       //!< Supervisor retries per shard.
+    std::string strategy;  //!< "random" (default) or "surrogate".
+    int initialPoints = 0; //!< >0 overrides the surrogate seed round.
+    int maxRounds = 0;     //!< >0 caps surrogate rounds.
+    std::string saveModel; //!< Persist the trained surrogate bundle.
+    std::string loadModel; //!< Warm-start from a saved bundle.
 };
 
 int
@@ -122,7 +129,10 @@ usage()
            " [--time-budget SEC]"
            " [--seed SEED] [--checkpoint FILE] [--resume]"
            " [--shard I/N] [--shards N] [--shard-timeout SEC]"
-           " [--retries R] [--profile] [--trace FILE]"
+           " [--retries R] [--strategy random|surrogate]"
+           " [--initial-points N] [--max-rounds R]"
+           " [--save-model FILE] [--load-model FILE]"
+           " [--profile] [--trace FILE]"
            " [--metrics FILE]"
         << std::endl;
     return 2;
@@ -212,6 +222,31 @@ parse(int argc, char** argv, Args& args)
             if (!v)
                 return false;
             args.retries = std::atoi(v);
+        } else if (flag == "--strategy") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.strategy = v;
+        } else if (flag == "--initial-points") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.initialPoints = std::atoi(v);
+        } else if (flag == "--max-rounds") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.maxRounds = std::atoi(v);
+        } else if (flag == "--save-model") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.saveModel = v;
+        } else if (flag == "--load-model") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.loadModel = v;
         } else if (flag == "--resume") {
             args.resume = true;
         } else if (flag == "--profile") {
@@ -303,6 +338,22 @@ makeConfig(const Args& args)
         cfg.seed = uint64_t(args.seed);
     if (args.checkpointEvery > 0)
         cfg.checkpointEvery = args.checkpointEvery;
+    if (!args.strategy.empty()) {
+        if (args.strategy == "random")
+            cfg.strategy = dse::StrategyKind::Random;
+        else if (args.strategy == "surrogate")
+            cfg.strategy = dse::StrategyKind::Surrogate;
+        else
+            fatal("unknown --strategy '" + args.strategy +
+                      "' (random|surrogate)",
+                  DiagCode::UserError);
+    }
+    if (args.initialPoints > 0)
+        cfg.surrogate.initialPoints = args.initialPoints;
+    if (args.maxRounds > 0)
+        cfg.surrogate.maxRounds = args.maxRounds;
+    cfg.surrogate.saveModelPath = args.saveModel;
+    cfg.surrogate.loadModelPath = args.loadModel;
     if (!args.shard.empty()) {
         dse::ShardSpec spec;
         Status st = dse::parseShard(args.shard, spec);
@@ -477,6 +528,18 @@ cmdSupervise(const Args& args)
             t.argv.push_back("--time-budget");
             t.argv.push_back(std::to_string(args.timeBudget));
         }
+        if (!args.strategy.empty()) {
+            t.argv.push_back("--strategy");
+            t.argv.push_back(args.strategy);
+        }
+        if (args.initialPoints > 0) {
+            t.argv.push_back("--initial-points");
+            t.argv.push_back(std::to_string(args.initialPoints));
+        }
+        if (args.maxRounds > 0) {
+            t.argv.push_back("--max-rounds");
+            t.argv.push_back(std::to_string(args.maxRounds));
+        }
         t.logPath = dse::shardCheckpointPath(args.checkpoint, s,
                                              args.shards) +
                     ".log";
@@ -633,6 +696,40 @@ runCommand(const Args& args)
 }
 
 /**
+ * Per-round search breakdown from the metrics snapshot: one row per
+ * `dse.round.<i>.*` counter group the driver recorded. Rendered only
+ * when rounds exist (any explore records round 0, so the table shows
+ * for every profiled sweep; surrogate runs get one row per round).
+ */
+void
+renderRounds(const obs::MetricsSnapshot& snap, std::ostream& os)
+{
+    const uint64_t rounds = snap.counter("dse.round.count");
+    if (!rounds)
+        return;
+    os << "search rounds:\n"
+       << "  round      pool  proposed evaluated     front"
+          "  propose(ms)    train(ms)     rank(ms)     eval(ms)\n";
+    auto ms = [](uint64_t us) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.1f", double(us) / 1e3);
+        return std::string(buf);
+    };
+    for (uint64_t r = 0; r < rounds; ++r) {
+        const std::string p = "dse.round." + std::to_string(r) + ".";
+        os << "  " << std::setw(5) << r << std::setw(10)
+           << snap.counter(p + "pool") << std::setw(10)
+           << snap.counter(p + "proposed") << std::setw(10)
+           << snap.counter(p + "evaluated") << std::setw(10)
+           << snap.counter(p + "front") << std::setw(13)
+           << ms(snap.counter(p + "propose.us")) << std::setw(13)
+           << ms(snap.counter(p + "train.us")) << std::setw(13)
+           << ms(snap.counter(p + "rank.us")) << std::setw(13)
+           << ms(snap.counter(p + "eval.us")) << "\n";
+    }
+}
+
+/**
  * Flush observability output. Runs even when the command failed —
  * a trace of a run that died mid-pipeline is exactly the trace worth
  * keeping.
@@ -640,8 +737,11 @@ runCommand(const Args& args)
 void
 finishObs(const Args& args)
 {
-    if (args.profile)
-        obs::snapshotMetrics().renderText(std::cerr);
+    if (args.profile) {
+        auto snap = obs::snapshotMetrics();
+        snap.renderText(std::cerr);
+        renderRounds(snap, std::cerr);
+    }
     if (!args.metrics.empty()) {
         std::ofstream os(args.metrics);
         obs::snapshotMetrics().writeJson(os);
