@@ -1,0 +1,229 @@
+/**
+ * Serving-throughput tracker: an in-process dhdld Server saturated by
+ * 1, 4 and 8 concurrent protocol clients, each submitting explore
+ * jobs over the real loopback socket and waiting for results. Emits
+ * BENCH_serving.json with requests/sec, p50/p99 end-to-end latency
+ * and the plan-cache hit rate per concurrency level.
+ *
+ * Every client rotates through a small design mix (gda, kmeans,
+ * dotproduct), so after each design's first submission the plan
+ * cache serves every recompile — the measured steady state is the
+ * one a long-lived daemon actually runs in.
+ *
+ * Knobs:
+ *   DHDL_BENCH_SERVE_REQUESTS  requests per client (default 6)
+ *   DHDL_BENCH_SERVE_POINTS    points per job (default 200)
+ *   DHDL_BENCH_SERVE_SCALE     dataset scale (default 0.05)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "estimate/area_estimator.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+using namespace dhdl;
+using namespace dhdl::serve;
+
+namespace {
+
+/** Concurrency levels measured; the acceptance series. */
+constexpr int kClientCounts[] = {1, 4, 8};
+
+const char* kDesigns[] = {"gda", "kmeans", "dotproduct"};
+
+struct Level {
+    int clients = 0;
+    size_t requests = 0;
+    double seconds = 0;
+    double reqPerSec = 0;
+    double p50Ms = 0;
+    double p99Ms = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    double hitRate = 0;
+};
+
+double
+percentile(std::vector<double>& v, double p)
+{
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    size_t idx = size_t(p * double(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+}
+
+/** One client's session: submit + wait-for-result, round robin over
+ *  the design mix. Latency is submit-to-final-result wall clock —
+ *  what a caller of the service actually experiences. */
+void
+clientLoop(int port, int id, int requests, int points, double scale,
+           std::vector<double>& latenciesMs, bool& ok)
+{
+    using Clock = std::chrono::steady_clock;
+    Client c;
+    if (!c.connect(std::to_string(port)).ok() || !c.hello().ok()) {
+        ok = false;
+        return;
+    }
+    for (int i = 0; i < requests; ++i) {
+        const char* design = kDesigns[(id + i) % 3];
+        Json cfg = Json::object();
+        cfg.set("points", points);
+        cfg.set("seed", 7);
+        Json req = Json::object();
+        req.set("op", "submit");
+        req.set("tenant", "bench-" + std::to_string(id));
+        req.set("design", design);
+        req.set("scale", scale);
+        req.set("config", cfg);
+
+        auto t0 = Clock::now();
+        Json resp;
+        if (!c.request(req, resp).ok() || !resp.find("ok") ||
+            !resp.find("ok")->asBool()) {
+            ok = false;
+            return;
+        }
+        Json wait = Json::object();
+        wait.set("op", "result");
+        wait.set("job", resp.find("job")->asInt());
+        wait.set("wait", true);
+        if (!c.request(wait, resp).ok() || !resp.find("ok") ||
+            !resp.find("ok")->asBool()) {
+            ok = false;
+            return;
+        }
+        latenciesMs.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count());
+    }
+}
+
+Level
+measure(int clients, int requests, int points, double scale)
+{
+    using Clock = std::chrono::steady_clock;
+    ServerConfig cfg;
+    cfg.executors = 4;
+    cfg.jobThreads = 1;
+    cfg.maxQueue = 256;
+    cfg.tenantMaxJobs = 64;
+    static est::RuntimeEstimator rt;
+    Server server(est::calibratedEstimator(), rt, cfg);
+    if (!server.start().ok()) {
+        std::cerr << "bench_serving: server failed to start\n";
+        std::exit(1);
+    }
+
+    std::vector<std::vector<double>> lats(static_cast<size_t>(clients));
+    std::vector<char> oks(static_cast<size_t>(clients), 1);
+    std::vector<std::thread> threads;
+    auto t0 = Clock::now();
+    for (int i = 0; i < clients; ++i)
+        threads.emplace_back([&, i] {
+            bool ok = true;
+            clientLoop(server.port(), i, requests, points, scale,
+                       lats[size_t(i)], ok);
+            oks[size_t(i)] = ok;
+        });
+    for (auto& t : threads)
+        t.join();
+    double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    server.requestStop();
+    server.wait();
+
+    Level lv;
+    lv.clients = clients;
+    std::vector<double> all;
+    for (auto& l : lats)
+        all.insert(all.end(), l.begin(), l.end());
+    for (size_t i = 0; i < oks.size(); ++i)
+        if (!oks[i])
+            std::cerr << "bench_serving: client " << i
+                      << " saw a failed request\n";
+    lv.requests = all.size();
+    lv.seconds = dt;
+    lv.reqPerSec = dt > 0 ? double(all.size()) / dt : 0;
+    lv.p50Ms = percentile(all, 0.50);
+    lv.p99Ms = percentile(all, 0.99);
+    auto cs = server.cacheStats();
+    lv.cacheHits = cs.hits;
+    lv.cacheMisses = cs.misses;
+    uint64_t total = cs.hits + cs.misses;
+    lv.hitRate = total ? double(cs.hits) / double(total) : 0;
+    return lv;
+}
+
+void
+writeJson(const std::vector<Level>& levels, int requests, int points,
+          double scale)
+{
+    std::ofstream os("BENCH_serving.json");
+    os << std::setprecision(10);
+    os << "{\n  \"bench\": \"serving\",\n"
+       << "  \"requests_per_client\": " << requests << ",\n"
+       << "  \"points_per_job\": " << points << ",\n"
+       << "  \"scale\": " << scale << ",\n  \"levels\": [\n";
+    for (size_t i = 0; i < levels.size(); ++i) {
+        const Level& l = levels[i];
+        os << "    {\"clients\": " << l.clients << ", \"requests\": "
+           << l.requests << ", \"seconds\": " << l.seconds
+           << ", \"req_per_sec\": " << l.reqPerSec << ",\n     "
+           << "\"p50_ms\": " << l.p50Ms << ", \"p99_ms\": " << l.p99Ms
+           << ", \"cache_hits\": " << l.cacheHits
+           << ", \"cache_misses\": " << l.cacheMisses
+           << ", \"cache_hit_rate\": " << l.hitRate << "}"
+           << (i + 1 < levels.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    int requests = int(bench::envInt("DHDL_BENCH_SERVE_REQUESTS", 6));
+    int points = int(bench::envInt("DHDL_BENCH_SERVE_POINTS", 200));
+    double scale = bench::envDouble("DHDL_BENCH_SERVE_SCALE", 0.05);
+
+    std::cout << "Serving throughput (" << requests
+              << " requests/client, " << points << " points/job, scale="
+              << scale << ")\n\n";
+
+    // Warm the calibrated estimator: its one-off calibration must not
+    // land inside the first measured level.
+    (void)est::calibratedEstimator();
+
+    std::cout << std::left << std::setw(9) << "clients" << std::right
+              << std::setw(9) << "reqs" << std::setw(11) << "req/s"
+              << std::setw(11) << "p50 ms" << std::setw(11) << "p99 ms"
+              << std::setw(10) << "hit rate" << "\n";
+    bench::rule(61);
+
+    std::vector<Level> levels;
+    for (int clients : kClientCounts) {
+        Level lv = measure(clients, requests, points, scale);
+        levels.push_back(lv);
+        std::cout << std::left << std::setw(9) << lv.clients
+                  << std::right << std::setw(9) << lv.requests
+                  << std::setw(11) << bench::fmt(lv.reqPerSec, 1)
+                  << std::setw(11) << bench::fmt(lv.p50Ms, 1)
+                  << std::setw(11) << bench::fmt(lv.p99Ms, 1)
+                  << std::setw(10) << bench::pct(lv.hitRate) << "\n";
+    }
+    writeJson(levels, requests, points, scale);
+    std::cout << "\nwrote BENCH_serving.json\n";
+    return 0;
+}

@@ -43,6 +43,12 @@ diagCodeName(DiagCode code)
         return "parse-error";
       case DiagCode::SamplingShortfall:
         return "sampling-shortfall";
+      case DiagCode::Cancelled:
+        return "cancelled";
+      case DiagCode::AdmissionRejected:
+        return "admission-rejected";
+      case DiagCode::VersionMismatch:
+        return "version-mismatch";
     }
     return "unknown";
 }
@@ -68,6 +74,9 @@ diagCodeFromName(const std::string& name)
         DiagCode::HostApiMisuse,
         DiagCode::ParseError,
         DiagCode::SamplingShortfall,
+        DiagCode::Cancelled,
+        DiagCode::AdmissionRejected,
+        DiagCode::VersionMismatch,
     };
     for (DiagCode c : all) {
         if (name == diagCodeName(c))

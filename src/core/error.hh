@@ -44,6 +44,9 @@ enum class DiagCode : uint8_t {
     HostApiMisuse,          //!< host::Accelerator called out of contract.
     ParseError,             //!< Malformed `.dhdl` IR text.
     SamplingShortfall,      //!< Legal space yielded fewer points than asked.
+    Cancelled,              //!< Run stopped by a cooperative cancel.
+    AdmissionRejected,      //!< Serving: request refused by admission control.
+    VersionMismatch,        //!< Serving: client/server protocol skew.
 };
 
 /** Stable short name of a code (used in checkpoints and reports). */

@@ -142,14 +142,26 @@ SearchDriver::run(const Graph& g, const ExploreConfig& cfg) const
     }
 
     // Wall-clock budget: checked before each point; once expired,
-    // remaining points are skipped (and later resumable).
+    // remaining points are skipped (and later resumable). A
+    // cooperative cancel (cfg.cancel) halts through the same seam so
+    // cancellation is exactly as prompt — and as resumable — as a
+    // budget expiry.
     std::atomic<bool> outOfTime{false};
+    std::atomic<bool> cancelled{false};
     const auto deadline =
         t0 + std::chrono::duration_cast<Clock::duration>(
                  std::chrono::duration<double>(
                      cfg.timeBudgetSeconds > 0 ? cfg.timeBudgetSeconds
                                                : 0));
     auto expired = [&]() {
+        if (cfg.cancel) {
+            if (cancelled.load(std::memory_order_relaxed))
+                return true;
+            if (cfg.cancel->load(std::memory_order_relaxed)) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return true;
+            }
+        }
         if (cfg.timeBudgetSeconds <= 0)
             return false;
         if (outOfTime.load(std::memory_order_relaxed))
@@ -160,15 +172,23 @@ SearchDriver::run(const Graph& g, const ExploreConfig& cfg) const
         }
         return false;
     };
+    auto halted = [&]() {
+        return outOfTime.load() || cancelled.load();
+    };
 
     // Compile the binding-invariant plan exactly once; every worker
     // evaluator shares it read-only. A broken graph leaves the plan
-    // null and each point reports the error individually.
-    const auto planT0 = Clock::now();
-    auto plan = Evaluator::tryCompile(g);
-    res.stats.planSeconds = secondsSince(planT0);
-    obs::recordSpan("dse", "plan-compile", obs::toMicros(planT0),
-                    uint64_t(res.stats.planSeconds * 1e6));
+    // null and each point reports the error individually. A caller
+    // that already holds the plan (the serving layer's plan cache)
+    // passes it in and the compile — span included — never happens.
+    auto plan = cfg.plan;
+    if (!plan) {
+        const auto planT0 = Clock::now();
+        plan = Evaluator::tryCompile(g);
+        res.stats.planSeconds = secondsSince(planT0);
+        obs::recordSpan("dse", "plan-compile", obs::toMicros(planT0),
+                        uint64_t(res.stats.planSeconds * 1e6));
+    }
 
     auto strategy =
         makeStrategy(cfg, space, plan.get(), res.points, sink);
@@ -302,7 +322,7 @@ SearchDriver::run(const Graph& g, const ExploreConfig& cfg) const
                     evalOne(*serial, proposed[size_t(i)]);
             }
             checkpoint();
-            if (outOfTime.load())
+            if (halted())
                 break;
         }
         rs.evalSeconds = secondsSince(eT0);
@@ -330,7 +350,9 @@ SearchDriver::run(const Graph& g, const ExploreConfig& cfg) const
 
         recordRound(rs);
         res.stats.rounds.push_back(rs);
-        if (outOfTime.load())
+        if (cfg.onRound)
+            cfg.onRound(res.stats.rounds.back(), front, res.points);
+        if (halted())
             break;
     }
     if (serial)
@@ -354,6 +376,17 @@ SearchDriver::run(const Graph& g, const ExploreConfig& cfg) const
         d.message = "wall-clock budget of " +
                     std::to_string(cfg.timeBudgetSeconds) +
                     "s expired; " + std::to_string(res.stats.skipped) +
+                    " point(s) skipped";
+        sink.report(d);
+    }
+    if (cancelled.load()) {
+        res.stats.cancelled = true;
+        Diag d;
+        d.code = DiagCode::Cancelled;
+        d.severity = DiagSeverity::Warning;
+        d.stage = "explore";
+        d.message = "run cancelled; " +
+                    std::to_string(res.stats.skipped) +
                     " point(s) skipped";
         sink.report(d);
     }

@@ -27,7 +27,9 @@
 #ifndef DHDL_DSE_EXPLORER_HH
 #define DHDL_DSE_EXPLORER_HH
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -84,6 +86,8 @@ struct SurrogateConfig {
     /** Persist the final trained bundle for later runs. */
     std::string saveModelPath;
 };
+
+struct RoundStats;
 
 /** Exploration configuration. */
 struct ExploreConfig {
@@ -153,6 +157,36 @@ struct ExploreConfig {
      *  one-shot sweep bit-identically. */
     StrategyKind strategy = StrategyKind::Random;
     SurrogateConfig surrogate;
+
+    /**
+     * Precompiled DesignPlan to share (the serving layer's
+     * content-addressed plan cache hands one out per cached design).
+     * When set, the driver skips plan compilation entirely — no
+     * plan-compile span is recorded and stats.planSeconds stays 0 —
+     * and every worker evaluator binds against this plan. Must have
+     * been compiled from a graph whose canonical IR equals this run's
+     * graph; the plan cache keys by exactly that hash.
+     */
+    std::shared_ptr<const DesignPlan> plan;
+
+    /**
+     * Streaming hook, called on the exploring thread after each
+     * search round completes (results folded in, front updated) with
+     * the round's stats, the incremental front so far, and the full
+     * point vector. The serving layer forwards these as incremental
+     * Pareto updates to clients. Never called concurrently.
+     */
+    std::function<void(const RoundStats&, const ParetoFront&,
+                       const std::vector<DesignPoint>&)>
+        onRound;
+
+    /**
+     * Cooperative cancel: when set and it becomes true, the run stops
+     * at the next batch boundary exactly like an expired wall clock —
+     * remaining points are skipped (and later resumable), a Cancelled
+     * warning Diag is reported, and stats.cancelled is set.
+     */
+    std::shared_ptr<const std::atomic<bool>> cancel;
 };
 
 /** Per-round accounting of the search driver. */
@@ -190,6 +224,7 @@ struct ExploreStats {
     size_t ckptCorrupt = 0;   //!< Corrupt records skipped on resume.
     bool timeBudgetHit = false;
     bool evalBudgetHit = false;
+    bool cancelled = false; //!< Stopped by ExploreConfig::cancel.
     double seconds = 0;   //!< Wall-clock of this explore() call.
     /** Wall-clock of the one-time DesignPlan compilation. */
     double planSeconds = 0;

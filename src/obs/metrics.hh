@@ -106,6 +106,16 @@ struct MetricsSnapshot {
 
     /** Human-readable rendering (the `--profile` output). */
     void renderText(std::ostream& os) const;
+
+    /**
+     * Prometheus exposition-format rendering (the `dhdld` `/metrics`
+     * endpoint). Dotted names become underscore-separated with a
+     * `dhdl_` prefix (`dse.points.evaluated` →
+     * `dhdl_dse_points_evaluated`); histograms render as cumulative
+     * `_bucket{le=...}` series plus `_sum`/`_count`. Deterministic:
+     * entries in snapshot (name-sorted) order.
+     */
+    void renderProm(std::ostream& os) const;
 };
 
 /** Merge all shards into a snapshot. Callable at any time. */

@@ -491,6 +491,53 @@ MetricsSnapshot::renderText(std::ostream& os) const
     }
 }
 
+namespace {
+
+/** `dse.points.evaluated` → `dhdl_dse_points_evaluated`. */
+std::string
+promName(const std::string& name)
+{
+    std::string out = "dhdl_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+void
+MetricsSnapshot::renderProm(std::ostream& os) const
+{
+    for (const auto& [n, v] : counters) {
+        const std::string p = promName(n);
+        os << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+    }
+    for (const auto& [n, v] : gauges) {
+        const std::string p = promName(n);
+        os << "# TYPE " << p << " gauge\n" << p << " " << v << "\n";
+    }
+    for (const HistogramSnapshot& h : histograms) {
+        const std::string p = promName(h.name);
+        os << "# TYPE " << p << " histogram\n";
+        uint64_t cum = 0;
+        for (size_t b = 0; b < h.counts.size(); ++b) {
+            cum += h.counts[b];
+            os << p << "_bucket{le=\"";
+            if (b < h.bounds.size())
+                os << h.bounds[b];
+            else
+                os << "+Inf";
+            os << "\"} " << cum << "\n";
+        }
+        os << p << "_sum " << h.sum << "\n"
+           << p << "_count " << h.count << "\n";
+    }
+}
+
 // ---------------------------------------------------------------- tracing
 
 void

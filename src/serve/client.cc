@@ -1,0 +1,192 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace dhdl::serve {
+
+namespace {
+
+Status
+transportError(std::string message)
+{
+    Diag d;
+    d.code = DiagCode::UserError;
+    d.severity = DiagSeverity::Error;
+    d.stage = "client";
+    d.message = std::move(message);
+    return Status::error(d);
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+Status
+Client::connect(const std::string& address)
+{
+    close();
+    std::string host = "127.0.0.1";
+    std::string portStr = address;
+    if (size_t colon = address.rfind(':');
+        colon != std::string::npos) {
+        host = address.substr(0, colon);
+        portStr = address.substr(colon + 1);
+    }
+    char* end = nullptr;
+    long port = std::strtol(portStr.c_str(), &end, 10);
+    if (portStr.empty() || *end != '\0' || port <= 0 || port > 65535)
+        return transportError("bad server address \"" + address +
+                              "\" (want host:port)");
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return transportError(std::string("socket: ") +
+                              std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(uint16_t(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return transportError("bad host \"" + host +
+                              "\" (want an IPv4 address)");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) < 0) {
+        Status st = transportError("connect to " + address + ": " +
+                                   std::strerror(errno));
+        ::close(fd);
+        return st;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    fd_ = fd;
+    return Status();
+}
+
+Status
+Client::send(const Json& req)
+{
+    return sendLine(req.render());
+}
+
+Status
+Client::sendLine(const std::string& raw)
+{
+    if (fd_ < 0)
+        return transportError("not connected");
+    std::string line = raw;
+    line += '\n';
+    size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::send(fd_, line.data() + off, line.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return transportError(std::string("send: ") +
+                                  std::strerror(errno));
+        off += size_t(n);
+    }
+    return Status();
+}
+
+Status
+Client::recvLine(std::string& out)
+{
+    if (fd_ < 0)
+        return transportError("not connected");
+    while (true) {
+        size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            out = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return Status();
+        }
+        char chunk[16384];
+        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            return transportError(
+                n == 0 ? "server closed the connection"
+                       : std::string("recv: ") +
+                             std::strerror(errno));
+        buf_.append(chunk, size_t(n));
+    }
+}
+
+Status
+Client::recv(Json& out)
+{
+    std::string line;
+    if (Status st = recvLine(line); !st.ok())
+        return st;
+    return parseJson(line, out);
+}
+
+Status
+Client::request(const Json& reqIn, Json& resp)
+{
+    Json req = reqIn;
+    if (!req.find("proto"))
+        req.set("proto", kProtocolVersion);
+    if (Status st = send(req); !st.ok())
+        return st;
+    return recv(resp);
+}
+
+Status
+Client::hello(std::string* serverVersion)
+{
+    Json req = Json::object();
+    req.set("op", "hello");
+    Json resp;
+    if (Status st = request(req, resp); !st.ok())
+        return st;
+    const Json* ok = resp.find("ok");
+    if (!ok || !ok->asBool()) {
+        Diag d;
+        d.code = DiagCode::VersionMismatch;
+        d.severity = DiagSeverity::Error;
+        d.stage = "client";
+        d.message = "handshake rejected";
+        if (const Json* e = resp.find("error"))
+            if (const Json* m = e->find("message"))
+                d.message = m->asString();
+        return Status::error(d);
+    }
+    if (const Json* proto = resp.find("proto");
+        !proto || proto->asInt() != kProtocolVersion) {
+        Diag d;
+        d.code = DiagCode::VersionMismatch;
+        d.severity = DiagSeverity::Error;
+        d.stage = "client";
+        d.message = "server speaks a different protocol version";
+        return Status::error(d);
+    }
+    if (serverVersion) {
+        *serverVersion = "unknown";
+        if (const Json* v = resp.find("version"))
+            *serverVersion = v->asString();
+    }
+    return Status();
+}
+
+} // namespace dhdl::serve

@@ -1,0 +1,162 @@
+#include "serve/protocol.hh"
+
+#include "dse/evaluator.hh"
+
+#ifndef DHDL_VERSION_STRING
+#define DHDL_VERSION_STRING "0.10.0"
+#endif
+
+namespace dhdl::serve {
+
+const char*
+versionString()
+{
+    return DHDL_VERSION_STRING;
+}
+
+Json
+diagToJson(const Diag& d)
+{
+    Json j = Json::object();
+    j.set("code", diagCodeName(d.code));
+    j.set("severity",
+          d.severity == DiagSeverity::Error ? "error" : "warning");
+    if (!d.stage.empty())
+        j.set("stage", d.stage);
+    j.set("message", d.message);
+    if (d.pointIndex >= 0)
+        j.set("point", int64_t(d.pointIndex));
+    if (!d.context.empty())
+        j.set("context", d.context);
+    return j;
+}
+
+Json
+errorResponse(const Diag& d)
+{
+    Json j = Json::object();
+    j.set("ok", false);
+    j.set("error", diagToJson(d));
+    return j;
+}
+
+Json
+errorResponse(DiagCode code, const std::string& message,
+              const std::string& stage)
+{
+    Diag d;
+    d.code = code;
+    d.severity = DiagSeverity::Error;
+    d.stage = stage;
+    d.message = message;
+    return errorResponse(d);
+}
+
+Json
+frontToJson(const Graph& g, const std::vector<dse::DesignPoint>& points,
+            const std::vector<size_t>& front)
+{
+    Json arr = Json::array();
+    for (size_t idx : front) {
+        const dse::DesignPoint& p = points[idx];
+        Json e = Json::object();
+        e.set("index", int64_t(idx));
+        e.set("cycles", p.cycles);
+        e.set("alms", p.area.alms);
+        e.set("dsps", p.area.dsps);
+        e.set("brams", p.area.brams);
+        e.set("binding", dse::renderBinding(g, p.binding));
+        arr.push(std::move(e));
+    }
+    return arr;
+}
+
+Json
+resultToJson(const Graph& g, const dse::ExploreResult& res)
+{
+    const dse::ExploreStats& s = res.stats;
+    Json stats = Json::object();
+    stats.set("requested", s.requested);
+    stats.set("sampled", s.total);
+    // The sampling-shortfall marker rides the result itself, not just
+    // the diag stream: clients see "708/2000" without grepping diags.
+    stats.set("shortfall", s.total < s.requested);
+    stats.set("evaluated", s.evaluated);
+    stats.set("resumed", s.resumed);
+    stats.set("failed", s.failed);
+    stats.set("valid", s.valid);
+    stats.set("skipped", s.skipped);
+    stats.set("cancelled", s.cancelled);
+    stats.set("time_budget_hit", s.timeBudgetHit);
+    stats.set("eval_budget_hit", s.evalBudgetHit);
+    stats.set("rounds", s.rounds.size());
+
+    Json diags = Json::array();
+    for (const Diag& d : res.diags) {
+        if (d.severity == DiagSeverity::Warning)
+            diags.push(diagToJson(d));
+    }
+
+    Json j = Json::object();
+    j.set("design", g.name());
+    j.set("stats", std::move(stats));
+    j.set("front", frontToJson(g, res.points, res.pareto));
+    j.set("warnings", std::move(diags));
+    return j;
+}
+
+namespace {
+
+void
+pushSpan(Json& events, const char* name, uint64_t ts, uint64_t dur)
+{
+    Json e = Json::object();
+    e.set("name", name);
+    e.set("cat", "serve");
+    e.set("ph", "X");
+    e.set("pid", 1);
+    e.set("tid", 1);
+    e.set("ts", ts);
+    e.set("dur", dur);
+    events.push(std::move(e));
+}
+
+} // namespace
+
+Json
+jobTraceToJson(const dse::ExploreResult& res)
+{
+    auto us = [](double sec) {
+        return sec > 0 ? uint64_t(sec * 1e6) : uint64_t(0);
+    };
+    Json events = Json::array();
+    uint64_t now = 0;
+    // planSeconds is 0 exactly when the driver received a cached
+    // plan, so a cache-hit job's trace has no plan-compile span.
+    if (res.stats.planSeconds > 0) {
+        pushSpan(events, "plan-compile", now,
+                 us(res.stats.planSeconds));
+        now += us(res.stats.planSeconds);
+    }
+    for (const dse::RoundStats& rs : res.stats.rounds) {
+        const std::string label = "round-" + std::to_string(rs.round);
+        pushSpan(events, (label + ".propose").c_str(), now,
+                 us(rs.proposeSeconds));
+        if (rs.trainSeconds > 0)
+            pushSpan(events, (label + ".train").c_str(), now,
+                     us(rs.trainSeconds));
+        if (rs.rankSeconds > 0)
+            pushSpan(events, (label + ".rank").c_str(), now,
+                     us(rs.rankSeconds));
+        now += us(rs.proposeSeconds);
+        pushSpan(events, (label + ".eval").c_str(), now,
+                 us(rs.evalSeconds));
+        now += us(rs.evalSeconds);
+    }
+    Json j = Json::object();
+    j.set("traceEvents", std::move(events));
+    j.set("displayTimeUnit", "ms");
+    return j;
+}
+
+} // namespace dhdl::serve

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * serve/json: the hardened parser and the deterministic renderer the
+ * wire protocol's byte-identity guarantees rest on.
+ */
+
+#include "serve/json.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dhdl;
+using namespace dhdl::serve;
+
+namespace {
+
+Json
+parsed(const std::string& text)
+{
+    Json j;
+    Status st = parseJson(text, j);
+    EXPECT_TRUE(st.ok()) << st.diag().str() << " in: " << text;
+    return j;
+}
+
+std::string
+rejected(const std::string& text)
+{
+    Json j;
+    Status st = parseJson(text, j);
+    EXPECT_FALSE(st.ok()) << "accepted: " << text;
+    EXPECT_EQ(st.diag().code, DiagCode::ParseError);
+    return st.diag().message;
+}
+
+TEST(ServeJson, RendersScalars)
+{
+    EXPECT_EQ(Json().render(), "null");
+    EXPECT_EQ(Json(true).render(), "true");
+    EXPECT_EQ(Json(false).render(), "false");
+    EXPECT_EQ(Json(42).render(), "42");
+    EXPECT_EQ(Json(int64_t(-7)).render(), "-7");
+    EXPECT_EQ(Json(1.5).render(), "1.5");
+    EXPECT_EQ(Json("hi").render(), "\"hi\"");
+}
+
+TEST(ServeJson, ObjectKeepsInsertionOrderAndNoWhitespace)
+{
+    Json j = Json::object();
+    j.set("z", 1);
+    j.set("a", 2);
+    j.set("m", Json::array().push(1).push("x"));
+    EXPECT_EQ(j.render(), "{\"z\":1,\"a\":2,\"m\":[1,\"x\"]}");
+    // Replacing a key keeps its original position.
+    j.set("z", 9);
+    EXPECT_EQ(j.render(), "{\"z\":9,\"a\":2,\"m\":[1,\"x\"]}");
+}
+
+TEST(ServeJson, StringEscapes)
+{
+    Json j = Json(std::string("a\"b\\c\n\t\x01"));
+    EXPECT_EQ(j.render(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+    Json back = parsed(j.render());
+    EXPECT_EQ(back.asString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(ServeJson, DoubleRoundTripsExactly)
+{
+    // %.17g reproduces every double bit-exactly through strtod —
+    // the foundation of streamed-vs-offline byte identity.
+    for (double v : {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324,
+                     -123456.789012345678, 216482464.0}) {
+        Json j(v);
+        Json back = parsed(j.render());
+        EXPECT_EQ(back.asDouble(), v) << j.render();
+        // And the re-render is byte-identical.
+        EXPECT_EQ(back.render(), j.render());
+    }
+}
+
+TEST(ServeJson, NonFiniteRendersAsNull)
+{
+    EXPECT_EQ(Json(std::nan("")).render(), "null");
+    EXPECT_EQ(Json(INFINITY).render(), "null");
+}
+
+TEST(ServeJson, ParsesNumbers)
+{
+    EXPECT_EQ(parsed("42").asInt(), 42);
+    EXPECT_EQ(parsed("-9223372036854775808").asInt(),
+              INT64_MIN);
+    EXPECT_EQ(parsed("9223372036854775807").asInt(), INT64_MAX);
+    // Overflowing integers degrade to double, not to garbage.
+    EXPECT_DOUBLE_EQ(parsed("99999999999999999999").asDouble(),
+                     1e20);
+    EXPECT_DOUBLE_EQ(parsed("2.5e3").asDouble(), 2500.0);
+}
+
+TEST(ServeJson, ParsesNested)
+{
+    Json j = parsed(
+        R"({"op":"submit","config":{"points":200},"tags":[1,2]})");
+    ASSERT_TRUE(j.isObject());
+    EXPECT_EQ(j.find("op")->asString(), "submit");
+    EXPECT_EQ(j.find("config")->find("points")->asInt(), 200);
+    EXPECT_EQ(j.find("tags")->items().size(), 2u);
+    EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(ServeJson, UnicodeEscapes)
+{
+    // BMP escape, surrogate pair, lone surrogate -> U+FFFD.
+    EXPECT_EQ(parsed("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(parsed("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+    EXPECT_EQ(parsed("\"\\ud83d\"").asString(), "\xef\xbf\xbd");
+}
+
+TEST(ServeJson, RejectsMalformed)
+{
+    rejected("");
+    rejected("{");
+    rejected("[1,]");
+    rejected("{\"a\":}");
+    rejected("{\"a\" 1}");
+    rejected("tru");
+    rejected("\"unterminated");
+    rejected("{} trailing");
+    rejected("nul");
+    // Raw control bytes inside strings are rejected.
+    rejected(std::string("\"a\nb\""));
+}
+
+TEST(ServeJson, NeverThrowsAndReportsOffset)
+{
+    Json j;
+    Status st = parseJson("{\"a\": bad}", j);
+    ASSERT_FALSE(st.ok());
+    // The message names a byte offset so protocol errors are
+    // debuggable from the client side.
+    EXPECT_NE(st.diag().message.find("byte"), std::string::npos)
+        << st.diag().message;
+}
+
+TEST(ServeJson, DepthCapStopsRecursion)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    rejected(deep);
+    // Within the cap parses fine.
+    std::string ok(10, '[');
+    ok += "1";
+    ok += std::string(10, ']');
+    parsed(ok);
+}
+
+TEST(ServeJson, SizeCap)
+{
+    JsonLimits limits;
+    limits.maxBytes = 8;
+    Json j;
+    EXPECT_FALSE(parseJson("[1,2,3,4,5]", j, limits).ok());
+}
+
+TEST(ServeJson, RoundTripIsStable)
+{
+    const std::string wire =
+        R"({"ok":true,"front":[{"cycles":1.5,"i":3}],"s":"x"})";
+    Json j = parsed(wire);
+    EXPECT_EQ(j.render(), wire);
+    EXPECT_EQ(parsed(j.render()).render(), wire);
+}
+
+} // namespace

@@ -15,6 +15,23 @@
  *   dhdlc emit-ir <design> [--scale S]
  *   dhdlc print <design> [--scale S]
  *   dhdlc calibrate [--out DIR]
+ *   dhdlc submit <design> --server HOST:PORT [--tenant T]
+ *                 [--points N] [--seed SEED] [--strategy ...]
+ *                 [--follow]
+ *   dhdlc status --server HOST:PORT --job ID
+ *   dhdlc result --server HOST:PORT --job ID [--wait]
+ *   dhdlc cancel --server HOST:PORT --job ID
+ *   dhdlc --version
+ *
+ * The serving commands talk to a running `dhdld` daemon over its
+ * line-delimited JSON protocol (src/serve). `submit` sends a design
+ * by registry name, or — when given a `.dhdl` path — reads the file
+ * here and ships the IR text, so the daemon never touches client
+ * paths. `--follow` streams incremental Pareto-front updates as
+ * search rounds complete. `status`/`result`/`cancel` poll, fetch
+ * (`--wait` blocks until the job finishes) and cooperatively cancel.
+ * Every exchange carries the protocol version; skew is rejected with
+ * a structured version-mismatch diagnostic on both sides.
  *
  * <design> is either a benchmark name from `dhdlc list` or a path to
  * a `.dhdl` IR file (anything ending in ".dhdl"); both take the
@@ -64,9 +81,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -83,6 +103,7 @@
 #include "dse/supervisor.hh"
 #include "estimate/power_model.hh"
 #include "fpga/toolchain.hh"
+#include "serve/client.hh"
 #include "sim/report.hh"
 #include "sim/timing.hh"
 
@@ -116,25 +137,93 @@ struct Args {
     int maxRounds = 0;     //!< >0 caps surrogate rounds.
     std::string saveModel; //!< Persist the trained surrogate bundle.
     std::string loadModel; //!< Warm-start from a saved bundle.
+    std::string server;    //!< dhdld address ("host:port" or "port").
+    std::string tenant;    //!< Tenant id for serving admission.
+    long long job = -1;    //!< Job id for status/result/cancel.
+    bool follow = false;   //!< Stream round events on submit.
+    bool wait = false;     //!< Block in `result` until finished.
+    bool version = false;  //!< Print version + protocol and exit.
 };
+
+/**
+ * The one flag table: each entry carries the flag name, its operand
+ * placeholder (nullptr for booleans) and the setter. parse() and
+ * usage() both walk it, so adding a flag is one line and the two can
+ * never disagree — the historical per-flag if/else blocks duplicated
+ * every name three times.
+ */
+struct FlagDef {
+    const char* name;
+    const char* operand; //!< e.g. "N"; nullptr = boolean flag.
+    std::function<void(Args&, const char*)> set;
+};
+
+const std::vector<FlagDef>&
+flagTable()
+{
+    auto num = [](int Args::* f) {
+        return [f](Args& a, const char* v) { a.*f = std::atoi(v); };
+    };
+    auto lnum = [](long long Args::* f) {
+        return [f](Args& a, const char* v) { a.*f = std::atoll(v); };
+    };
+    auto fnum = [](double Args::* f) {
+        return [f](Args& a, const char* v) { a.*f = std::atof(v); };
+    };
+    auto str = [](std::string Args::* f) {
+        return [f](Args& a, const char* v) { a.*f = v; };
+    };
+    auto flag = [](bool Args::* f) {
+        return [f](Args& a, const char*) { a.*f = true; };
+    };
+    static const std::vector<FlagDef> table = {
+        {"--scale", "S", fnum(&Args::scale)},
+        {"--points", "N", num(&Args::points)},
+        {"--top", "K", num(&Args::top)},
+        {"--out", "DIR", str(&Args::out)},
+        {"--threads", "T", num(&Args::threads)},
+        {"--batch", "B", num(&Args::batch)},
+        {"--time-budget", "SEC", fnum(&Args::timeBudget)},
+        {"--seed", "SEED", lnum(&Args::seed)},
+        {"--checkpoint", "FILE", str(&Args::checkpoint)},
+        {"--checkpoint-every", "N", lnum(&Args::checkpointEvery)},
+        {"--resume", nullptr, flag(&Args::resume)},
+        {"--shard", "I/N", str(&Args::shard)},
+        {"--shards", "N", num(&Args::shards)},
+        {"--shard-timeout", "SEC", fnum(&Args::shardTimeout)},
+        {"--retries", "R", num(&Args::retries)},
+        {"--strategy", "random|surrogate", str(&Args::strategy)},
+        {"--initial-points", "N", num(&Args::initialPoints)},
+        {"--max-rounds", "R", num(&Args::maxRounds)},
+        {"--save-model", "FILE", str(&Args::saveModel)},
+        {"--load-model", "FILE", str(&Args::loadModel)},
+        {"--server", "HOST:PORT", str(&Args::server)},
+        {"--tenant", "NAME", str(&Args::tenant)},
+        {"--job", "ID", lnum(&Args::job)},
+        {"--follow", nullptr, flag(&Args::follow)},
+        {"--wait", nullptr, flag(&Args::wait)},
+        {"--profile", nullptr, flag(&Args::profile)},
+        {"--trace", "FILE", str(&Args::trace)},
+        {"--metrics", "FILE", str(&Args::metrics)},
+        {"--version", nullptr, flag(&Args::version)},
+    };
+    return table;
+}
 
 int
 usage()
 {
-    std::cerr
-        << "usage: dhdlc "
-           "<list|print|explore|merge|report|emit|emit-ir|calibrate> "
-           "[benchmark|file.dhdl] [--scale S] [--points N] [--top K]"
-           " [--out DIR] [--threads T] [--batch B]"
-           " [--time-budget SEC]"
-           " [--seed SEED] [--checkpoint FILE] [--resume]"
-           " [--shard I/N] [--shards N] [--shard-timeout SEC]"
-           " [--retries R] [--strategy random|surrogate]"
-           " [--initial-points N] [--max-rounds R]"
-           " [--save-model FILE] [--load-model FILE]"
-           " [--profile] [--trace FILE]"
-           " [--metrics FILE]"
-        << std::endl;
+    std::cerr << "usage: dhdlc "
+                 "<list|print|explore|merge|report|emit|emit-ir|"
+                 "calibrate|submit|status|result|cancel> "
+                 "[benchmark|file.dhdl]";
+    for (const FlagDef& f : flagTable()) {
+        std::cerr << " [" << f.name;
+        if (f.operand)
+            std::cerr << " " << f.operand;
+        std::cerr << "]";
+    }
+    std::cerr << "\n       dhdlc --version" << std::endl;
     return 2;
 }
 
@@ -145,125 +234,26 @@ parse(int argc, char** argv, Args& args)
         return false;
     args.command = argv[1];
     int i = 2;
+    if (args.command == "--version") {
+        args.version = true;
+        i = 1; // No command; still parse any remaining flags.
+    }
     if (i < argc && argv[i][0] != '-')
         args.benchmark = argv[i++];
     for (; i < argc; ++i) {
-        std::string flag = argv[i];
-        auto next = [&]() -> const char* {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        if (flag == "--scale") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.scale = std::atof(v);
-        } else if (flag == "--points") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.points = std::atoi(v);
-        } else if (flag == "--top") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.top = std::atoi(v);
-        } else if (flag == "--out") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.out = v;
-        } else if (flag == "--threads") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.threads = std::atoi(v);
-        } else if (flag == "--batch") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.batch = std::atoi(v);
-        } else if (flag == "--time-budget") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.timeBudget = std::atof(v);
-        } else if (flag == "--checkpoint") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.checkpoint = v;
-        } else if (flag == "--seed") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.seed = std::atoll(v);
-        } else if (flag == "--checkpoint-every") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.checkpointEvery = std::atoll(v);
-        } else if (flag == "--shard") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.shard = v;
-        } else if (flag == "--shards") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.shards = std::atoi(v);
-        } else if (flag == "--shard-timeout") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.shardTimeout = std::atof(v);
-        } else if (flag == "--retries") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.retries = std::atoi(v);
-        } else if (flag == "--strategy") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.strategy = v;
-        } else if (flag == "--initial-points") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.initialPoints = std::atoi(v);
-        } else if (flag == "--max-rounds") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.maxRounds = std::atoi(v);
-        } else if (flag == "--save-model") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.saveModel = v;
-        } else if (flag == "--load-model") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.loadModel = v;
-        } else if (flag == "--resume") {
-            args.resume = true;
-        } else if (flag == "--profile") {
-            args.profile = true;
-        } else if (flag == "--trace") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.trace = v;
-        } else if (flag == "--metrics") {
-            const char* v = next();
-            if (!v)
-                return false;
-            args.metrics = v;
-        } else {
+        const FlagDef* def = nullptr;
+        for (const FlagDef& f : flagTable())
+            if (f.name == std::string(argv[i]))
+                def = &f;
+        if (!def)
             return false;
+        const char* v = nullptr;
+        if (def->operand) {
+            if (i + 1 >= argc)
+                return false;
+            v = argv[++i];
         }
+        def->set(args, v);
     }
     return true;
 }
@@ -384,8 +374,11 @@ void
 printStats(const dse::ExploreResult& res)
 {
     const auto& s = res.stats;
-    std::cout << s.total << " points sampled, " << s.evaluated
-              << " evaluated";
+    std::cout << s.total << " points sampled";
+    if (s.requested && s.total < s.requested)
+        std::cout << " (of " << s.requested
+                  << " requested; sampling shortfall)";
+    std::cout << ", " << s.evaluated << " evaluated";
     if (s.resumed)
         std::cout << " (" << s.resumed << " from checkpoint)";
     if (s.skipped) {
@@ -666,6 +659,170 @@ cmdEmit(const Args& args)
     return 0;
 }
 
+/** Exit path for client-side failures (transport, handshake). */
+int
+clientFail(const Status& st)
+{
+    std::cerr << "dhdlc: " << st.diag().str() << "\n";
+    return 1;
+}
+
+/** Connect + handshake; shared by every serving command. */
+int
+clientConnect(const Args& args, serve::Client& c)
+{
+    require(!args.server.empty(),
+            "serving commands need --server HOST:PORT");
+    if (Status st = c.connect(args.server); !st.ok())
+        return clientFail(st);
+    if (Status st = c.hello(); !st.ok())
+        return clientFail(st);
+    return 0;
+}
+
+/** A one-line human summary of a server-side result object. */
+void
+printRemoteResult(const serve::Json& result)
+{
+    const serve::Json* stats = result.find("stats");
+    const serve::Json* front = result.find("front");
+    if (!stats)
+        return;
+    auto n = [&](const char* k) {
+        const serve::Json* v = stats->find(k);
+        return v ? v->asInt() : 0;
+    };
+    std::cout << n("sampled") << " points sampled";
+    const serve::Json* shortfall = stats->find("shortfall");
+    if (shortfall && shortfall->asBool())
+        std::cout << " (of " << n("requested")
+                  << " requested; sampling shortfall)";
+    std::cout << ", " << n("evaluated") << " evaluated, "
+              << n("failed") << " failed, " << n("valid")
+              << " valid, " << (front ? front->items().size() : 0)
+              << " Pareto-optimal\n";
+    if (const serve::Json* warns = result.find("warnings"))
+        for (const serve::Json& w : warns->items())
+            if (const serve::Json* m = w.find("message"))
+                std::cout << "note: " << m->asString() << "\n";
+}
+
+int
+cmdSubmit(const Args& args)
+{
+    require(!args.benchmark.empty(),
+            "submit needs a benchmark name or .dhdl file");
+    serve::Client c;
+    if (int rc = clientConnect(args, c))
+        return rc;
+
+    serve::Json req = serve::Json::object();
+    req.set("op", "submit");
+    req.set("tenant", args.tenant.empty() ? "dhdlc" : args.tenant);
+    if (args.benchmark.size() > 5 &&
+        args.benchmark.compare(args.benchmark.size() - 5, 5,
+                               ".dhdl") == 0) {
+        // Ship the IR text: the daemon never reads client paths.
+        std::ifstream in(args.benchmark);
+        require(bool(in), "cannot read " + args.benchmark);
+        std::ostringstream text;
+        text << in.rdbuf();
+        req.set("ir", text.str());
+    } else {
+        req.set("design", args.benchmark);
+        req.set("scale", args.scale);
+    }
+    serve::Json cfg = serve::Json::object();
+    cfg.set("points", args.points);
+    if (args.seed >= 0)
+        cfg.set("seed", args.seed);
+    if (args.threads > 1)
+        cfg.set("threads", args.threads);
+    if (args.batch >= 0)
+        cfg.set("batch", args.batch);
+    if (args.timeBudget > 0)
+        cfg.set("time_budget", args.timeBudget);
+    if (!args.strategy.empty())
+        cfg.set("strategy", args.strategy);
+    if (args.initialPoints > 0)
+        cfg.set("initial_points", args.initialPoints);
+    if (args.maxRounds > 0)
+        cfg.set("max_rounds", args.maxRounds);
+    req.set("config", std::move(cfg));
+    if (args.follow)
+        req.set("stream", true);
+
+    serve::Json resp;
+    if (Status st = c.request(req, resp); !st.ok())
+        return clientFail(st);
+    const serve::Json* ok = resp.find("ok");
+    if (!ok || !ok->asBool()) {
+        std::cout << resp.render() << "\n";
+        return 1;
+    }
+    const serve::Json* jobId = resp.find("job");
+    const serve::Json* cached = resp.find("cached");
+    std::cout << "job " << (jobId ? jobId->asInt() : -1)
+              << " submitted"
+              << (cached && cached->asBool() ? " (plan cache hit)"
+                                             : "")
+              << "\n";
+    if (!args.follow)
+        return 0;
+
+    // Stream events until the final "done".
+    while (true) {
+        serve::Json ev;
+        if (Status st = c.recv(ev); !st.ok())
+            return clientFail(st);
+        const serve::Json* kind = ev.find("event");
+        if (!kind)
+            continue;
+        if (kind->asString() == "round") {
+            auto n = [&](const char* k) {
+                const serve::Json* v = ev.find(k);
+                return v ? v->asInt() : 0;
+            };
+            std::cout << "round " << n("round") << ": "
+                      << n("evaluated") << " evaluated, front size "
+                      << n("front_size") << "\n";
+            continue;
+        }
+        if (kind->asString() == "done") {
+            const serve::Json* state = ev.find("state");
+            std::cout << "job finished: "
+                      << (state ? state->asString() : "?") << "\n";
+            if (const serve::Json* result = ev.find("result"))
+                printRemoteResult(*result);
+            else if (const serve::Json* err = ev.find("error"))
+                std::cout << "error: " << err->render() << "\n";
+            return state && state->asString() == "done" ? 0 : 1;
+        }
+    }
+}
+
+/** status/result/cancel: one request referencing --job. */
+int
+cmdJobOp(const Args& args, const char* op)
+{
+    require(args.job >= 0,
+            std::string(op) + " needs --job ID");
+    serve::Client c;
+    if (int rc = clientConnect(args, c))
+        return rc;
+    serve::Json req = serve::Json::object();
+    req.set("op", op);
+    req.set("job", args.job);
+    if (std::string(op) == "result" && args.wait)
+        req.set("wait", true);
+    serve::Json resp;
+    if (Status st = c.request(req, resp); !st.ok())
+        return clientFail(st);
+    std::cout << resp.render() << "\n";
+    const serve::Json* ok = resp.find("ok");
+    return ok && ok->asBool() ? 0 : 1;
+}
+
 int
 runCommand(const Args& args)
 {
@@ -678,8 +835,16 @@ runCommand(const Args& args)
         std::cout << "wrote " << path << "\n";
         return 0;
     }
+    if (args.command == "status")
+        return cmdJobOp(args, "status");
+    if (args.command == "result")
+        return cmdJobOp(args, "result");
+    if (args.command == "cancel")
+        return cmdJobOp(args, "cancel");
     if (args.benchmark.empty())
         return usage();
+    if (args.command == "submit")
+        return cmdSubmit(args);
     if (args.command == "print")
         return cmdPrint(args);
     if (args.command == "emit-ir")
@@ -772,6 +937,12 @@ main(int argc, char** argv)
     Args args;
     if (!parse(argc, argv, args))
         return usage();
+    if (args.version) {
+        std::cout << "dhdlc " << serve::versionString()
+                  << " (protocol " << serve::kProtocolVersion
+                  << ")\n";
+        return 0;
+    }
     if (args.profile || !args.trace.empty() || !args.metrics.empty())
         obs::setEnabled(true);
     // Chaos seams (DHDL_FAULT=...) are armed only here, at process
